@@ -1,0 +1,128 @@
+// Command aigverify model-checks an AIGER (ASCII .aag) circuit with the
+// Boolean IC3/PDR engine or SAT-based BMC.
+//
+// Usage:
+//
+//	aigverify [flags] circuit.aag
+//
+// The bad-state target is the first entry of the AIGER 1.9 bad-state
+// section if present, otherwise the first output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"icpic3/internal/aig"
+	"icpic3/internal/ic3bool"
+	"icpic3/internal/sat"
+)
+
+func main() {
+	var (
+		engineName = flag.String("engine", "ic3", "engine: ic3 | bmc | both")
+		depth      = flag.Int("depth", 256, "maximum BMC depth")
+		frames     = flag.Int("frames", 0, "maximum IC3 frames (0 = default)")
+		strong     = flag.Bool("strong", false, "strong (re-query) generalization in IC3")
+		showTrace  = flag.Bool("trace", false, "print the counterexample trace")
+		proofOut   = flag.String("proof", "", "write a DRAT proof of the BMC run to this file")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: aigverify [flags] circuit.aag")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+	c, err := aig.ReadAAG(f)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("circuit: %d inputs, %d latches, %d and gates\n",
+		len(c.Inputs), len(c.Latches), c.NumAnds())
+
+	runIC3 := func() {
+		t0 := time.Now()
+		res := ic3bool.Check(c, ic3bool.Options{MaxFrames: *frames, StrongGeneralize: *strong})
+		fmt.Printf("[ic3] %s (frames %d, %v)\n", res.Verdict, res.Frames,
+			time.Since(t0).Round(time.Millisecond))
+		if res.Verdict == ic3bool.Unsafe && *showTrace {
+			printTrace(res.Trace)
+		}
+		if res.Verdict == ic3bool.Safe {
+			fmt.Printf("[ic3] invariant: property plus %d blocked cubes\n", len(res.Invariant))
+		}
+	}
+	runBMC := func() {
+		t0 := time.Now()
+		solver := sat.New()
+		var proofFile *os.File
+		if *proofOut != "" {
+			var err error
+			proofFile, err = os.Create(*proofOut)
+			if err != nil {
+				fail("proof: %v", err)
+			}
+			solver.SetProofWriter(proofFile)
+		}
+		res := ic3bool.BMCWithSolver(c, *depth, solver)
+		if proofFile != nil {
+			solver.FlushProof()
+			proofFile.Close()
+			fmt.Printf("[bmc] DRAT log written to %s\n", *proofOut)
+		}
+		fmt.Printf("[bmc] %s (depth %d, %v)\n", res.Verdict, res.Frames,
+			time.Since(t0).Round(time.Millisecond))
+		if res.Verdict == ic3bool.Unsafe && *showTrace {
+			printTrace(res.Trace)
+		}
+	}
+
+	switch *engineName {
+	case "ic3":
+		runIC3()
+	case "bmc":
+		runBMC()
+	case "both":
+		runIC3()
+		runBMC()
+	default:
+		fail("unknown engine %q", *engineName)
+	}
+}
+
+func printTrace(trace []ic3bool.Step) {
+	for i, st := range trace {
+		fmt.Printf("  step %2d: state=", i)
+		for _, b := range st.State {
+			if b {
+				fmt.Print("1")
+			} else {
+				fmt.Print("0")
+			}
+		}
+		if len(st.Inputs) > 0 {
+			fmt.Print(" inputs=")
+			for _, b := range st.Inputs {
+				if b {
+					fmt.Print("1")
+				} else {
+					fmt.Print("0")
+				}
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "aigverify: "+format+"\n", args...)
+	os.Exit(2)
+}

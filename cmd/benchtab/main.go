@@ -1,0 +1,105 @@
+// Command benchtab regenerates the tables and figures of the evaluation
+// (DESIGN.md §5 / EXPERIMENTS.md) from the synthetic benchmark suite.
+//
+// Usage:
+//
+//	benchtab -all                 # everything (the full report)
+//	benchtab -table 2 -budget 10s # just Table II with a 10s per-run budget
+//	benchtab -fig 1               # just the cactus plot series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"icpic3/internal/benchmarks"
+	"icpic3/internal/engine"
+	"icpic3/internal/harness"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "produce the full report")
+		table  = flag.Int("table", 0, "table to produce (1-4)")
+		fig    = flag.Int("fig", 0, "figure to produce (1-4)")
+		budget = flag.Duration("budget", 20*time.Second, "per-run budget")
+		size   = flag.Int("size", 3, "instances per family and polarity")
+		csvOut = flag.Bool("csv", false, "emit CSV instead of text (tables 2, figures 2-3)")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *all {
+		harness.Report(w, *size, *budget)
+		return
+	}
+	suite := benchmarks.Suite(*size)
+	engines := harness.Engines()
+	names := harness.EngineNames()
+
+	switch {
+	case *table == 1:
+		harness.Table1(w, suite)
+	case *table == 2:
+		records := harness.RunSuite(suite, engines, names, *budget)
+		if *csvOut {
+			if err := harness.WriteSummaryCSV(w, records, names); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+		harness.Table2(w, records, names)
+	case *table == 3:
+		safe := filter(suite, func(in benchmarks.Instance) bool {
+			return in.Expected == engine.Safe && !in.Hard
+		})
+		harness.Table3(w, harness.RunAblation(safe, *budget))
+	case *table == 4:
+		harness.Table4(w, harness.RunCircuits(benchmarks.Circuits(), 128))
+	case *fig == 1:
+		harness.Fig1(w, harness.RunSuite(suite, engines, names, *budget), names)
+	case *fig == 2:
+		records := harness.RunSuite(suite, engines, names, *budget)
+		if *csvOut {
+			if err := harness.WriteScatterCSV(w, records, "ic3-icp", "bmc-icp", budget.Seconds()); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+		harness.Fig2(w, records, "ic3-icp", "bmc-icp", budget.Seconds())
+	case *fig == 3:
+		small := filter(suite, func(in benchmarks.Instance) bool {
+			return in.Family == "poly" || in.Family == "logistic"
+		})
+		points := harness.EpsSweep(small, []float64{1e-2, 1e-3, 1e-4, 1e-5, 1e-6}, *budget)
+		if *csvOut {
+			if err := harness.WriteEpsCSV(w, points); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+		harness.Fig3(w, points)
+	case *fig == 4:
+		vehicles := filter(suite, func(in benchmarks.Instance) bool { return in.Family == "vehicle" })
+		harness.Fig4(w, harness.FrameGrowth(vehicles, *budget))
+	default:
+		fmt.Fprintln(os.Stderr, "benchtab: pass -all, -table N or -fig N")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+}
+
+func filter(in []benchmarks.Instance, keep func(benchmarks.Instance) bool) []benchmarks.Instance {
+	var out []benchmarks.Instance
+	for _, i := range in {
+		if keep(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

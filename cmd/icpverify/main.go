@@ -1,0 +1,190 @@
+// Command icpverify model-checks a transition-system model file.
+//
+// Usage:
+//
+//	icpverify [flags] model.ts
+//
+// The model format (see internal/ts):
+//
+//	system decay
+//	var x : real [0, 10]
+//	init x >= 0 and x <= 6
+//	trans x' = x / 2
+//	prop x <= 8
+//
+// Engines: ic3 (default, proves and refutes), bmc (refutes only),
+// kind (k-induction), all (runs every engine and reports each verdict).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"icpic3/internal/bmc"
+	"icpic3/internal/engine"
+	"icpic3/internal/ic3icp"
+	"icpic3/internal/icp"
+	"icpic3/internal/kind"
+	"icpic3/internal/portfolio"
+	"icpic3/internal/ts"
+)
+
+func main() {
+	var (
+		engineName = flag.String("engine", "ic3", "engine: ic3 | bmc | kind | portfolio | all")
+		timeout    = flag.Duration("timeout", 60*time.Second, "per-engine wall-clock budget")
+		eps        = flag.Float64("eps", 1e-5, "minimum splitting width of the ICP solver")
+		depth      = flag.Int("depth", 128, "maximum BMC unrolling depth")
+		maxK       = flag.Int("k", 24, "maximum k-induction depth")
+		gen        = flag.String("gen", "core+widen", "IC3 generalization: none | core | core+widen")
+		showTrace  = flag.Bool("trace", true, "print counterexample traces")
+		showInv    = flag.Bool("invariant", false, "print the inductive invariant (ic3, safe)")
+		witnessOut = flag.String("witness", "", "write a JSON witness to this file")
+		certify    = flag.Bool("certify", false, "independently certify IC3 Safe verdicts")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: icpverify [flags] model.ts")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail("read: %v", err)
+	}
+	sys, err := ts.Parse(string(src))
+	if err != nil {
+		fail("parse: %v", err)
+	}
+
+	genMode, err := parseGen(*gen)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	var lastInvariant []string
+	engines := map[string]func() engine.Result{
+		"ic3": func() engine.Result {
+			res, info := ic3icp.CheckFull(sys, ic3icp.Options{
+				Solver:     icp.Options{Eps: *eps},
+				Generalize: genMode, GeneralizeSet: true,
+				Budget: engine.Budget{Timeout: *timeout},
+			})
+			lastInvariant = nil
+			for _, c := range info.Invariant {
+				lastInvariant = append(lastInvariant, c.String())
+			}
+			if *showInv && res.Verdict == engine.Safe {
+				fmt.Println("inductive invariant (negated blocked cubes, conjoined with prop):")
+				for _, c := range info.Invariant {
+					fmt.Printf("  !(%s)\n", c)
+				}
+			}
+			if *certify && res.Verdict == engine.Safe {
+				if err := ic3icp.VerifyInvariant(sys, info.Invariant, icp.Options{Eps: *eps}); err != nil {
+					fmt.Printf("[ic3] CERTIFICATION FAILED: %v\n", err)
+				} else {
+					fmt.Println("[ic3] invariant independently certified")
+				}
+			}
+			return res
+		},
+		"bmc": func() engine.Result {
+			return bmc.Check(sys, bmc.Options{
+				MaxDepth: *depth,
+				Solver:   icp.Options{Eps: *eps},
+				Budget:   engine.Budget{Timeout: *timeout},
+			})
+		},
+		"kind": func() engine.Result {
+			return kind.Check(sys, kind.Options{
+				MaxK:   *maxK,
+				Solver: icp.Options{Eps: *eps},
+				Budget: engine.Budget{Timeout: *timeout},
+			})
+		},
+		"portfolio": func() engine.Result {
+			return portfolio.Check(sys, portfolio.Options{
+				IC3:        ic3icp.Options{Solver: icp.Options{Eps: *eps}, Generalize: genMode, GeneralizeSet: true},
+				BMC:        bmc.Options{MaxDepth: *depth, Solver: icp.Options{Eps: *eps}},
+				KInduction: kind.Options{MaxK: *maxK, Solver: icp.Options{Eps: *eps}},
+				Budget:     engine.Budget{Timeout: *timeout},
+			})
+		},
+	}
+
+	names := []string{*engineName}
+	if *engineName == "all" {
+		names = []string{"ic3", "bmc", "kind"}
+	}
+	decided := false
+	for _, n := range names {
+		run, ok := engines[n]
+		if !ok {
+			fail("unknown engine %q", n)
+		}
+		res := run()
+		fmt.Printf("[%s] %s: %s (depth %d, %v)\n", n, sys.Name, res.Verdict, res.Depth,
+			res.Runtime.Round(time.Millisecond))
+		if res.Note != "" {
+			fmt.Printf("[%s] note: %s\n", n, res.Note)
+		}
+		if res.Verdict == engine.Unsafe && *showTrace {
+			printTrace(sys, res.Trace)
+		}
+		if res.Verdict != engine.Unknown {
+			decided = true
+		}
+		if *witnessOut != "" {
+			w := engine.NewWitness(sys.Name, res, lastInvariant)
+			f, err := os.Create(*witnessOut)
+			if err != nil {
+				fail("witness: %v", err)
+			}
+			if err := w.WriteJSON(f); err != nil {
+				fail("witness: %v", err)
+			}
+			f.Close()
+			fmt.Printf("[%s] witness written to %s\n", n, *witnessOut)
+		}
+	}
+	if !decided {
+		os.Exit(1)
+	}
+}
+
+func parseGen(s string) (ic3icp.GenMode, error) {
+	switch s {
+	case "none":
+		return ic3icp.GenNone, nil
+	case "core":
+		return ic3icp.GenCore, nil
+	case "core+widen", "widen":
+		return ic3icp.GenCoreWiden, nil
+	}
+	return 0, fmt.Errorf("unknown generalization mode %q", s)
+}
+
+func printTrace(sys *ts.System, trace []ts.State) {
+	vars := make([]string, 0, len(sys.Vars))
+	for _, v := range sys.Vars {
+		vars = append(vars, v.Name)
+	}
+	sort.Strings(vars)
+	for i, st := range trace {
+		fmt.Printf("  step %2d:", i)
+		for _, v := range vars {
+			fmt.Printf(" %s=%g", v, st[v])
+		}
+		fmt.Println()
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "icpverify: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,83 @@
+// Thermostat: a hybrid two-mode heater with non-linear cooling, verified
+// with all three engines; the unsafe variant produces a concrete trace.
+//
+//	go run ./examples/thermostat
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"icpic3"
+)
+
+const safeModel = `
+system thermostat
+var T : real [0, 50]
+var on : bool
+init T >= 20 and T <= 22 and on
+trans (on -> T' = T + 0.5 * (30 - T)) and \
+      (!on -> T' = T - 0.25 * T) and \
+      (on' <-> T' <= 25)
+prop T <= 32
+`
+
+const unsafeModel = `
+system hotstat
+var T : real [0, 80]
+var on : bool
+init T >= 20 and T <= 22 and on
+trans (on -> T' = T + 0.5 * (70 - T)) and \
+      (!on -> T' = T - 0.25 * T) and \
+      (on' <-> T' <= 60)
+prop T <= 40
+`
+
+func main() {
+	budget := icpic3.Budget{Timeout: 60 * time.Second}
+
+	fmt.Println("=== safe thermostat (heater limited to 30°) ===")
+	sys, err := icpic3.ParseSystem(safeModel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runAll(sys, budget)
+
+	fmt.Println()
+	fmt.Println("=== unsafe thermostat (heater pushes to 70°) ===")
+	hot, err := icpic3.ParseSystem(unsafeModel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	runAll(hot, budget)
+}
+
+func runAll(sys *icpic3.System, budget icpic3.Budget) {
+	res := icpic3.CheckIC3(sys, icpic3.IC3Options{Budget: budget})
+	report("ic3-icp", sys, res)
+	res = icpic3.CheckBMC(sys, icpic3.BMCOptions{MaxDepth: 64, Budget: budget})
+	report("bmc-icp", sys, res)
+	res = icpic3.CheckKInduction(sys, icpic3.KInductionOptions{MaxK: 12, Budget: budget})
+	report("kind-icp", sys, res)
+}
+
+func report(name string, sys *icpic3.System, res icpic3.Result) {
+	fmt.Printf("%-8s: %-8s depth=%-3d time=%v\n", name, res.Verdict, res.Depth,
+		res.Runtime.Round(time.Millisecond))
+	if res.Verdict == icpic3.Unsafe {
+		var vars []string
+		for _, v := range sys.Vars {
+			vars = append(vars, v.Name)
+		}
+		sort.Strings(vars)
+		for i, st := range res.Trace {
+			fmt.Printf("    step %d:", i)
+			for _, v := range vars {
+				fmt.Printf(" %s=%.3f", v, st[v])
+			}
+			fmt.Println()
+		}
+	}
+}

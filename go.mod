@@ -1,0 +1,3 @@
+module icpic3
+
+go 1.22

@@ -1,0 +1,371 @@
+// Package aig implements and-inverter graphs with latches: the circuit
+// substrate for the Boolean IC3 baseline.  Circuits are built through a
+// builder API, simulated cycle-accurately, and encoded to CNF for the SAT
+// solver (one copy per time frame).
+package aig
+
+import (
+	"fmt"
+
+	"icpic3/internal/sat"
+)
+
+// Lit is a literal: node index shifted left once, low bit = inverted.
+// Node 0 is the constant-false node, so False = 0 and True = 1.
+type Lit uint32
+
+// False is the constant-false literal.
+const False Lit = 0
+
+// True is the constant-true literal.
+const True Lit = 1
+
+// MkLit builds the positive literal of node n.
+func MkLit(n int) Lit { return Lit(n << 1) }
+
+// Node returns the node index of l.
+func (l Lit) Node() int { return int(l >> 1) }
+
+// Inverted reports whether l is the inverted phase of its node.
+func (l Lit) Inverted() bool { return l&1 == 1 }
+
+// Not returns the complement of l.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+type nodeKind uint8
+
+const (
+	kindConst nodeKind = iota
+	kindInput
+	kindLatch
+	kindAnd
+)
+
+type node struct {
+	kind nodeKind
+	a, b Lit // fanins for kindAnd
+}
+
+// Latch is a state-holding element.
+type Latch struct {
+	Lit  Lit  // the latch output (positive literal)
+	Next Lit  // next-state function
+	Init bool // reset value
+}
+
+// Circuit is a sequential and-inverter graph.
+type Circuit struct {
+	nodes   []node
+	Inputs  []Lit
+	Latches []Latch
+	Bad     Lit // bad-state property output (True when violated)
+
+	strash map[[2]Lit]Lit // structural hashing of AND gates
+}
+
+// New returns an empty circuit (just the constant node).
+func New() *Circuit {
+	return &Circuit{
+		nodes:  []node{{kind: kindConst}},
+		Bad:    False,
+		strash: make(map[[2]Lit]Lit),
+	}
+}
+
+// NumNodes returns the number of nodes including the constant.
+func (c *Circuit) NumNodes() int { return len(c.nodes) }
+
+// NumAnds returns the number of AND gates.
+func (c *Circuit) NumAnds() int {
+	n := 0
+	for _, nd := range c.nodes {
+		if nd.kind == kindAnd {
+			n++
+		}
+	}
+	return n
+}
+
+// AddInput introduces a primary input.
+func (c *Circuit) AddInput() Lit {
+	l := MkLit(len(c.nodes))
+	c.nodes = append(c.nodes, node{kind: kindInput})
+	c.Inputs = append(c.Inputs, l)
+	return l
+}
+
+// AddLatch introduces a latch with the given reset value.  Its next-state
+// function must be set later with SetNext.
+func (c *Circuit) AddLatch(init bool) Lit {
+	l := MkLit(len(c.nodes))
+	c.nodes = append(c.nodes, node{kind: kindLatch})
+	c.Latches = append(c.Latches, Latch{Lit: l, Next: False, Init: init})
+	return l
+}
+
+// SetNext installs the next-state function of latch l.
+func (c *Circuit) SetNext(l Lit, next Lit) error {
+	for i := range c.Latches {
+		if c.Latches[i].Lit == l {
+			c.Latches[i].Next = next
+			return nil
+		}
+	}
+	return fmt.Errorf("aig: %v is not a latch output", l)
+}
+
+// And returns a literal for a AND b, with constant folding and structural
+// hashing.
+func (c *Circuit) And(a, b Lit) Lit {
+	if a == False || b == False || a == b.Not() {
+		return False
+	}
+	if a == True {
+		return b
+	}
+	if b == True || a == b {
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]Lit{a, b}
+	if l, ok := c.strash[key]; ok {
+		return l
+	}
+	l := MkLit(len(c.nodes))
+	c.nodes = append(c.nodes, node{kind: kindAnd, a: a, b: b})
+	c.strash[key] = l
+	return l
+}
+
+// Or returns a literal for a OR b.
+func (c *Circuit) Or(a, b Lit) Lit { return c.And(a.Not(), b.Not()).Not() }
+
+// Xor returns a literal for a XOR b.
+func (c *Circuit) Xor(a, b Lit) Lit {
+	return c.Or(c.And(a, b.Not()), c.And(a.Not(), b))
+}
+
+// Mux returns s ? a : b.
+func (c *Circuit) Mux(s, a, b Lit) Lit {
+	return c.Or(c.And(s, a), c.And(s.Not(), b))
+}
+
+// AndN folds And over the arguments (True for none).
+func (c *Circuit) AndN(ls ...Lit) Lit {
+	r := True
+	for _, l := range ls {
+		r = c.And(r, l)
+	}
+	return r
+}
+
+// OrN folds Or over the arguments (False for none).
+func (c *Circuit) OrN(ls ...Lit) Lit {
+	r := False
+	for _, l := range ls {
+		r = c.Or(r, l)
+	}
+	return r
+}
+
+// SetBad installs the bad-state output.
+func (c *Circuit) SetBad(l Lit) { c.Bad = l }
+
+// InitState returns the reset values of all latches in latch order.
+func (c *Circuit) InitState() []bool {
+	st := make([]bool, len(c.Latches))
+	for i, l := range c.Latches {
+		st[i] = l.Init
+	}
+	return st
+}
+
+// Eval computes all node values for the given latch state and inputs;
+// it returns the node value table.
+func (c *Circuit) Eval(state []bool, inputs []bool) []bool {
+	vals := make([]bool, len(c.nodes))
+	inIdx, laIdx := 0, 0
+	for i, nd := range c.nodes {
+		switch nd.kind {
+		case kindConst:
+			vals[i] = false
+		case kindInput:
+			vals[i] = inputs[inIdx]
+			inIdx++
+		case kindLatch:
+			vals[i] = state[laIdx]
+			laIdx++
+		case kindAnd:
+			vals[i] = litVal(vals, nd.a) && litVal(vals, nd.b)
+		}
+	}
+	return vals
+}
+
+func litVal(vals []bool, l Lit) bool {
+	v := vals[l.Node()]
+	if l.Inverted() {
+		return !v
+	}
+	return v
+}
+
+// LitVal reads literal l from a node value table produced by Eval.
+func (c *Circuit) LitVal(vals []bool, l Lit) bool { return litVal(vals, l) }
+
+// Step simulates one clock cycle: returns the next latch state and whether
+// the bad output is asserted in the current cycle.
+func (c *Circuit) Step(state []bool, inputs []bool) (next []bool, bad bool) {
+	vals := c.Eval(state, inputs)
+	next = make([]bool, len(c.Latches))
+	for i, la := range c.Latches {
+		next[i] = litVal(vals, la.Next)
+	}
+	return next, litVal(vals, c.Bad)
+}
+
+// --- CNF encoding -------------------------------------------------------
+
+// Encoder maps circuit nodes of one time frame onto SAT variables and
+// emits Tseitin clauses for the AND gates.
+type Encoder struct {
+	c       *Circuit
+	nodeVar []int // node -> sat var (-1 unassigned)
+}
+
+// NewEncoder prepares an encoder for circuit c.
+func NewEncoder(c *Circuit) *Encoder {
+	return &Encoder{c: c}
+}
+
+// Frame allocates SAT variables for one time frame of the circuit in
+// solver s and emits the combinational clauses.  It returns the mapping
+// from node index to SAT variable.
+func (e *Encoder) Frame(s *sat.Solver) []int {
+	c := e.c
+	nv := make([]int, len(c.nodes))
+	for i := range nv {
+		nv[i] = s.NewVar()
+	}
+	// constant node fixed to false
+	s.AddClause(sat.MkLit(nv[0], false))
+	for i, nd := range c.nodes {
+		if nd.kind != kindAnd {
+			continue
+		}
+		z := sat.MkLit(nv[i], true)
+		a := e.satLit(nv, nd.a)
+		b := e.satLit(nv, nd.b)
+		// z <-> a & b
+		s.AddClause(z.Neg(), a)
+		s.AddClause(z.Neg(), b)
+		s.AddClause(z, a.Neg(), b.Neg())
+	}
+	return nv
+}
+
+func (e *Encoder) satLit(nv []int, l Lit) sat.Lit {
+	return sat.MkLit(nv[l.Node()], !l.Inverted())
+}
+
+// SatLit translates circuit literal l under the node-variable mapping nv.
+func (e *Encoder) SatLit(nv []int, l Lit) sat.Lit { return e.satLit(nv, l) }
+
+// --- circuit generators (used by tests, examples and benchmarks) --------
+
+// Counter builds an n-bit counter that increments each cycle; the bad
+// output asserts when the counter reaches the value target.  With
+// target < 2^n the circuit is unsafe at depth target; with target >= 2^n
+// (unreachable) it is safe.
+func Counter(n int, target uint64) *Circuit {
+	c := New()
+	bits := make([]Lit, n)
+	for i := range bits {
+		bits[i] = c.AddLatch(false)
+	}
+	// increment: next[i] = bits[i] XOR carry; carry' = bits[i] AND carry
+	carry := True
+	for i := 0; i < n; i++ {
+		c.SetNext(bits[i], c.Xor(bits[i], carry))
+		carry = c.And(bits[i], carry)
+	}
+	// bad when bits == target
+	bad := True
+	for i := 0; i < n; i++ {
+		if target>>uint(i)&1 == 1 {
+			bad = c.And(bad, bits[i])
+		} else {
+			bad = c.And(bad, bits[i].Not())
+		}
+	}
+	c.SetBad(bad)
+	return c
+}
+
+// SafeCounter builds an n-bit counter that wraps at 2^n but whose bad
+// state requires an extra phantom bit that never rises: always safe, with
+// a nontrivial inductive invariant.
+func SafeCounter(n int) *Circuit {
+	c := New()
+	bits := make([]Lit, n)
+	for i := range bits {
+		bits[i] = c.AddLatch(false)
+	}
+	carry := True
+	for i := 0; i < n; i++ {
+		c.SetNext(bits[i], c.Xor(bits[i], carry))
+		carry = c.And(bits[i], carry)
+	}
+	phantom := c.AddLatch(false)
+	// phantom stays low forever (next = phantom AND carry-out requires
+	// phantom already high)
+	c.SetNext(phantom, c.And(phantom, carry))
+	c.SetBad(phantom)
+	return c
+}
+
+// ShiftRegister builds an n-bit shift register seeded with a single one
+// that rotates; bad asserts if two adjacent bits are ever both one (never
+// happens: safe).  An input controls whether the register rotates or
+// holds.
+func ShiftRegister(n int) *Circuit {
+	c := New()
+	en := c.AddInput()
+	bits := make([]Lit, n)
+	for i := range bits {
+		bits[i] = c.AddLatch(i == 0)
+	}
+	for i := range bits {
+		prev := bits[(i+n-1)%n]
+		c.SetNext(bits[i], c.Mux(en, prev, bits[i]))
+	}
+	bad := False
+	for i := range bits {
+		bad = c.Or(bad, c.And(bits[i], bits[(i+1)%n]))
+	}
+	c.SetBad(bad)
+	return c
+}
+
+// TwistedCounter builds a Johnson (twisted-ring) counter of n bits; the
+// bad output asserts on the all-ones-except-first pattern reachable after
+// n steps (unsafe at depth n).
+func TwistedCounter(n int) *Circuit {
+	c := New()
+	bits := make([]Lit, n)
+	for i := range bits {
+		bits[i] = c.AddLatch(false)
+	}
+	for i := 1; i < n; i++ {
+		c.SetNext(bits[i], bits[i-1])
+	}
+	c.SetNext(bits[0], bits[n-1].Not())
+	bad := True
+	for i := range bits {
+		bad = c.And(bad, bits[i])
+	}
+	c.SetBad(bad)
+	return c
+}

@@ -1,0 +1,321 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"icpic3/internal/sat"
+)
+
+func TestLitOps(t *testing.T) {
+	l := MkLit(5)
+	if l.Node() != 5 || l.Inverted() {
+		t.Errorf("lit = %v", l)
+	}
+	n := l.Not()
+	if n.Node() != 5 || !n.Inverted() || n.Not() != l {
+		t.Errorf("not = %v", n)
+	}
+	if True != False.Not() {
+		t.Error("constants")
+	}
+}
+
+func TestAndFolding(t *testing.T) {
+	c := New()
+	a := c.AddInput()
+	b := c.AddInput()
+	if got := c.And(a, False); got != False {
+		t.Errorf("a & 0 = %v", got)
+	}
+	if got := c.And(a, True); got != a {
+		t.Errorf("a & 1 = %v", got)
+	}
+	if got := c.And(a, a); got != a {
+		t.Errorf("a & a = %v", got)
+	}
+	if got := c.And(a, a.Not()); got != False {
+		t.Errorf("a & !a = %v", got)
+	}
+	g1 := c.And(a, b)
+	g2 := c.And(b, a)
+	if g1 != g2 {
+		t.Error("structural hashing failed")
+	}
+}
+
+func TestEvalGates(t *testing.T) {
+	c := New()
+	a := c.AddInput()
+	b := c.AddInput()
+	and := c.And(a, b)
+	or := c.Or(a, b)
+	xor := c.Xor(a, b)
+	mux := c.Mux(a, b, b.Not())
+	for _, tc := range []struct{ av, bv bool }{{false, false}, {false, true}, {true, false}, {true, true}} {
+		vals := c.Eval(nil, []bool{tc.av, tc.bv})
+		if c.LitVal(vals, and) != (tc.av && tc.bv) {
+			t.Errorf("and(%v,%v)", tc.av, tc.bv)
+		}
+		if c.LitVal(vals, or) != (tc.av || tc.bv) {
+			t.Errorf("or(%v,%v)", tc.av, tc.bv)
+		}
+		if c.LitVal(vals, xor) != (tc.av != tc.bv) {
+			t.Errorf("xor(%v,%v)", tc.av, tc.bv)
+		}
+		want := tc.bv
+		if !tc.av {
+			want = !tc.bv
+		}
+		if c.LitVal(vals, mux) != want {
+			t.Errorf("mux(%v,%v)", tc.av, tc.bv)
+		}
+	}
+}
+
+func TestCounterSim(t *testing.T) {
+	c := Counter(4, 5)
+	st := c.InitState()
+	for step := 0; step < 20; step++ {
+		var bad bool
+		// value of counter = binary of state
+		v := uint64(0)
+		for i, b := range st {
+			if b {
+				v |= 1 << uint(i)
+			}
+		}
+		if v != uint64(step%16) {
+			t.Fatalf("step %d: counter = %d", step, v)
+		}
+		st, bad = c.Step(st, nil)
+		if bad != (v == 5) {
+			t.Errorf("step %d: bad = %v at value %d", step, bad, v)
+		}
+	}
+}
+
+func TestSafeCounterSim(t *testing.T) {
+	c := SafeCounter(4)
+	st := c.InitState()
+	for step := 0; step < 40; step++ {
+		var bad bool
+		st, bad = c.Step(st, nil)
+		if bad {
+			t.Fatalf("safe counter asserted bad at step %d", step)
+		}
+	}
+}
+
+func TestShiftRegisterSim(t *testing.T) {
+	c := ShiftRegister(5)
+	st := c.InitState()
+	ones := func(s []bool) int {
+		n := 0
+		for _, b := range s {
+			if b {
+				n++
+			}
+		}
+		return n
+	}
+	for step := 0; step < 20; step++ {
+		if ones(st) != 1 {
+			t.Fatalf("population changed at step %d: %v", step, st)
+		}
+		var bad bool
+		st, bad = c.Step(st, []bool{step%2 == 0})
+		if bad {
+			t.Fatalf("bad asserted at step %d", step)
+		}
+	}
+}
+
+func TestTwistedCounterSim(t *testing.T) {
+	n := 4
+	c := TwistedCounter(n)
+	st := c.InitState()
+	badAt := -1
+	for step := 0; step < 3*n; step++ {
+		var bad bool
+		st, bad = c.Step(st, nil)
+		if bad && badAt < 0 {
+			badAt = step
+		}
+	}
+	if badAt != n {
+		t.Errorf("twisted counter bad at step %d, want %d", badAt, n)
+	}
+}
+
+func TestSetNextError(t *testing.T) {
+	c := New()
+	in := c.AddInput()
+	if err := c.SetNext(in, True); err == nil {
+		t.Error("SetNext on non-latch should fail")
+	}
+	la := c.AddLatch(true)
+	if err := c.SetNext(la, in); err != nil {
+		t.Errorf("SetNext: %v", err)
+	}
+	if c.Latches[0].Next != in || !c.Latches[0].Init {
+		t.Error("latch not updated")
+	}
+}
+
+func TestNumAnds(t *testing.T) {
+	c := New()
+	a := c.AddInput()
+	b := c.AddInput()
+	c.And(a, b)
+	c.And(a, b) // hashed, no new node
+	c.Or(a, b)  // one new and
+	if got := c.NumAnds(); got != 2 {
+		t.Errorf("NumAnds = %d", got)
+	}
+}
+
+// TestQuickEncoderMatchesEval: the CNF encoding of a frame agrees with the
+// circuit simulator on random input/state assignments.
+func TestQuickEncoderMatchesEval(t *testing.T) {
+	circuits := map[string]*Circuit{
+		"counter": Counter(4, 9),
+		"safe":    SafeCounter(3),
+		"shift":   ShiftRegister(4),
+		"twisted": TwistedCounter(5),
+	}
+	for name, c := range circuits {
+		c := c
+		f := func(bitsRaw uint32) bool {
+			s := sat.New()
+			enc := NewEncoder(c)
+			nv := enc.Frame(s)
+			// random assignment of inputs and latches via assumptions
+			var assumps []sat.Lit
+			inputs := make([]bool, len(c.Inputs))
+			state := make([]bool, len(c.Latches))
+			k := uint(0)
+			for i, in := range c.Inputs {
+				inputs[i] = bitsRaw>>k&1 == 1
+				k++
+				assumps = append(assumps, sat.MkLit(nv[in.Node()], inputs[i]))
+			}
+			for i, la := range c.Latches {
+				state[i] = bitsRaw>>k&1 == 1
+				k++
+				assumps = append(assumps, sat.MkLit(nv[la.Lit.Node()], state[i]))
+			}
+			if st := s.Solve(assumps...); st != sat.Sat {
+				return false
+			}
+			vals := c.Eval(state, inputs)
+			// every node value must agree
+			for i := range c.nodes {
+				if s.Model(nv[i]) != vals[i] {
+					return false
+				}
+			}
+			// bad and next-state agreement
+			if s.ModelLit(enc.SatLit(nv, c.Bad)) != c.LitVal(vals, c.Bad) {
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%s: encoder mismatch: %v", name, err)
+		}
+	}
+}
+
+func TestTernaryBasics(t *testing.T) {
+	if TernF.String() != "0" || TernT.String() != "1" || TernX.String() != "x" {
+		t.Error("tern strings")
+	}
+	if FromBool(true) != TernT || FromBool(false) != TernF {
+		t.Error("FromBool")
+	}
+	c := New()
+	a := c.AddInput()
+	b := c.AddInput()
+	and := c.And(a, b)
+	// X & 0 = 0; X & 1 = X; X & X = X
+	cases := []struct {
+		av, bv, want Tern
+	}{
+		{TernX, TernF, TernF},
+		{TernF, TernX, TernF},
+		{TernX, TernT, TernX},
+		{TernX, TernX, TernX},
+		{TernT, TernT, TernT},
+	}
+	for _, tc := range cases {
+		vals := c.EvalTernary(nil, []Tern{tc.av, tc.bv})
+		if got := c.LitTern(vals, and); got != tc.want {
+			t.Errorf("%v & %v = %v, want %v", tc.av, tc.bv, got, tc.want)
+		}
+		// inverted literal
+		if got := c.LitTern(vals, and.Not()); got != ternNot(tc.want) {
+			t.Errorf("!( %v & %v ) = %v", tc.av, tc.bv, got)
+		}
+	}
+}
+
+// TestQuickTernaryAbstraction: ternary evaluation abstracts concrete
+// evaluation — whenever the ternary result is definite, every
+// concretization of the X entries agrees with it.
+func TestQuickTernaryAbstraction(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomAAGCircuit(r)
+		nL, nIn := len(c.Latches), len(c.Inputs)
+		// random ternary assignment
+		st := make([]Tern, nL)
+		for i := range st {
+			st[i] = Tern(r.Intn(3))
+		}
+		ins := make([]Tern, nIn)
+		for i := range ins {
+			ins[i] = Tern(r.Intn(3))
+		}
+		tvals := c.EvalTernary(st, ins)
+		// try several concretizations
+		for trial := 0; trial < 8; trial++ {
+			cst := make([]bool, nL)
+			for i := range cst {
+				switch st[i] {
+				case TernT:
+					cst[i] = true
+				case TernX:
+					cst[i] = r.Intn(2) == 0
+				}
+			}
+			cins := make([]bool, nIn)
+			for i := range cins {
+				switch ins[i] {
+				case TernT:
+					cins[i] = true
+				case TernX:
+					cins[i] = r.Intn(2) == 0
+				}
+			}
+			bvals := c.Eval(cst, cins)
+			for n := range bvals {
+				switch tvals[n] {
+				case TernT:
+					if !bvals[n] {
+						return false
+					}
+				case TernF:
+					if bvals[n] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Errorf("ternary abstraction: %v", err)
+	}
+}

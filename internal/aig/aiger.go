@@ -1,0 +1,236 @@
+package aig
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadAAG parses a circuit in the ASCII AIGER format (aag).  The header is
+//
+//	aag M I L O A [B]
+//
+// followed by I input literals, L latch lines ("lit next [init]"),
+// O output literals, optionally B bad-state literals, and A and-gate
+// lines ("lhs rhs0 rhs1").  Literal encoding is the AIGER standard (and
+// identical to this package's): variable*2, +1 for negation, 0 = false.
+//
+// The model-checking target is the first bad-state literal when a B
+// section is present, otherwise the first output.  And-gate definitions
+// must be in topological order (lhs greater than both fanins), which all
+// standard AIGER producers emit.
+func ReadAAG(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	line, err := nextLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("aig: missing header: %w", err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 6 || fields[0] != "aag" {
+		return nil, fmt.Errorf("aig: bad header %q", line)
+	}
+	nums := make([]int, 0, len(fields)-1)
+	for _, f := range fields[1:] {
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("aig: bad header field %q", f)
+		}
+		nums = append(nums, n)
+	}
+	m, ni, nl, no, na := nums[0], nums[1], nums[2], nums[3], nums[4]
+	nb := 0
+	if len(nums) > 5 {
+		nb = nums[5]
+	}
+	if ni+nl+na > m {
+		return nil, fmt.Errorf("aig: header M=%d smaller than I+L+A=%d", m, ni+nl+na)
+	}
+
+	c := New()
+	c.nodes = make([]node, m+1)
+	c.nodes[0] = node{kind: kindConst}
+
+	parseLit := func(s string) (Lit, error) {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 || n/2 > m {
+			return 0, fmt.Errorf("aig: bad literal %q", s)
+		}
+		return Lit(n), nil
+	}
+
+	// inputs
+	for i := 0; i < ni; i++ {
+		line, err := nextLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("aig: input %d: %w", i, err)
+		}
+		l, err := parseLit(strings.TrimSpace(line))
+		if err != nil {
+			return nil, err
+		}
+		if l.Inverted() || l.Node() == 0 {
+			return nil, fmt.Errorf("aig: input literal %v must be positive", l)
+		}
+		c.nodes[l.Node()] = node{kind: kindInput}
+		c.Inputs = append(c.Inputs, l)
+	}
+	// latches
+	for i := 0; i < nl; i++ {
+		line, err := nextLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("aig: latch %d: %w", i, err)
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 2 && len(parts) != 3 {
+			return nil, fmt.Errorf("aig: latch line %q", line)
+		}
+		l, err := parseLit(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		if l.Inverted() || l.Node() == 0 {
+			return nil, fmt.Errorf("aig: latch literal %v must be positive", l)
+		}
+		next, err := parseLit(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		init := false
+		if len(parts) == 3 {
+			switch parts[2] {
+			case "0":
+			case "1":
+				init = true
+			default:
+				return nil, fmt.Errorf("aig: latch init %q (x-init unsupported)", parts[2])
+			}
+		}
+		c.nodes[l.Node()] = node{kind: kindLatch}
+		c.Latches = append(c.Latches, Latch{Lit: l, Next: next, Init: init})
+	}
+	// outputs
+	outputs := make([]Lit, 0, no)
+	for i := 0; i < no; i++ {
+		line, err := nextLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("aig: output %d: %w", i, err)
+		}
+		l, err := parseLit(strings.TrimSpace(line))
+		if err != nil {
+			return nil, err
+		}
+		outputs = append(outputs, l)
+	}
+	// bad states (AIGER 1.9)
+	bads := make([]Lit, 0, nb)
+	for i := 0; i < nb; i++ {
+		line, err := nextLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("aig: bad %d: %w", i, err)
+		}
+		l, err := parseLit(strings.TrimSpace(line))
+		if err != nil {
+			return nil, err
+		}
+		bads = append(bads, l)
+	}
+	// and gates
+	for i := 0; i < na; i++ {
+		line, err := nextLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("aig: and %d: %w", i, err)
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("aig: and line %q", line)
+		}
+		lhs, err := parseLit(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		a, err := parseLit(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		b, err := parseLit(parts[2])
+		if err != nil {
+			return nil, err
+		}
+		if lhs.Inverted() || lhs.Node() == 0 {
+			return nil, fmt.Errorf("aig: and lhs %v must be positive", lhs)
+		}
+		if a.Node() >= lhs.Node() || b.Node() >= lhs.Node() {
+			return nil, fmt.Errorf("aig: and gate %v not in topological order", lhs)
+		}
+		c.nodes[lhs.Node()] = node{kind: kindAnd, a: a, b: b}
+	}
+	// every node must have been defined
+	for i, nd := range c.nodes {
+		if i > 0 && nd.kind == kindConst {
+			return nil, fmt.Errorf("aig: variable %d undefined", i)
+		}
+	}
+	// latch next-state and output references must be defined (they are by
+	// the completeness check above)
+	switch {
+	case nb > 0:
+		c.Bad = bads[0]
+	case no > 0:
+		c.Bad = outputs[0]
+	default:
+		c.Bad = False
+	}
+	return c, nil
+}
+
+// nextLine returns the next non-empty, non-comment line.
+func nextLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "c" {
+			// comment section: rest of file is commentary
+			return "", io.EOF
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.EOF
+}
+
+// WriteAAG serializes the circuit in ASCII AIGER format with a bad-state
+// section (aag ... B=1) holding the circuit's Bad literal.
+//
+// The circuit's nodes are emitted in their construction order, which is
+// topological by construction of the builder API.
+func (c *Circuit) WriteAAG(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	m := len(c.nodes) - 1
+	na := c.NumAnds()
+	fmt.Fprintf(bw, "aag %d %d %d 0 %d 1\n", m, len(c.Inputs), len(c.Latches), na)
+	for _, in := range c.Inputs {
+		fmt.Fprintf(bw, "%d\n", uint32(in))
+	}
+	for _, la := range c.Latches {
+		init := 0
+		if la.Init {
+			init = 1
+		}
+		fmt.Fprintf(bw, "%d %d %d\n", uint32(la.Lit), uint32(la.Next), init)
+	}
+	fmt.Fprintf(bw, "%d\n", uint32(c.Bad))
+	for i, nd := range c.nodes {
+		if nd.kind != kindAnd {
+			continue
+		}
+		fmt.Fprintf(bw, "%d %d %d\n", uint32(MkLit(i)), uint32(nd.a), uint32(nd.b))
+	}
+	return bw.Flush()
+}

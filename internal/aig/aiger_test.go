@@ -1,0 +1,198 @@
+package aig
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"math/rand"
+)
+
+func roundTrip(t *testing.T, c *Circuit) *Circuit {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.WriteAAG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ReadAAG(&buf)
+	if err != nil {
+		t.Fatalf("ReadAAG: %v\n%s", err, buf.String())
+	}
+	return c2
+}
+
+func TestAAGRoundTripCounter(t *testing.T) {
+	c := Counter(4, 9)
+	c2 := roundTrip(t, c)
+	if len(c2.Inputs) != len(c.Inputs) || len(c2.Latches) != len(c.Latches) {
+		t.Fatal("shape mismatch")
+	}
+	// behaviour must match step by step
+	st1, st2 := c.InitState(), c2.InitState()
+	for step := 0; step < 20; step++ {
+		var b1, b2 bool
+		st1, b1 = c.Step(st1, nil)
+		st2, b2 = c2.Step(st2, nil)
+		if b1 != b2 {
+			t.Fatalf("bad mismatch at step %d", step)
+		}
+		for i := range st1 {
+			if st1[i] != st2[i] {
+				t.Fatalf("state mismatch at step %d", step)
+			}
+		}
+	}
+}
+
+func TestAAGRoundTripWithInputs(t *testing.T) {
+	c := ShiftRegister(5)
+	c2 := roundTrip(t, c)
+	r := rand.New(rand.NewSource(7))
+	st1, st2 := c.InitState(), c2.InitState()
+	for step := 0; step < 30; step++ {
+		in := []bool{r.Intn(2) == 0}
+		var b1, b2 bool
+		st1, b1 = c.Step(st1, in)
+		st2, b2 = c2.Step(st2, in)
+		if b1 != b2 {
+			t.Fatalf("bad mismatch at step %d", step)
+		}
+	}
+}
+
+func TestReadAAGLiteral(t *testing.T) {
+	// hand-written file: one input, one latch toggling via an and-gate
+	src := `aag 3 1 1 1 1
+2
+4 7 1
+6
+6 2 4
+c
+a comment
+`
+	c, err := ReadAAG(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Inputs) != 1 || len(c.Latches) != 1 {
+		t.Fatalf("shape: %d inputs %d latches", len(c.Inputs), len(c.Latches))
+	}
+	if !c.Latches[0].Init {
+		t.Error("latch init should be 1")
+	}
+	// output section target: bad = literal 6 = and(input, latch)
+	st := c.InitState() // latch = 1
+	vals := c.Eval(st, []bool{true})
+	if !c.LitVal(vals, c.Bad) {
+		t.Error("bad should hold with input=1, latch=1")
+	}
+	vals = c.Eval(st, []bool{false})
+	if c.LitVal(vals, c.Bad) {
+		t.Error("bad should not hold with input=0")
+	}
+}
+
+func TestReadAAGBadSection(t *testing.T) {
+	// B section takes precedence over outputs
+	src := `aag 1 1 0 1 0 1
+2
+3
+2
+`
+	c, err := ReadAAG(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Bad != MkLit(1) {
+		t.Errorf("bad = %v, want input literal", c.Bad)
+	}
+}
+
+func TestReadAAGErrors(t *testing.T) {
+	bad := []string{
+		"",                             // no header
+		"aig 1 1 0 0 0",                // binary format marker
+		"aag x 1 0 0 0",                // bad number
+		"aag 1 2 0 0 0\n2\n4\n",        // I+L+A > M
+		"aag 1 1 0 0 0\n3\n",           // negated input
+		"aag 2 1 1 0 0\n2\n4 q\n",      // bad latch next
+		"aag 2 1 1 0 0\n2\n4 2 x\n",    // bad init
+		"aag 2 1 0 1 1\n2\n4\n4 6 2\n", // fanin out of range
+		"aag 2 1 0 1 1\n2\n4\n4 4 2\n", // non-topological
+		"aag 2 1 0 1 0\n2\n4\n",        // undefined variable 2
+		"aag 1 1 0 0 0",                // missing input line
+	}
+	for _, src := range bad {
+		if _, err := ReadAAG(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadAAG(%q) should fail", src)
+		}
+	}
+}
+
+// TestQuickAAGRoundTripRandom: write/read/compare random circuits.
+func TestQuickAAGRoundTripRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomAAGCircuit(r)
+		var buf bytes.Buffer
+		if err := c.WriteAAG(&buf); err != nil {
+			return false
+		}
+		c2, err := ReadAAG(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		// compare behaviour on random stimulus
+		st1, st2 := c.InitState(), c2.InitState()
+		for step := 0; step < 16; step++ {
+			ins := make([]bool, len(c.Inputs))
+			for i := range ins {
+				ins[i] = r.Intn(2) == 0
+			}
+			var b1, b2 bool
+			st1, b1 = c.Step(st1, ins)
+			st2, b2 = c2.Step(st2, ins)
+			if b1 != b2 {
+				return false
+			}
+			for i := range st1 {
+				if st1[i] != st2[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Errorf("aag round trip: %v", err)
+	}
+}
+
+func randomAAGCircuit(r *rand.Rand) *Circuit {
+	c := New()
+	pool := []Lit{True}
+	for i := 0; i < 1+r.Intn(3); i++ {
+		pool = append(pool, c.AddInput())
+	}
+	latches := make([]Lit, 1+r.Intn(4))
+	for i := range latches {
+		latches[i] = c.AddLatch(r.Intn(2) == 0)
+		pool = append(pool, latches[i])
+	}
+	pick := func() Lit {
+		l := pool[r.Intn(len(pool))]
+		if r.Intn(2) == 0 {
+			l = l.Not()
+		}
+		return l
+	}
+	for i := 0; i < r.Intn(12); i++ {
+		pool = append(pool, c.And(pick(), pick()))
+	}
+	for _, la := range latches {
+		c.SetNext(la, pick())
+	}
+	c.SetBad(pick())
+	return c
+}

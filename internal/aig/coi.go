@@ -1,0 +1,163 @@
+package aig
+
+// COIResult describes a cone-of-influence reduction.
+type COIResult struct {
+	// Circuit is the reduced circuit.
+	Circuit *Circuit
+	// LatchMap maps reduced latch indices to original latch indices.
+	LatchMap []int
+	// InputMap maps reduced input indices to original input indices.
+	InputMap []int
+	// Reduced reports whether anything was removed.
+	Reduced bool
+}
+
+// ReduceCOI computes the cone of influence of the bad output: latches are
+// kept only if they (transitively, through next-state functions) can
+// affect Bad.  The reduced circuit is behaviourally equivalent with
+// respect to the bad output; model-checking verdicts transfer directly,
+// and counterexample input vectors expand by filling the dropped inputs
+// arbitrarily.
+func (c *Circuit) ReduceCOI() COIResult {
+	// latchOf maps node index -> latch position (-1 otherwise)
+	latchOf := make([]int, len(c.nodes))
+	inputOf := make([]int, len(c.nodes))
+	for i := range latchOf {
+		latchOf[i] = -1
+		inputOf[i] = -1
+	}
+	for i, la := range c.Latches {
+		latchOf[la.Lit.Node()] = i
+	}
+	for i, in := range c.Inputs {
+		inputOf[in.Node()] = i
+	}
+
+	// support: latches appearing in the combinational cone of a literal
+	latchSupport := func(l Lit, mark []bool) {
+		var dfs func(n int)
+		seen := make([]bool, len(c.nodes))
+		dfs = func(n int) {
+			if seen[n] {
+				return
+			}
+			seen[n] = true
+			nd := c.nodes[n]
+			switch nd.kind {
+			case kindLatch:
+				mark[latchOf[n]] = true
+			case kindAnd:
+				dfs(nd.a.Node())
+				dfs(nd.b.Node())
+			}
+		}
+		dfs(l.Node())
+	}
+
+	relevant := make([]bool, len(c.Latches))
+	latchSupport(c.Bad, relevant)
+	for {
+		changed := false
+		for i, la := range c.Latches {
+			if !relevant[i] {
+				continue
+			}
+			before := append([]bool{}, relevant...)
+			latchSupport(la.Next, relevant)
+			for j := range relevant {
+				if relevant[j] && !before[j] {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	keepCount := 0
+	for _, r := range relevant {
+		if r {
+			keepCount++
+		}
+	}
+	if keepCount == len(c.Latches) {
+		// still recompute input usage? keep everything: no reduction
+		return COIResult{Circuit: c, LatchMap: identity(len(c.Latches)),
+			InputMap: identity(len(c.Inputs)), Reduced: false}
+	}
+
+	// mark every node needed: bad cone + next cones of relevant latches
+	needed := make([]bool, len(c.nodes))
+	var markCone func(l Lit)
+	markCone = func(l Lit) {
+		n := l.Node()
+		if needed[n] {
+			return
+		}
+		needed[n] = true
+		nd := c.nodes[n]
+		if nd.kind == kindAnd {
+			markCone(nd.a)
+			markCone(nd.b)
+		}
+	}
+	markCone(c.Bad)
+	for i, la := range c.Latches {
+		if relevant[i] {
+			markCone(la.Next)
+			needed[la.Lit.Node()] = true
+		}
+	}
+
+	// rebuild in original (topological) order
+	out := New()
+	remap := make([]Lit, len(c.nodes))
+	var latchMap, inputMap []int
+	for i, nd := range c.nodes {
+		if i == 0 || !needed[i] {
+			continue
+		}
+		switch nd.kind {
+		case kindInput:
+			remap[i] = out.AddInput()
+			inputMap = append(inputMap, inputOf[i])
+		case kindLatch:
+			li := latchOf[i]
+			remap[i] = out.AddLatch(c.Latches[li].Init)
+			latchMap = append(latchMap, li)
+		case kindAnd:
+			remap[i] = out.And(mapLit(remap, nd.a), mapLit(remap, nd.b))
+		}
+	}
+	// wire next-state functions
+	newIdx := 0
+	for i, la := range c.Latches {
+		if !relevant[i] {
+			continue
+		}
+		out.SetNext(remap[la.Lit.Node()], mapLit(remap, la.Next))
+		newIdx++
+	}
+	out.SetBad(mapLit(remap, c.Bad))
+	return COIResult{Circuit: out, LatchMap: latchMap, InputMap: inputMap, Reduced: true}
+}
+
+func mapLit(remap []Lit, l Lit) Lit {
+	if l.Node() == 0 {
+		return l // constants map to themselves
+	}
+	m := remap[l.Node()]
+	if l.Inverted() {
+		return m.Not()
+	}
+	return m
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

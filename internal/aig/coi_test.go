@@ -1,0 +1,107 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCOIKeepsEverythingWhenRelevant(t *testing.T) {
+	c := Counter(4, 9)
+	res := c.ReduceCOI()
+	if res.Reduced {
+		t.Error("counter latches all feed bad; nothing should be removed")
+	}
+	if len(res.LatchMap) != 4 {
+		t.Errorf("latch map = %v", res.LatchMap)
+	}
+}
+
+func TestCOIDropsIrrelevantLatches(t *testing.T) {
+	c := New()
+	in := c.AddInput()
+	relevant := c.AddLatch(false)
+	junk1 := c.AddLatch(true) // free-running, never read by bad
+	junk2 := c.AddLatch(false)
+	c.SetNext(relevant, c.Or(relevant, in))
+	c.SetNext(junk1, junk1.Not())
+	c.SetNext(junk2, c.And(junk1, in))
+	c.SetBad(relevant)
+
+	res := c.ReduceCOI()
+	if !res.Reduced {
+		t.Fatal("expected reduction")
+	}
+	if len(res.Circuit.Latches) != 1 {
+		t.Fatalf("reduced latches = %d", len(res.Circuit.Latches))
+	}
+	if res.LatchMap[0] != 0 {
+		t.Errorf("latch map = %v", res.LatchMap)
+	}
+	// behaviour preserved on the bad output
+	st, rst := c.InitState(), res.Circuit.InitState()
+	r := rand.New(rand.NewSource(3))
+	for step := 0; step < 20; step++ {
+		iv := r.Intn(2) == 0
+		var b1, b2 bool
+		st, b1 = c.Step(st, []bool{iv})
+		rst, b2 = res.Circuit.Step(rst, []bool{iv})
+		if b1 != b2 {
+			t.Fatalf("bad mismatch at step %d", step)
+		}
+	}
+}
+
+func TestCOIChainDependency(t *testing.T) {
+	// a -> b -> bad: both latches must stay even though bad reads only b
+	c := New()
+	a := c.AddLatch(true)
+	b := c.AddLatch(false)
+	junk := c.AddLatch(true)
+	c.SetNext(a, a)
+	c.SetNext(b, a)
+	c.SetNext(junk, b) // reads b but feeds nothing relevant
+	c.SetBad(b)
+	res := c.ReduceCOI()
+	if !res.Reduced || len(res.Circuit.Latches) != 2 {
+		t.Fatalf("reduced latches = %d, want 2", len(res.Circuit.Latches))
+	}
+}
+
+// TestQuickCOIBehaviour: the reduced circuit's bad output agrees with the
+// original under shared inputs for random circuits and stimuli.
+func TestQuickCOIBehaviour(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomAAGCircuit(r)
+		res := c.ReduceCOI()
+		st := c.InitState()
+		rst := res.Circuit.InitState()
+		for step := 0; step < 16; step++ {
+			ins := make([]bool, len(c.Inputs))
+			for i := range ins {
+				ins[i] = r.Intn(2) == 0
+			}
+			rins := make([]bool, len(res.Circuit.Inputs))
+			for i, oi := range res.InputMap {
+				rins[i] = ins[oi]
+			}
+			var b1, b2 bool
+			st, b1 = c.Step(st, ins)
+			rst, b2 = res.Circuit.Step(rst, rins)
+			if b1 != b2 {
+				return false
+			}
+			// kept latches agree with their originals
+			for i, oi := range res.LatchMap {
+				if rst[i] != st[oi] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Errorf("COI behaviour: %v", err)
+	}
+}

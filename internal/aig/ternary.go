@@ -1,0 +1,85 @@
+package aig
+
+// Tern is a three-valued logic value: false, true or unknown (X).
+type Tern uint8
+
+// Ternary logic values.
+const (
+	// TernF is definitely false.
+	TernF Tern = iota
+	// TernT is definitely true.
+	TernT
+	// TernX is unknown.
+	TernX
+)
+
+func (t Tern) String() string {
+	switch t {
+	case TernF:
+		return "0"
+	case TernT:
+		return "1"
+	}
+	return "x"
+}
+
+// FromBool lifts a Boolean into ternary logic.
+func FromBool(b bool) Tern {
+	if b {
+		return TernT
+	}
+	return TernF
+}
+
+func ternNot(t Tern) Tern {
+	switch t {
+	case TernF:
+		return TernT
+	case TernT:
+		return TernF
+	}
+	return TernX
+}
+
+func ternAnd(a, b Tern) Tern {
+	if a == TernF || b == TernF {
+		return TernF
+	}
+	if a == TernT && b == TernT {
+		return TernT
+	}
+	return TernX
+}
+
+// EvalTernary computes all node values in three-valued logic for the given
+// latch state and inputs (X entries propagate as unknowns).
+func (c *Circuit) EvalTernary(state []Tern, inputs []Tern) []Tern {
+	vals := make([]Tern, len(c.nodes))
+	inIdx, laIdx := 0, 0
+	for i, nd := range c.nodes {
+		switch nd.kind {
+		case kindConst:
+			vals[i] = TernF
+		case kindInput:
+			vals[i] = inputs[inIdx]
+			inIdx++
+		case kindLatch:
+			vals[i] = state[laIdx]
+			laIdx++
+		case kindAnd:
+			vals[i] = ternAnd(c.litTern(vals, nd.a), c.litTern(vals, nd.b))
+		}
+	}
+	return vals
+}
+
+func (c *Circuit) litTern(vals []Tern, l Lit) Tern {
+	v := vals[l.Node()]
+	if l.Inverted() {
+		return ternNot(v)
+	}
+	return v
+}
+
+// LitTern reads literal l from a ternary value table.
+func (c *Circuit) LitTern(vals []Tern, l Lit) Tern { return c.litTern(vals, l) }

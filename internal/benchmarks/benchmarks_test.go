@@ -1,0 +1,96 @@
+package benchmarks
+
+import (
+	"testing"
+	"time"
+
+	"icpic3/internal/bmc"
+	"icpic3/internal/engine"
+	"icpic3/internal/ic3bool"
+)
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite(3)
+	// 7 families x 2 polarities x 3 instances
+	if len(suite) != 42 {
+		t.Fatalf("suite size = %d", len(suite))
+	}
+	seen := map[string]int{}
+	names := map[string]bool{}
+	for _, in := range suite {
+		seen[in.Family]++
+		if names[in.Name] {
+			t.Errorf("duplicate name %s", in.Name)
+		}
+		names[in.Name] = true
+		if err := in.Sys.Validate(); err != nil {
+			t.Errorf("%s: %v", in.Name, err)
+		}
+	}
+	for _, f := range Families() {
+		if seen[f] != 6 {
+			t.Errorf("family %s has %d instances", f, seen[f])
+		}
+	}
+	if len(Suite(0)) != len(Suite(3)) {
+		t.Error("default size should be 3")
+	}
+}
+
+// TestUnsafeGroundTruth: every unsafe instance has a concrete
+// counterexample that BMC finds and validates.
+func TestUnsafeGroundTruth(t *testing.T) {
+	for _, in := range Suite(2) {
+		if in.Expected != engine.Unsafe {
+			continue
+		}
+		in := in
+		t.Run(in.Name, func(t *testing.T) {
+			res := bmc.Check(in.Sys, bmc.Options{
+				MaxDepth: 64,
+				Budget:   engine.Budget{Timeout: 30 * time.Second},
+			})
+			if res.Verdict != engine.Unsafe {
+				t.Fatalf("BMC verdict = %v (%s)", res.Verdict, res.Note)
+			}
+			if err := in.Sys.ValidateTrace(res.Trace, 1e-2); err != nil {
+				t.Errorf("trace: %v", err)
+			}
+		})
+	}
+}
+
+// TestSafeGroundTruthSanity: no safe instance has a shallow counterexample.
+func TestSafeGroundTruthSanity(t *testing.T) {
+	for _, in := range Suite(2) {
+		if in.Expected != engine.Safe {
+			continue
+		}
+		in := in
+		t.Run(in.Name, func(t *testing.T) {
+			res := bmc.Check(in.Sys, bmc.Options{
+				MaxDepth: 20,
+				Budget:   engine.Budget{Timeout: 30 * time.Second},
+			})
+			if res.Verdict == engine.Unsafe {
+				t.Fatalf("safe instance has counterexample at depth %d", res.Depth)
+			}
+		})
+	}
+}
+
+func TestCircuitGroundTruth(t *testing.T) {
+	for _, ci := range Circuits() {
+		ci := ci
+		t.Run(ci.Name, func(t *testing.T) {
+			res := ic3bool.Check(ci.Circuit, ic3bool.Options{})
+			want := ic3bool.Safe
+			if ci.Expected == engine.Unsafe {
+				want = ic3bool.Unsafe
+			}
+			if res.Verdict != want {
+				t.Fatalf("verdict = %v, want %v", res.Verdict, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,81 @@
+// Package engine defines the common result types and budgets shared by
+// the verification engines (bmc, kind, ic3icp) and the experiment harness.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"icpic3/internal/ts"
+)
+
+// Verdict is the outcome of a verification run.
+type Verdict int
+
+const (
+	// Safe: the property holds in all reachable states (proved).
+	Safe Verdict = iota
+	// Unsafe: a validated counterexample trace was found.
+	Unsafe
+	// Unknown: undecided within the resource budget, or a candidate
+	// counterexample failed validation (ε-spurious).
+	Unknown
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Safe:
+		return "safe"
+	case Unsafe:
+		return "unsafe"
+	}
+	return "unknown"
+}
+
+// Result is the uniform outcome record of every engine.
+type Result struct {
+	Verdict Verdict
+	// Trace is the validated counterexample (Unsafe), initial state first.
+	Trace []ts.State
+	// Depth is engine-specific: counterexample length - 1 for Unsafe,
+	// frames/induction depth for Safe, bound reached for Unknown.
+	Depth int
+	// Runtime is the wall-clock time of the run.
+	Runtime time.Duration
+	// Note carries diagnostic detail (e.g. "candidate failed validation").
+	Note string
+	// Stats carries engine-specific counters.
+	Stats map[string]int64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s (depth %d, %v)", r.Verdict, r.Depth, r.Runtime.Round(time.Millisecond))
+}
+
+// Budget bounds a verification run.  The zero value means "effectively
+// unbounded" (engines still apply their own structural bounds).
+type Budget struct {
+	// Timeout bounds wall-clock time (0 = none).
+	Timeout time.Duration
+	// start is stamped by Start.
+	start time.Time
+}
+
+// Start stamps the budget's clock and returns it.
+func (b Budget) Start() Budget {
+	b.start = time.Now()
+	return b
+}
+
+// Expired reports whether the budget's timeout has elapsed.
+func (b Budget) Expired() bool {
+	return b.Timeout > 0 && !b.start.IsZero() && time.Since(b.start) > b.Timeout
+}
+
+// Elapsed returns the time since Start.
+func (b Budget) Elapsed() time.Duration {
+	if b.start.IsZero() {
+		return 0
+	}
+	return time.Since(b.start)
+}

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"icpic3/internal/ts"
+)
+
+// Witness is a machine-readable verification certificate: the verdict
+// together with its evidence (a counterexample trace for Unsafe, an
+// invariant description for Safe).
+type Witness struct {
+	System  string               `json:"system"`
+	Verdict string               `json:"verdict"`
+	Depth   int                  `json:"depth"`
+	Runtime float64              `json:"runtime_seconds"`
+	Note    string               `json:"note,omitempty"`
+	Trace   []map[string]float64 `json:"trace,omitempty"`
+	// Invariant holds human-readable blocked-cube strings for Safe
+	// verdicts produced by IC3 (empty for other engines).
+	Invariant []string         `json:"invariant,omitempty"`
+	Stats     map[string]int64 `json:"stats,omitempty"`
+}
+
+// NewWitness assembles a witness from a result.  invariant may be nil.
+func NewWitness(systemName string, res Result, invariant []string) Witness {
+	w := Witness{
+		System:    systemName,
+		Verdict:   res.Verdict.String(),
+		Depth:     res.Depth,
+		Runtime:   res.Runtime.Seconds(),
+		Note:      res.Note,
+		Invariant: invariant,
+		Stats:     res.Stats,
+	}
+	for _, st := range res.Trace {
+		m := make(map[string]float64, len(st))
+		for k, v := range st {
+			m[k] = v
+		}
+		w.Trace = append(w.Trace, m)
+	}
+	return w
+}
+
+// WriteJSON serializes the witness with stable formatting.
+func (w Witness) WriteJSON(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(w)
+}
+
+// ReadWitness parses a witness previously written with WriteJSON.
+func ReadWitness(in io.Reader) (Witness, error) {
+	var w Witness
+	if err := json.NewDecoder(in).Decode(&w); err != nil {
+		return Witness{}, fmt.Errorf("engine: witness decode: %w", err)
+	}
+	return w, nil
+}
+
+// ReplayTrace converts the witness trace back into engine states and
+// validates it against the system; it errors when the witness carries no
+// trace or the trace does not replay.
+func (w Witness) ReplayTrace(sys *ts.System, tol float64) error {
+	if len(w.Trace) == 0 {
+		return fmt.Errorf("engine: witness has no trace")
+	}
+	trace := make([]ts.State, len(w.Trace))
+	for i, m := range w.Trace {
+		st := ts.State{}
+		for k, v := range m {
+			st[k] = v
+		}
+		trace[i] = st
+	}
+	return sys.ValidateTrace(trace, tol)
+}
+
+// Summary renders a one-line human-readable digest.
+func (w Witness) Summary() string {
+	s := fmt.Sprintf("%s: %s (depth %d, %s)", w.System, w.Verdict, w.Depth,
+		time.Duration(w.Runtime*float64(time.Second)).Round(time.Millisecond))
+	if len(w.Trace) > 0 {
+		s += fmt.Sprintf(", trace length %d", len(w.Trace))
+	}
+	if len(w.Invariant) > 0 {
+		s += fmt.Sprintf(", %d invariant cubes", len(w.Invariant))
+	}
+	return s
+}
+
+// SortedStatKeys returns the witness stat keys in deterministic order.
+func (w Witness) SortedStatKeys() []string {
+	keys := make([]string, 0, len(w.Stats))
+	for k := range w.Stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"icpic3/internal/ts"
+)
+
+func witnessSystem(t *testing.T) *ts.System {
+	t.Helper()
+	sys, err := ts.Parse(`
+system wtest
+var x : real [0, 100]
+init x <= 0
+trans x' = x + 1
+prop x <= 5
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func cexResult() Result {
+	var trace []ts.State
+	for i := 0; i <= 6; i++ {
+		trace = append(trace, ts.State{"x": float64(i)})
+	}
+	return Result{
+		Verdict: Unsafe, Trace: trace, Depth: 6,
+		Runtime: 42 * time.Millisecond,
+		Stats:   map[string]int64{"queries": 7},
+	}
+}
+
+func TestWitnessRoundTrip(t *testing.T) {
+	w := NewWitness("wtest", cexResult(), nil)
+	var buf bytes.Buffer
+	if err := w.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := ReadWitness(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.System != "wtest" || w2.Verdict != "unsafe" || w2.Depth != 6 {
+		t.Errorf("round trip: %+v", w2)
+	}
+	if len(w2.Trace) != 7 || w2.Trace[3]["x"] != 3 {
+		t.Errorf("trace: %v", w2.Trace)
+	}
+	if w2.Stats["queries"] != 7 {
+		t.Errorf("stats: %v", w2.Stats)
+	}
+}
+
+func TestWitnessReplay(t *testing.T) {
+	sys := witnessSystem(t)
+	w := NewWitness("wtest", cexResult(), nil)
+	if err := w.ReplayTrace(sys, 1e-9); err != nil {
+		t.Errorf("replay: %v", err)
+	}
+	// corrupt the trace: replay must fail
+	w.Trace[3]["x"] = 99
+	if err := w.ReplayTrace(sys, 1e-9); err == nil {
+		t.Error("corrupted trace replayed")
+	}
+	// no trace
+	w2 := NewWitness("wtest", Result{Verdict: Safe}, []string{"x>6"})
+	if err := w2.ReplayTrace(sys, 1e-9); err == nil {
+		t.Error("traceless witness replayed")
+	}
+}
+
+func TestWitnessSummary(t *testing.T) {
+	w := NewWitness("wtest", cexResult(), nil)
+	s := w.Summary()
+	if !strings.Contains(s, "unsafe") || !strings.Contains(s, "trace length 7") {
+		t.Errorf("summary = %q", s)
+	}
+	w2 := NewWitness("wtest", Result{Verdict: Safe, Depth: 2}, []string{"x>6", "y>0"})
+	if !strings.Contains(w2.Summary(), "2 invariant cubes") {
+		t.Errorf("summary = %q", w2.Summary())
+	}
+}
+
+func TestWitnessReadErrors(t *testing.T) {
+	if _, err := ReadWitness(strings.NewReader("{nonsense")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestSortedStatKeys(t *testing.T) {
+	w := Witness{Stats: map[string]int64{"b": 1, "a": 2, "c": 3}}
+	keys := w.SortedStatKeys()
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Errorf("keys = %v", keys)
+	}
+}

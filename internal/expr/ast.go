@@ -1,0 +1,693 @@
+// Package expr provides the expression language used to describe
+// transition systems: arithmetic over reals/integers/Booleans, comparisons,
+// and Boolean structure.  Expressions are parsed from a small textual
+// syntax, type-checked against a variable environment, evaluated concretely
+// (for counterexample validation and simulation), and compiled to ternary
+// normal form by package tnf.
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Kind is the type of an expression or variable.
+type Kind int
+
+const (
+	// KindReal is a real-valued (floating point) quantity.
+	KindReal Kind = iota
+	// KindInt is an integer-valued quantity.
+	KindInt
+	// KindBool is a Boolean.
+	KindBool
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindReal:
+		return "real"
+	case KindInt:
+		return "int"
+	case KindBool:
+		return "bool"
+	}
+	return "?"
+}
+
+// Op enumerates the expression node operators.
+type Op int
+
+const (
+	// leaves
+	OpConst Op = iota // numeric or boolean constant
+	OpVar             // variable reference
+
+	// arithmetic
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpNeg
+	OpPow // integer exponent (stored in N)
+	OpMin
+	OpMax
+	OpAbs
+	OpSqrt
+	OpExp
+	OpLog
+	OpSin
+	OpCos
+	OpTan
+	OpAtan
+	OpTanh
+
+	// comparisons (real/int args, bool result)
+	OpLe
+	OpLt
+	OpGe
+	OpGt
+	OpEq
+	OpNeq
+
+	// boolean structure
+	OpNot
+	OpAnd
+	OpOr
+	OpImplies
+	OpIff
+
+	// ternary
+	OpIte // Args[0] ? Args[1] : Args[2]
+)
+
+var opNames = map[Op]string{
+	OpConst: "const", OpVar: "var",
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpNeg: "neg",
+	OpPow: "^", OpMin: "min", OpMax: "max", OpAbs: "abs", OpSqrt: "sqrt",
+	OpExp: "exp", OpLog: "log", OpSin: "sin", OpCos: "cos",
+	OpTan: "tan", OpAtan: "atan", OpTanh: "tanh",
+	OpLe: "<=", OpLt: "<", OpGe: ">=", OpGt: ">", OpEq: "=", OpNeq: "!=",
+	OpNot: "!", OpAnd: "and", OpOr: "or", OpImplies: "->", OpIff: "<->",
+	OpIte: "ite",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// Expr is an immutable expression tree node.
+type Expr struct {
+	Op   Op
+	Val  float64 // for OpConst (booleans: 0/1)
+	Name string  // for OpVar
+	N    int     // for OpPow: the integer exponent
+	Args []*Expr
+}
+
+// --- constructors ------------------------------------------------------
+
+// Num returns a numeric constant.
+func Num(v float64) *Expr { return &Expr{Op: OpConst, Val: v} }
+
+// Bool returns a Boolean constant.
+func Bool(b bool) *Expr {
+	if b {
+		return &Expr{Op: OpConst, Val: 1}
+	}
+	return &Expr{Op: OpConst, Val: 0}
+}
+
+// V returns a variable reference.
+func V(name string) *Expr { return &Expr{Op: OpVar, Name: name} }
+
+func bin(op Op, a, b *Expr) *Expr { return &Expr{Op: op, Args: []*Expr{a, b}} }
+func unary(op Op, a *Expr) *Expr  { return &Expr{Op: op, Args: []*Expr{a}} }
+
+// Add returns a+b.
+func Add(a, b *Expr) *Expr { return bin(OpAdd, a, b) }
+
+// Sub returns a-b.
+func Sub(a, b *Expr) *Expr { return bin(OpSub, a, b) }
+
+// Mul returns a*b.
+func Mul(a, b *Expr) *Expr { return bin(OpMul, a, b) }
+
+// Div returns a/b.
+func Div(a, b *Expr) *Expr { return bin(OpDiv, a, b) }
+
+// Neg returns -a.
+func Neg(a *Expr) *Expr { return unary(OpNeg, a) }
+
+// Pow returns a^n for integer n.
+func Pow(a *Expr, n int) *Expr { return &Expr{Op: OpPow, N: n, Args: []*Expr{a}} }
+
+// Min returns min(a,b).
+func Min(a, b *Expr) *Expr { return bin(OpMin, a, b) }
+
+// Max returns max(a,b).
+func Max(a, b *Expr) *Expr { return bin(OpMax, a, b) }
+
+// Abs returns |a|.
+func Abs(a *Expr) *Expr { return unary(OpAbs, a) }
+
+// Sqrt returns the square root of a.
+func Sqrt(a *Expr) *Expr { return unary(OpSqrt, a) }
+
+// Exp returns e^a.
+func Exp(a *Expr) *Expr { return unary(OpExp, a) }
+
+// Log returns the natural logarithm of a.
+func Log(a *Expr) *Expr { return unary(OpLog, a) }
+
+// Sin returns sin(a).
+func Sin(a *Expr) *Expr { return unary(OpSin, a) }
+
+// Cos returns cos(a).
+func Cos(a *Expr) *Expr { return unary(OpCos, a) }
+
+// Tan returns tan(a).
+func Tan(a *Expr) *Expr { return unary(OpTan, a) }
+
+// Atan returns the arc tangent of a.
+func Atan(a *Expr) *Expr { return unary(OpAtan, a) }
+
+// Tanh returns the hyperbolic tangent of a.
+func Tanh(a *Expr) *Expr { return unary(OpTanh, a) }
+
+// Le returns a<=b.
+func Le(a, b *Expr) *Expr { return bin(OpLe, a, b) }
+
+// Lt returns a<b.
+func Lt(a, b *Expr) *Expr { return bin(OpLt, a, b) }
+
+// Ge returns a>=b.
+func Ge(a, b *Expr) *Expr { return bin(OpGe, a, b) }
+
+// Gt returns a>b.
+func Gt(a, b *Expr) *Expr { return bin(OpGt, a, b) }
+
+// Eq returns a=b.
+func Eq(a, b *Expr) *Expr { return bin(OpEq, a, b) }
+
+// Neq returns a!=b.
+func Neq(a, b *Expr) *Expr { return bin(OpNeq, a, b) }
+
+// Not returns the Boolean negation of a.
+func Not(a *Expr) *Expr { return unary(OpNot, a) }
+
+// And returns the conjunction of the arguments (true when empty).
+func And(args ...*Expr) *Expr {
+	switch len(args) {
+	case 0:
+		return Bool(true)
+	case 1:
+		return args[0]
+	}
+	return &Expr{Op: OpAnd, Args: args}
+}
+
+// Or returns the disjunction of the arguments (false when empty).
+func Or(args ...*Expr) *Expr {
+	switch len(args) {
+	case 0:
+		return Bool(false)
+	case 1:
+		return args[0]
+	}
+	return &Expr{Op: OpOr, Args: args}
+}
+
+// Implies returns a->b.
+func Implies(a, b *Expr) *Expr { return bin(OpImplies, a, b) }
+
+// Iff returns a<->b.
+func Iff(a, b *Expr) *Expr { return bin(OpIff, a, b) }
+
+// Ite returns the conditional expression (c ? a : b).
+func Ite(c, a, b *Expr) *Expr { return &Expr{Op: OpIte, Args: []*Expr{c, a, b}} }
+
+// --- rendering ---------------------------------------------------------
+
+// String renders the expression in (re-parsable) surface syntax.
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.write(&b)
+	return b.String()
+}
+
+func (e *Expr) write(b *strings.Builder) {
+	switch e.Op {
+	case OpConst:
+		fmt.Fprintf(b, "%g", e.Val)
+	case OpVar:
+		b.WriteString(e.Name)
+	case OpNeg:
+		b.WriteString("(-")
+		e.Args[0].write(b)
+		b.WriteByte(')')
+	case OpNot:
+		b.WriteString("(!")
+		e.Args[0].write(b)
+		b.WriteByte(')')
+	case OpPow:
+		b.WriteByte('(')
+		e.Args[0].write(b)
+		fmt.Fprintf(b, " ^ %d)", e.N)
+	case OpMin, OpMax, OpAbs, OpSqrt, OpExp, OpLog, OpSin, OpCos, OpTan, OpAtan, OpTanh, OpIte:
+		b.WriteString(opNames[e.Op])
+		b.WriteByte('(')
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			a.write(b)
+		}
+		b.WriteByte(')')
+	case OpAnd, OpOr:
+		b.WriteByte('(')
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteByte(' ')
+				b.WriteString(opNames[e.Op])
+				b.WriteByte(' ')
+			}
+			a.write(b)
+		}
+		b.WriteByte(')')
+	default: // binary infix
+		b.WriteByte('(')
+		e.Args[0].write(b)
+		b.WriteByte(' ')
+		b.WriteString(opNames[e.Op])
+		b.WriteByte(' ')
+		e.Args[1].write(b)
+		b.WriteByte(')')
+	}
+}
+
+// Vars appends the distinct variable names referenced by e to the set.
+func (e *Expr) Vars(set map[string]bool) {
+	if e.Op == OpVar {
+		set[e.Name] = true
+		return
+	}
+	for _, a := range e.Args {
+		a.Vars(set)
+	}
+}
+
+// Rename returns a copy of e with every variable name mapped through f.
+func (e *Expr) Rename(f func(string) string) *Expr {
+	if e.Op == OpVar {
+		return &Expr{Op: OpVar, Name: f(e.Name)}
+	}
+	if len(e.Args) == 0 {
+		return e
+	}
+	args := make([]*Expr, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.Rename(f)
+	}
+	return &Expr{Op: e.Op, Val: e.Val, Name: e.Name, N: e.N, Args: args}
+}
+
+// --- type checking -----------------------------------------------------
+
+// TypeEnv maps variable names to kinds.
+type TypeEnv map[string]Kind
+
+// Check infers the kind of e under env, or reports a type error.
+func (e *Expr) Check(env TypeEnv) (Kind, error) {
+	switch e.Op {
+	case OpConst:
+		if e.Val == math.Trunc(e.Val) && !math.IsInf(e.Val, 0) {
+			return KindInt, nil // int constants coerce to real freely
+		}
+		return KindReal, nil
+	case OpVar:
+		k, ok := env[e.Name]
+		if !ok {
+			return 0, fmt.Errorf("expr: undeclared variable %q", e.Name)
+		}
+		return k, nil
+	case OpAdd, OpSub, OpMul, OpDiv, OpMin, OpMax:
+		return e.checkArith(env, 2)
+	case OpNeg, OpAbs, OpSqrt, OpExp, OpLog, OpSin, OpCos, OpTan, OpAtan, OpTanh:
+		return e.checkArith(env, 1)
+	case OpPow:
+		k, err := e.Args[0].Check(env)
+		if err != nil {
+			return 0, err
+		}
+		if k == KindBool {
+			return 0, fmt.Errorf("expr: ^ applied to bool in %s", e)
+		}
+		return k, nil
+	case OpLe, OpLt, OpGe, OpGt, OpEq, OpNeq:
+		ka, err := e.Args[0].Check(env)
+		if err != nil {
+			return 0, err
+		}
+		kb, err := e.Args[1].Check(env)
+		if err != nil {
+			return 0, err
+		}
+		if (ka == KindBool) != (kb == KindBool) {
+			return 0, fmt.Errorf("expr: comparison mixes bool and numeric in %s", e)
+		}
+		if ka == KindBool && e.Op != OpEq && e.Op != OpNeq {
+			return 0, fmt.Errorf("expr: ordered comparison of bools in %s", e)
+		}
+		return KindBool, nil
+	case OpNot, OpAnd, OpOr, OpImplies, OpIff:
+		for _, a := range e.Args {
+			k, err := a.Check(env)
+			if err != nil {
+				return 0, err
+			}
+			if k != KindBool {
+				return 0, fmt.Errorf("expr: boolean operator on %s operand in %s", k, e)
+			}
+		}
+		return KindBool, nil
+	case OpIte:
+		kc, err := e.Args[0].Check(env)
+		if err != nil {
+			return 0, err
+		}
+		if kc != KindBool {
+			return 0, fmt.Errorf("expr: ite condition not bool in %s", e)
+		}
+		ka, err := e.Args[1].Check(env)
+		if err != nil {
+			return 0, err
+		}
+		kb, err := e.Args[2].Check(env)
+		if err != nil {
+			return 0, err
+		}
+		if (ka == KindBool) != (kb == KindBool) {
+			return 0, fmt.Errorf("expr: ite branches mix bool and numeric in %s", e)
+		}
+		if ka == KindReal || kb == KindReal {
+			return KindReal, nil
+		}
+		return ka, nil
+	}
+	return 0, fmt.Errorf("expr: unknown op %d", e.Op)
+}
+
+func (e *Expr) checkArith(env TypeEnv, arity int) (Kind, error) {
+	if len(e.Args) != arity {
+		return 0, fmt.Errorf("expr: %s expects %d args, got %d", e.Op, arity, len(e.Args))
+	}
+	kind := KindInt
+	for _, a := range e.Args {
+		k, err := a.Check(env)
+		if err != nil {
+			return 0, err
+		}
+		if k == KindBool {
+			return 0, fmt.Errorf("expr: arithmetic on bool operand in %s", e)
+		}
+		if k == KindReal {
+			kind = KindReal
+		}
+	}
+	switch e.Op {
+	case OpDiv, OpSqrt, OpExp, OpLog, OpSin, OpCos, OpTan, OpAtan, OpTanh:
+		return KindReal, nil
+	}
+	return kind, nil
+}
+
+// --- concrete evaluation ----------------------------------------------
+
+// Env maps variable names to concrete values (Booleans as 0/1).
+type Env map[string]float64
+
+// Eval computes the concrete value of e under env.  Boolean results are
+// 0 or 1.  Errors are returned for unbound variables and domain errors.
+func (e *Expr) Eval(env Env) (float64, error) {
+	switch e.Op {
+	case OpConst:
+		return e.Val, nil
+	case OpVar:
+		v, ok := env[e.Name]
+		if !ok {
+			return 0, fmt.Errorf("expr: unbound variable %q", e.Name)
+		}
+		return v, nil
+	case OpIte:
+		c, err := e.Args[0].Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return e.Args[1].Eval(env)
+		}
+		return e.Args[2].Eval(env)
+	case OpAnd:
+		for _, a := range e.Args {
+			v, err := a.Eval(env)
+			if err != nil {
+				return 0, err
+			}
+			if v == 0 {
+				return 0, nil
+			}
+		}
+		return 1, nil
+	case OpOr:
+		for _, a := range e.Args {
+			v, err := a.Eval(env)
+			if err != nil {
+				return 0, err
+			}
+			if v != 0 {
+				return 1, nil
+			}
+		}
+		return 0, nil
+	}
+
+	var args [2]float64
+	for i, a := range e.Args {
+		v, err := a.Eval(env)
+		if err != nil {
+			return 0, err
+		}
+		args[i] = v
+	}
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch e.Op {
+	case OpAdd:
+		return args[0] + args[1], nil
+	case OpSub:
+		return args[0] - args[1], nil
+	case OpMul:
+		return args[0] * args[1], nil
+	case OpDiv:
+		if args[1] == 0 {
+			return 0, fmt.Errorf("expr: division by zero in %s", e)
+		}
+		return args[0] / args[1], nil
+	case OpNeg:
+		return -args[0], nil
+	case OpPow:
+		n := e.N
+		x := args[0]
+		if n < 0 {
+			if x == 0 {
+				return 0, fmt.Errorf("expr: zero to negative power in %s", e)
+			}
+			return 1 / evalIPow(x, -n), nil
+		}
+		return evalIPow(x, n), nil
+	case OpMin:
+		return math.Min(args[0], args[1]), nil
+	case OpMax:
+		return math.Max(args[0], args[1]), nil
+	case OpAbs:
+		return math.Abs(args[0]), nil
+	case OpSqrt:
+		if args[0] < 0 {
+			return 0, fmt.Errorf("expr: sqrt of negative in %s", e)
+		}
+		return math.Sqrt(args[0]), nil
+	case OpExp:
+		return math.Exp(args[0]), nil
+	case OpLog:
+		if args[0] <= 0 {
+			return 0, fmt.Errorf("expr: log of non-positive in %s", e)
+		}
+		return math.Log(args[0]), nil
+	case OpSin:
+		return math.Sin(args[0]), nil
+	case OpCos:
+		return math.Cos(args[0]), nil
+	case OpTan:
+		return math.Tan(args[0]), nil
+	case OpAtan:
+		return math.Atan(args[0]), nil
+	case OpTanh:
+		return math.Tanh(args[0]), nil
+	case OpLe:
+		return b2f(args[0] <= args[1]), nil
+	case OpLt:
+		return b2f(args[0] < args[1]), nil
+	case OpGe:
+		return b2f(args[0] >= args[1]), nil
+	case OpGt:
+		return b2f(args[0] > args[1]), nil
+	case OpEq:
+		return b2f(args[0] == args[1]), nil
+	case OpNeq:
+		return b2f(args[0] != args[1]), nil
+	case OpNot:
+		return b2f(args[0] == 0), nil
+	case OpImplies:
+		return b2f(args[0] == 0 || args[1] != 0), nil
+	case OpIff:
+		return b2f((args[0] != 0) == (args[1] != 0)), nil
+	}
+	return 0, fmt.Errorf("expr: cannot evaluate op %s", e.Op)
+}
+
+// EvalApprox is like Eval but compares with tolerance tol: comparison
+// operators treat |a-b| <= tol as equality.  It is used when validating
+// counterexample traces produced from ε-precision interval boxes.
+func (e *Expr) EvalApprox(env Env, tol float64) (float64, error) {
+	switch e.Op {
+	case OpLe:
+		a, b, err := e.evalArgs2(env, tol)
+		if err != nil {
+			return 0, err
+		}
+		return b2fTol(a <= b+tol), nil
+	case OpLt:
+		a, b, err := e.evalArgs2(env, tol)
+		if err != nil {
+			return 0, err
+		}
+		return b2fTol(a < b+tol), nil
+	case OpGe:
+		a, b, err := e.evalArgs2(env, tol)
+		if err != nil {
+			return 0, err
+		}
+		return b2fTol(a >= b-tol), nil
+	case OpGt:
+		a, b, err := e.evalArgs2(env, tol)
+		if err != nil {
+			return 0, err
+		}
+		return b2fTol(a > b-tol), nil
+	case OpEq:
+		a, b, err := e.evalArgs2(env, tol)
+		if err != nil {
+			return 0, err
+		}
+		return b2fTol(math.Abs(a-b) <= tol), nil
+	case OpNeq:
+		a, b, err := e.evalArgs2(env, tol)
+		if err != nil {
+			return 0, err
+		}
+		return b2fTol(math.Abs(a-b) > tol), nil
+	case OpNot:
+		v, err := e.Args[0].EvalApprox(env, tol)
+		if err != nil {
+			return 0, err
+		}
+		return b2fTol(v == 0), nil
+	case OpAnd:
+		for _, a := range e.Args {
+			v, err := a.EvalApprox(env, tol)
+			if err != nil {
+				return 0, err
+			}
+			if v == 0 {
+				return 0, nil
+			}
+		}
+		return 1, nil
+	case OpOr:
+		for _, a := range e.Args {
+			v, err := a.EvalApprox(env, tol)
+			if err != nil {
+				return 0, err
+			}
+			if v != 0 {
+				return 1, nil
+			}
+		}
+		return 0, nil
+	case OpImplies:
+		a, err := e.Args[0].EvalApprox(env, tol)
+		if err != nil {
+			return 0, err
+		}
+		if a == 0 {
+			return 1, nil
+		}
+		return e.Args[1].EvalApprox(env, tol)
+	case OpIff:
+		a, err := e.Args[0].EvalApprox(env, tol)
+		if err != nil {
+			return 0, err
+		}
+		b, err := e.Args[1].EvalApprox(env, tol)
+		if err != nil {
+			return 0, err
+		}
+		return b2fTol((a != 0) == (b != 0)), nil
+	case OpIte:
+		c, err := e.Args[0].EvalApprox(env, tol)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return e.Args[1].EvalApprox(env, tol)
+		}
+		return e.Args[2].EvalApprox(env, tol)
+	}
+	return e.Eval(env)
+}
+
+func (e *Expr) evalArgs2(env Env, tol float64) (float64, float64, error) {
+	a, err := e.Args[0].EvalApprox(env, tol)
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := e.Args[1].EvalApprox(env, tol)
+	if err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}
+
+func b2fTol(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func evalIPow(x float64, n int) float64 {
+	r := 1.0
+	b := x
+	for n > 0 {
+		if n&1 == 1 {
+			r *= b
+		}
+		b *= b
+		n >>= 1
+	}
+	return r
+}

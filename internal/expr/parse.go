@@ -1,0 +1,399 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses the surface syntax into an expression tree.
+//
+// Grammar (precedence climbing, loosest first):
+//
+//	iff     := impl ( "<->" impl )*
+//	impl    := or ( "->" or )*            (right associative)
+//	or      := and ( ("or"|"|") and )*
+//	and     := not ( ("and"|"&") not )*
+//	not     := ("!"|"not") not | cmp
+//	cmp     := sum ( ("<="|"<"|">="|">"|"="|"!=") sum )?
+//	sum     := term ( ("+"|"-") term )*
+//	term    := factor ( ("*"|"/") factor )*
+//	factor  := "-" factor | power
+//	power   := primary ( "^" int )?
+//	primary := number | ident | ident "'" | call | "(" iff ")"
+//	call    := ("min"|"max"|"abs"|"sqrt"|"exp"|"log"|"sin"|"cos"|"ite") "(" args ")"
+//
+// Identifiers may end in a prime (') to denote next-state variables.
+// The keywords true and false are Boolean constants.
+func Parse(src string) (*Expr, error) {
+	p := &parser{toks: nil, pos: 0}
+	if err := p.lex(src); err != nil {
+		return nil, err
+	}
+	e, err := p.parseIff()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEnd() {
+		return nil, fmt.Errorf("expr: unexpected trailing token %q in %q", p.peek().text, src)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error; for tests and literals in code.
+func MustParse(src string) *Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind int
+
+const (
+	tokNum tokKind = iota
+	tokIdent
+	tokSym
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  float64
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+var symbols = []string{
+	"<->", "->", "<=", ">=", "!=", "<", ">", "=", "(", ")", ",",
+	"+", "-", "*", "/", "^", "!", "&", "|",
+}
+
+func (p *parser) lex(src string) error {
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c >= '0' && c <= '9' || c == '.':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' ||
+				src[j] == 'e' || src[j] == 'E' ||
+				((src[j] == '+' || src[j] == '-') && j > i && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			v, err := strconv.ParseFloat(src[i:j], 64)
+			if err != nil {
+				return fmt.Errorf("expr: bad number %q: %v", src[i:j], err)
+			}
+			p.toks = append(p.toks, token{kind: tokNum, text: src[i:j], val: v})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) ||
+				src[j] == '_' || src[j] == '.') {
+				j++
+			}
+			// optional prime suffix for next-state variables
+			for j < len(src) && src[j] == '\'' {
+				j++
+			}
+			p.toks = append(p.toks, token{kind: tokIdent, text: src[i:j]})
+			i = j
+		default:
+			matched := false
+			for _, s := range symbols {
+				if strings.HasPrefix(src[i:], s) {
+					p.toks = append(p.toks, token{kind: tokSym, text: s})
+					i += len(s)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return fmt.Errorf("expr: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	p.toks = append(p.toks, token{kind: tokEOF})
+	return nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEnd() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) acceptSym(s string) bool {
+	if t := p.peek(); t.kind == tokSym && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptIdent(s string) bool {
+	if t := p.peek(); t.kind == tokIdent && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSym(s string) error {
+	if !p.acceptSym(s) {
+		return fmt.Errorf("expr: expected %q, got %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) parseIff() (*Expr, error) {
+	e, err := p.parseImpl()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptSym("<->") {
+		r, err := p.parseImpl()
+		if err != nil {
+			return nil, err
+		}
+		e = Iff(e, r)
+	}
+	return e, nil
+}
+
+func (p *parser) parseImpl() (*Expr, error) {
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptSym("->") {
+		r, err := p.parseImpl() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return Implies(e, r), nil
+	}
+	return e, nil
+}
+
+func (p *parser) parseOr() (*Expr, error) {
+	e, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	args := []*Expr{e}
+	for p.acceptSym("|") || p.acceptIdent("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, r)
+	}
+	return Or(args...), nil
+}
+
+func (p *parser) parseAnd() (*Expr, error) {
+	e, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	args := []*Expr{e}
+	for p.acceptSym("&") || p.acceptIdent("and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, r)
+	}
+	return And(args...), nil
+}
+
+func (p *parser) parseNot() (*Expr, error) {
+	if p.acceptSym("!") || p.acceptIdent("not") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Not(e), nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (*Expr, error) {
+	e, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	ops := map[string]Op{"<=": OpLe, "<": OpLt, ">=": OpGe, ">": OpGt, "=": OpEq, "!=": OpNeq}
+	if t := p.peek(); t.kind == tokSym {
+		if op, ok := ops[t.text]; ok {
+			p.pos++
+			r, err := p.parseSum()
+			if err != nil {
+				return nil, err
+			}
+			return bin(op, e, r), nil
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) parseSum() (*Expr, error) {
+	e, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSym("+"):
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			e = Add(e, r)
+		case p.acceptSym("-"):
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			e = Sub(e, r)
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parseTerm() (*Expr, error) {
+	e, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSym("*"):
+			r, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			e = Mul(e, r)
+		case p.acceptSym("/"):
+			r, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			e = Div(e, r)
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parseFactor() (*Expr, error) {
+	if p.acceptSym("-") {
+		e, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return Neg(e), nil
+	}
+	return p.parsePower()
+}
+
+func (p *parser) parsePower() (*Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptSym("^") {
+		neg := p.acceptSym("-")
+		t := p.peek()
+		if t.kind != tokNum || t.val != float64(int(t.val)) {
+			return nil, fmt.Errorf("expr: exponent must be an integer literal, got %q", t.text)
+		}
+		p.pos++
+		n := int(t.val)
+		if neg {
+			n = -n
+		}
+		return Pow(e, n), nil
+	}
+	return e, nil
+}
+
+var calls = map[string]struct {
+	arity int
+	mk    func(args []*Expr) *Expr
+}{
+	"min":  {2, func(a []*Expr) *Expr { return Min(a[0], a[1]) }},
+	"max":  {2, func(a []*Expr) *Expr { return Max(a[0], a[1]) }},
+	"abs":  {1, func(a []*Expr) *Expr { return Abs(a[0]) }},
+	"sqrt": {1, func(a []*Expr) *Expr { return Sqrt(a[0]) }},
+	"exp":  {1, func(a []*Expr) *Expr { return Exp(a[0]) }},
+	"log":  {1, func(a []*Expr) *Expr { return Log(a[0]) }},
+	"sin":  {1, func(a []*Expr) *Expr { return Sin(a[0]) }},
+	"cos":  {1, func(a []*Expr) *Expr { return Cos(a[0]) }},
+	"tan":  {1, func(a []*Expr) *Expr { return Tan(a[0]) }},
+	"atan": {1, func(a []*Expr) *Expr { return Atan(a[0]) }},
+	"tanh": {1, func(a []*Expr) *Expr { return Tanh(a[0]) }},
+	"ite":  {3, func(a []*Expr) *Expr { return Ite(a[0], a[1], a[2]) }},
+}
+
+func (p *parser) parsePrimary() (*Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNum:
+		p.pos++
+		return Num(t.val), nil
+	case tokIdent:
+		if c, ok := calls[t.text]; ok && p.toks[p.pos+1].kind == tokSym && p.toks[p.pos+1].text == "(" {
+			p.pos += 2
+			var args []*Expr
+			for {
+				a, err := p.parseIff()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.acceptSym(",") {
+					continue
+				}
+				break
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			if len(args) != c.arity {
+				return nil, fmt.Errorf("expr: %s expects %d arguments, got %d", t.text, c.arity, len(args))
+			}
+			return c.mk(args), nil
+		}
+		p.pos++
+		switch t.text {
+		case "true":
+			return Bool(true), nil
+		case "false":
+			return Bool(false), nil
+		}
+		return V(t.text), nil
+	case tokSym:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.parseIff()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("expr: unexpected token %q", t.text)
+}

@@ -1,0 +1,111 @@
+package expr
+
+// Weaken returns a formula whose solution set contains e's, with every
+// numeric comparison relaxed by delta: (a <= b) becomes (a <= b + delta),
+// and so on.  Its negation Not(Weaken(P, δ)) describes the states that
+// violate P *robustly* — by a margin of at least δ — which is what the
+// engines search for when hunting counterexamples: boundary-hugging
+// candidates cannot pass concrete validation anyway, so aligning the
+// search with validability avoids ε-spurious dead ends.
+//
+// Dually, Strengthen returns a formula whose solution set is contained in
+// e's.  The two are mutually recursive through negation:
+// Weaken(!e) = !Strengthen(e).
+func Weaken(e *Expr, delta float64) *Expr {
+	d := Num(delta)
+	switch e.Op {
+	case OpLe:
+		return Le(e.Args[0], Add(e.Args[1], d))
+	case OpLt:
+		return Lt(e.Args[0], Add(e.Args[1], d))
+	case OpGe:
+		return Ge(e.Args[0], Sub(e.Args[1], d))
+	case OpGt:
+		return Gt(e.Args[0], Sub(e.Args[1], d))
+	case OpEq:
+		if isBoolOperand(e.Args[0]) {
+			return e
+		}
+		return Le(Abs(Sub(e.Args[0], e.Args[1])), d)
+	case OpNeq:
+		if isBoolOperand(e.Args[0]) {
+			return e
+		}
+		return Bool(true) // |a-b| > -δ: trivially true
+	case OpNot:
+		return Not(Strengthen(e.Args[0], delta))
+	case OpAnd, OpOr:
+		args := make([]*Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = Weaken(a, delta)
+		}
+		return &Expr{Op: e.Op, Args: args}
+	case OpImplies:
+		return Implies(Strengthen(e.Args[0], delta), Weaken(e.Args[1], delta))
+	case OpIff:
+		// a <-> b  ==  (a -> b) and (b -> a)
+		return And(
+			Implies(Strengthen(e.Args[0], delta), Weaken(e.Args[1], delta)),
+			Implies(Strengthen(e.Args[1], delta), Weaken(e.Args[0], delta)),
+		)
+	case OpIte:
+		return Ite(e.Args[0], Weaken(e.Args[1], delta), Weaken(e.Args[2], delta))
+	}
+	return e // constants, variables: exact
+}
+
+// Strengthen returns a formula whose solution set is contained in e's,
+// with every numeric comparison tightened by delta.  See Weaken.
+func Strengthen(e *Expr, delta float64) *Expr {
+	d := Num(delta)
+	switch e.Op {
+	case OpLe:
+		return Le(e.Args[0], Sub(e.Args[1], d))
+	case OpLt:
+		return Lt(e.Args[0], Sub(e.Args[1], d))
+	case OpGe:
+		return Ge(e.Args[0], Add(e.Args[1], d))
+	case OpGt:
+		return Gt(e.Args[0], Add(e.Args[1], d))
+	case OpEq:
+		if isBoolOperand(e.Args[0]) {
+			return e
+		}
+		return Bool(false) // an exact equality has no δ-interior
+	case OpNeq:
+		if isBoolOperand(e.Args[0]) {
+			return e
+		}
+		return Gt(Abs(Sub(e.Args[0], e.Args[1])), d)
+	case OpNot:
+		return Not(Weaken(e.Args[0], delta))
+	case OpAnd, OpOr:
+		args := make([]*Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = Strengthen(a, delta)
+		}
+		return &Expr{Op: e.Op, Args: args}
+	case OpImplies:
+		return Implies(Weaken(e.Args[0], delta), Strengthen(e.Args[1], delta))
+	case OpIff:
+		return And(
+			Implies(Weaken(e.Args[0], delta), Strengthen(e.Args[1], delta)),
+			Implies(Weaken(e.Args[1], delta), Strengthen(e.Args[0], delta)),
+		)
+	case OpIte:
+		return Ite(e.Args[0], Strengthen(e.Args[1], delta), Strengthen(e.Args[2], delta))
+	}
+	return e
+}
+
+// isBoolOperand reports (structurally) whether a comparison operand is a
+// Boolean-valued expression; Boolean equalities are kept exact.
+func isBoolOperand(e *Expr) bool {
+	switch e.Op {
+	case OpLe, OpLt, OpGe, OpGt, OpEq, OpNeq, OpNot, OpAnd, OpOr, OpImplies, OpIff:
+		return true
+	case OpConst:
+		return e.Val == 0 || e.Val == 1
+	}
+	return false
+}

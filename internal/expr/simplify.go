@@ -1,0 +1,215 @@
+package expr
+
+import "math"
+
+// Simplify returns an expression equivalent to e on every environment
+// where e evaluates without error: constants are folded and conservative
+// algebraic identities applied.  Identities that could mask domain errors
+// (e.g. rewriting log(x)*0 to 0, which would drop the implicit constraint
+// x > 0 from a transition relation) are applied only to total
+// subexpressions.
+func Simplify(e *Expr) *Expr {
+	if len(e.Args) == 0 {
+		return e
+	}
+	args := make([]*Expr, len(e.Args))
+	changed := false
+	for i, a := range e.Args {
+		args[i] = Simplify(a)
+		if args[i] != a {
+			changed = true
+		}
+	}
+	n := e
+	if changed {
+		n = &Expr{Op: e.Op, Val: e.Val, Name: e.Name, N: e.N, Args: args}
+	}
+	if folded, ok := foldConst(n); ok {
+		return folded
+	}
+	if reduced, ok := reduceIdentity(n); ok {
+		return reduced
+	}
+	return n
+}
+
+// isConst reports whether e is a numeric constant and returns its value.
+func isConst(e *Expr) (float64, bool) {
+	if e.Op == OpConst {
+		return e.Val, true
+	}
+	return 0, false
+}
+
+// isConstVal reports whether e is the given constant.
+func isConstVal(e *Expr, v float64) bool {
+	c, ok := isConst(e)
+	return ok && c == v
+}
+
+// Total reports whether e is defined on every input (no division, sqrt,
+// log or negative powers that could fail at evaluation time).
+func Total(e *Expr) bool {
+	switch e.Op {
+	case OpDiv, OpSqrt, OpLog, OpTan:
+		return false
+	case OpPow:
+		if e.N < 0 {
+			return false
+		}
+	}
+	for _, a := range e.Args {
+		if !Total(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// foldConst evaluates e when all its arguments are constants.
+func foldConst(e *Expr) (*Expr, bool) {
+	for _, a := range e.Args {
+		if _, ok := isConst(a); !ok {
+			return nil, false
+		}
+	}
+	if e.Op == OpVar || e.Op == OpConst {
+		return nil, false
+	}
+	v, err := e.Eval(nil)
+	if err != nil {
+		return nil, false // constant domain error: keep (stays unsat/err)
+	}
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil, false
+	}
+	return Num(v), true
+}
+
+// reduceIdentity applies algebraic identities.
+func reduceIdentity(e *Expr) (*Expr, bool) {
+	switch e.Op {
+	case OpAdd:
+		if isConstVal(e.Args[0], 0) {
+			return e.Args[1], true
+		}
+		if isConstVal(e.Args[1], 0) {
+			return e.Args[0], true
+		}
+	case OpSub:
+		if isConstVal(e.Args[1], 0) {
+			return e.Args[0], true
+		}
+	case OpMul:
+		if isConstVal(e.Args[0], 1) {
+			return e.Args[1], true
+		}
+		if isConstVal(e.Args[1], 1) {
+			return e.Args[0], true
+		}
+		if isConstVal(e.Args[0], 0) && Total(e.Args[1]) {
+			return Num(0), true
+		}
+		if isConstVal(e.Args[1], 0) && Total(e.Args[0]) {
+			return Num(0), true
+		}
+	case OpDiv:
+		if isConstVal(e.Args[1], 1) {
+			return e.Args[0], true
+		}
+	case OpNeg:
+		if e.Args[0].Op == OpNeg {
+			return e.Args[0].Args[0], true
+		}
+	case OpNot:
+		if e.Args[0].Op == OpNot {
+			return e.Args[0].Args[0], true
+		}
+		if c, ok := isConst(e.Args[0]); ok {
+			return Bool(c == 0), true
+		}
+	case OpPow:
+		switch e.N {
+		case 0:
+			if Total(e.Args[0]) {
+				return Num(1), true
+			}
+		case 1:
+			return e.Args[0], true
+		}
+	case OpAnd:
+		var kept []*Expr
+		for _, a := range e.Args {
+			if c, ok := isConst(a); ok {
+				if c == 0 {
+					return Bool(false), true
+				}
+				continue // drop true conjuncts
+			}
+			kept = append(kept, a)
+		}
+		if len(kept) != len(e.Args) {
+			return And(kept...), true
+		}
+	case OpOr:
+		var kept []*Expr
+		for _, a := range e.Args {
+			if c, ok := isConst(a); ok {
+				if c != 0 {
+					return Bool(true), true
+				}
+				continue // drop false disjuncts
+			}
+			kept = append(kept, a)
+		}
+		if len(kept) != len(e.Args) {
+			return Or(kept...), true
+		}
+	case OpImplies:
+		if c, ok := isConst(e.Args[0]); ok {
+			if c == 0 {
+				return Bool(true), true
+			}
+			return e.Args[1], true
+		}
+		if c, ok := isConst(e.Args[1]); ok && c != 0 {
+			return Bool(true), true
+		}
+	case OpIff:
+		if c, ok := isConst(e.Args[0]); ok {
+			if c != 0 {
+				return e.Args[1], true
+			}
+			return Not(e.Args[1]), true
+		}
+		if c, ok := isConst(e.Args[1]); ok {
+			if c != 0 {
+				return e.Args[0], true
+			}
+			return Not(e.Args[0]), true
+		}
+	case OpIte:
+		if c, ok := isConst(e.Args[0]); ok {
+			if c != 0 {
+				return e.Args[1], true
+			}
+			return e.Args[2], true
+		}
+		if e.Args[1].String() == e.Args[2].String() && Total(e.Args[0]) {
+			return e.Args[1], true
+		}
+	case OpMin:
+		if e.Args[0].String() == e.Args[1].String() {
+			return e.Args[0], true
+		}
+	case OpMax:
+		if e.Args[0].String() == e.Args[1].String() {
+			return e.Args[0], true
+		}
+	case OpAbs:
+		if e.Args[0].Op == OpAbs {
+			return e.Args[0], true
+		}
+	}
+	return nil, false
+}

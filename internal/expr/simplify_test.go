@@ -1,0 +1,171 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplifyFolding(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"1 + 2", "3"},
+		{"2 * 3 + 4", "10"},
+		{"x + 0", "x"},
+		{"0 + x", "x"},
+		{"x - 0", "x"},
+		{"x * 1", "x"},
+		{"1 * x", "x"},
+		{"x * 0", "0"},
+		{"0 * x", "0"},
+		{"x / 1", "x"},
+		{"-(-x)", "x"},
+		{"!(!b)", "b"},
+		{"x ^ 1", "x"},
+		{"x ^ 0", "1"},
+		{"min(x, x)", "x"},
+		{"max(x, x)", "x"},
+		{"abs(abs(x))", "abs(x)"},
+		{"ite(true, x, y)", "x"},
+		{"ite(false, x, y)", "y"},
+		{"ite(b, x, x)", "x"},
+		{"true and b", "b"},
+		{"false and b", "0"},
+		{"true or b", "1"},
+		{"false or b", "b"},
+		{"true -> b", "b"},
+		{"false -> b", "1"},
+		{"b -> true", "1"},
+		{"true <-> b", "b"},
+		{"false <-> b", "(!b)"},
+		{"1 <= 2", "1"},
+		{"2 <= 1", "0"},
+		{"sqrt(4)", "2"},
+		{"sin(0)", "0"},
+		{"2 ^ 5", "32"},
+	}
+	for _, c := range cases {
+		got := Simplify(MustParse(c.in)).String()
+		if got != c.want {
+			t.Errorf("Simplify(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSimplifyTotalityGuards(t *testing.T) {
+	// identities that would mask domain errors must NOT fire
+	keep := []string{
+		"log(x) * 0",  // log constrains x > 0
+		"0 * sqrt(x)", // sqrt constrains x >= 0
+		"(1 / x) ^ 0", // division constrains x != 0
+		"ite(b, 1/x, 1/x)",
+	}
+	for _, src := range keep {
+		in := MustParse(src)
+		got := Simplify(in)
+		if _, ok := isConst(got); ok {
+			t.Errorf("Simplify(%q) folded to constant %s, masking a domain constraint", src, got)
+		}
+	}
+	// constant domain errors stay unfolded too
+	if got := Simplify(MustParse("1 / 0")); got.Op == OpConst {
+		t.Errorf("1/0 folded to %s", got)
+	}
+	if got := Simplify(MustParse("sqrt(0 - 1)")); got.Op == OpConst {
+		t.Errorf("sqrt(-1) folded to %s", got)
+	}
+}
+
+func TestSimplifyNested(t *testing.T) {
+	// deep folding through structure
+	e := MustParse("(x + 0) * 1 + (2 + 3) * 0 + ite(1 <= 2, y, z)")
+	got := Simplify(e).String()
+	if got != "(x + y)" {
+		t.Errorf("nested simplify = %q", got)
+	}
+}
+
+func TestTotal(t *testing.T) {
+	if !Total(MustParse("x + y * sin(x) ^ 2")) {
+		t.Error("polynomial+sin should be total")
+	}
+	for _, src := range []string{"1 / x", "sqrt(x)", "log(x)", "x ^ -1"} {
+		if Total(MustParse(src)) {
+			t.Errorf("%q should not be total", src)
+		}
+	}
+}
+
+// TestQuickSimplifyPreservesEval: wherever the original evaluates without
+// error, the simplified expression evaluates to the same value.
+func TestQuickSimplifyPreservesEval(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randSimplifiable(r, 4)
+		s := Simplify(e)
+		for trial := 0; trial < 10; trial++ {
+			env := Env{
+				"x": math.Round(r.Float64()*40-20) / 4,
+				"y": math.Round(r.Float64()*40-20) / 4,
+				"b": float64(r.Intn(2)),
+			}
+			v1, err1 := e.Eval(env)
+			if err1 != nil {
+				continue // only defined points matter
+			}
+			v2, err2 := s.Eval(env)
+			if err2 != nil {
+				return false // simplification introduced an error
+			}
+			if v1 != v2 && !(math.IsNaN(v1) && math.IsNaN(v2)) {
+				if math.Abs(v1-v2) > 1e-9*math.Max(1, math.Abs(v1)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Errorf("simplify preserves eval: %v", err)
+	}
+}
+
+func randSimplifiable(r *rand.Rand, depth int) *Expr {
+	if depth == 0 || r.Intn(4) == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return Num(float64(r.Intn(7) - 3))
+		case 1:
+			return V("b")
+		default:
+			return V([]string{"x", "y"}[r.Intn(2)])
+		}
+	}
+	sub := func() *Expr { return randSimplifiable(r, depth-1) }
+	switch r.Intn(12) {
+	case 0:
+		return Add(sub(), sub())
+	case 1:
+		return Sub(sub(), sub())
+	case 2:
+		return Mul(sub(), sub())
+	case 3:
+		return Div(sub(), sub())
+	case 4:
+		return Neg(sub())
+	case 5:
+		return Min(sub(), sub())
+	case 6:
+		return Max(sub(), sub())
+	case 7:
+		return Abs(sub())
+	case 8:
+		return Pow(sub(), r.Intn(3))
+	case 9:
+		return Ite(Le(sub(), sub()), sub(), sub())
+	case 10:
+		return Sqrt(Abs(sub()))
+	default:
+		return Mul(Num(0), sub())
+	}
+}

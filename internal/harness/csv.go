@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteRecordsCSV emits run records as CSV (one row per engine×instance),
+// suitable for external plotting of the cactus and scatter figures.
+func WriteRecordsCSV(w io.Writer, records []RunRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"instance", "family", "engine", "expected", "verdict",
+		"correct", "depth", "seconds", "note",
+	}); err != nil {
+		return err
+	}
+	for _, r := range records {
+		row := []string{
+			r.Instance, r.Family, r.Engine,
+			r.Expected.String(), r.Result.Verdict.String(),
+			strconv.FormatBool(r.Correct()),
+			strconv.Itoa(r.Result.Depth),
+			fmt.Sprintf("%.6f", r.Result.Runtime.Seconds()),
+			r.Result.Note,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSummaryCSV emits the Table II aggregation as CSV.
+func WriteSummaryCSV(w io.Writer, records []RunRecord, names []string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"engine", "safe", "unsafe", "unknown", "wrong", "seconds"}); err != nil {
+		return err
+	}
+	for _, s := range Summarize(records, names) {
+		row := []string{
+			s.Engine,
+			strconv.Itoa(s.SolvedSafe), strconv.Itoa(s.SolvedUnsaf),
+			strconv.Itoa(s.Unknown), strconv.Itoa(s.Wrong),
+			fmt.Sprintf("%.6f", s.TotalTime.Seconds()),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteScatterCSV emits Fig. 2 points as CSV.
+func WriteScatterCSV(w io.Writer, records []RunRecord, xEngine, yEngine string, cap float64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"instance", "x_seconds", "y_seconds", "x_solved", "y_solved"}); err != nil {
+		return err
+	}
+	for _, p := range ScatterSeries(records, xEngine, yEngine, cap) {
+		row := []string{
+			p.Instance,
+			fmt.Sprintf("%.6f", p.X), fmt.Sprintf("%.6f", p.Y),
+			strconv.FormatBool(p.XSolved), strconv.FormatBool(p.YSolved),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteEpsCSV emits Fig. 3 points as CSV.
+func WriteEpsCSV(w io.Writer, points []EpsPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"eps", "solved", "unsolved", "seconds"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		row := []string{
+			fmt.Sprintf("%g", p.Eps),
+			strconv.Itoa(p.Solved), strconv.Itoa(p.Unknown),
+			fmt.Sprintf("%.6f", p.Time.Seconds()),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,64 @@
+package ic3bool
+
+import (
+	"icpic3/internal/aig"
+	"icpic3/internal/sat"
+)
+
+// BMC performs SAT-based bounded model checking on a circuit: the
+// transition relation is unrolled frame by frame and the bad output is
+// checked at each depth.  It returns Unsafe with a validated trace when a
+// counterexample exists within maxDepth, and Unknown otherwise (BMC can
+// never prove safety).  The Frames field of the result records the bound
+// reached (the counterexample depth for Unsafe).
+func BMC(c *aig.Circuit, maxDepth int) Result {
+	return BMCWithSolver(c, maxDepth, sat.New())
+}
+
+// BMCWithSolver is BMC over a caller-provided solver (e.g. with a DRAT
+// proof writer attached).
+func BMCWithSolver(c *aig.Circuit, maxDepth int, s *sat.Solver) Result {
+	enc := aig.NewEncoder(c)
+	var stats Stats
+
+	// frame 0 with latches fixed to reset values
+	nv := enc.Frame(s)
+	for i, la := range c.Latches {
+		s.AddClause(sat.MkLit(nv[la.Lit.Node()], c.InitState()[i]))
+	}
+	frames := [][]int{nv}
+
+	for depth := 0; depth <= maxDepth; depth++ {
+		stats.Queries++
+		bad := enc.SatLit(frames[depth], c.Bad)
+		if s.Solve(bad) == sat.Sat {
+			trace := make([]Step, depth+1)
+			for k := 0; k <= depth; k++ {
+				st := make([]bool, len(c.Latches))
+				for i, la := range c.Latches {
+					st[i] = s.Model(frames[k][la.Lit.Node()])
+				}
+				ins := make([]bool, len(c.Inputs))
+				for i, in := range c.Inputs {
+					ins[i] = s.Model(frames[k][in.Node()])
+				}
+				trace[k] = Step{State: st, Inputs: ins}
+			}
+			return Result{Verdict: Unsafe, Trace: trace, Frames: depth, Stats: stats}
+		}
+		if depth == maxDepth {
+			break
+		}
+		// extend: new frame with latches tied to previous next-state lits
+		next := enc.Frame(s)
+		for i, la := range c.Latches {
+			cur := enc.SatLit(frames[depth], la.Next)
+			nxt := sat.MkLit(next[la.Lit.Node()], true)
+			s.AddClause(cur.Neg(), nxt)
+			s.AddClause(cur, nxt.Neg())
+			_ = i
+		}
+		frames = append(frames, next)
+	}
+	return Result{Verdict: Unknown, Frames: maxDepth, Stats: stats}
+}

@@ -1,0 +1,98 @@
+package ic3bool
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"icpic3/internal/aig"
+)
+
+func TestBMCCounter(t *testing.T) {
+	c := aig.Counter(4, 9)
+	res := BMC(c, 20)
+	if res.Verdict != Unsafe {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if res.Frames != 9 {
+		t.Errorf("depth = %d, want 9", res.Frames)
+	}
+	validateTrace(t, c, res.Trace)
+}
+
+func TestBMCImmediate(t *testing.T) {
+	c := aig.Counter(3, 0)
+	res := BMC(c, 5)
+	if res.Verdict != Unsafe || res.Frames != 0 {
+		t.Fatalf("res = %+v", res.Verdict)
+	}
+	validateTrace(t, c, res.Trace)
+}
+
+func TestBMCSafeExhausts(t *testing.T) {
+	c := aig.SafeCounter(4)
+	res := BMC(c, 25)
+	if res.Verdict != Unknown {
+		t.Fatalf("verdict = %v, BMC cannot prove safety", res.Verdict)
+	}
+}
+
+func TestBMCTwisted(t *testing.T) {
+	n := 7
+	c := aig.TwistedCounter(n)
+	res := BMC(c, 20)
+	if res.Verdict != Unsafe {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if res.Frames != n {
+		t.Errorf("depth = %d, want %d", res.Frames, n)
+	}
+	validateTrace(t, c, res.Trace)
+}
+
+func TestBMCWithInputs(t *testing.T) {
+	// a circuit where the bad state requires specific input choices:
+	// a latch that sets when the input is high three times in a row
+	c := aig.New()
+	in := c.AddInput()
+	s1 := c.AddLatch(false)
+	s2 := c.AddLatch(false)
+	s3 := c.AddLatch(false)
+	c.SetNext(s1, in)
+	c.SetNext(s2, c.And(s1, in))
+	c.SetNext(s3, c.And(s2, in))
+	c.SetBad(s3)
+	res := BMC(c, 10)
+	if res.Verdict != Unsafe {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if res.Frames != 3 {
+		t.Errorf("depth = %d, want 3", res.Frames)
+	}
+	validateTrace(t, c, res.Trace)
+}
+
+// TestQuickBMCAgreesWithPDR: on random circuits, BMC(Unsafe) implies PDR
+// finds the bug, and BMC depth is minimal (PDR trace cannot be shorter).
+func TestQuickBMCAgreesWithPDR(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomCircuit(r)
+		bres := BMC(c, 24)
+		pres := Check(c, Options{MaxFrames: 60})
+		switch {
+		case bres.Verdict == Unsafe && pres.Verdict == Safe:
+			return false
+		case bres.Verdict == Unsafe && pres.Verdict == Unsafe:
+			// PDR trace cannot be shorter than the BMC-minimal depth
+			return len(pres.Trace)-1 >= bres.Frames
+		case bres.Verdict == Unknown && pres.Verdict == Unsafe:
+			// bug deeper than the BMC bound
+			return len(pres.Trace)-1 > 24
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Errorf("BMC vs PDR: %v", err)
+	}
+}

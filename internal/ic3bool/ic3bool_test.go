@@ -1,0 +1,429 @@
+package ic3bool
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"icpic3/internal/aig"
+)
+
+// bfsReachable exhaustively decides whether the bad output is reachable
+// (exact oracle for small circuits).
+func bfsReachable(c *aig.Circuit, maxStates int) (bool, bool) {
+	nIn := len(c.Inputs)
+	if nIn > 16 {
+		return false, false
+	}
+	type key string
+	enc := func(st []bool) key {
+		b := make([]byte, len(st))
+		for i, v := range st {
+			if v {
+				b[i] = 1
+			}
+		}
+		return key(b)
+	}
+	init := c.InitState()
+	seen := map[key]bool{enc(init): true}
+	queue := [][]bool{init}
+	for len(queue) > 0 {
+		if len(seen) > maxStates {
+			return false, false // oracle overflow
+		}
+		st := queue[0]
+		queue = queue[1:]
+		for m := 0; m < 1<<uint(nIn); m++ {
+			ins := make([]bool, nIn)
+			for i := range ins {
+				ins[i] = m>>uint(i)&1 == 1
+			}
+			next, bad := c.Step(st, ins)
+			if bad {
+				return true, true
+			}
+			k := enc(next)
+			if !seen[k] {
+				seen[k] = true
+				queue = append(queue, next)
+			}
+		}
+		if nIn == 0 {
+			// single transition already handled by the m loop (m = 0)
+			continue
+		}
+	}
+	return false, true
+}
+
+// validateTrace replays a counterexample trace on the circuit.
+func validateTrace(t *testing.T, c *aig.Circuit, trace []Step) {
+	t.Helper()
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	init := c.InitState()
+	for i, v := range init {
+		if trace[0].State[i] != v {
+			t.Fatalf("trace does not start at init: %v vs %v", trace[0].State, init)
+		}
+	}
+	st := trace[0].State
+	for i := 0; ; i++ {
+		vals := c.Eval(st, trace[i].Inputs)
+		if i == len(trace)-1 {
+			if !c.LitVal(vals, c.Bad) {
+				t.Fatalf("trace end does not assert bad")
+			}
+			return
+		}
+		next := make([]bool, len(c.Latches))
+		for j, la := range c.Latches {
+			next[j] = c.LitVal(vals, la.Next)
+		}
+		for j := range next {
+			if next[j] != trace[i+1].State[j] {
+				t.Fatalf("trace step %d inconsistent with circuit", i)
+			}
+		}
+		st = trace[i+1].State
+	}
+}
+
+// validateInvariant checks that the returned invariant is inductive and
+// excludes bad, by exhaustive enumeration (small circuits only).
+func validateInvariant(t *testing.T, c *aig.Circuit, inv []Cube) {
+	t.Helper()
+	nL, nIn := len(c.Latches), len(c.Inputs)
+	if nL > 16 || nIn > 8 {
+		t.Skip("circuit too large for exhaustive invariant check")
+	}
+	holds := func(st []bool) bool {
+		for _, cube := range inv {
+			all := true
+			for _, l := range cube {
+				if st[l.Idx] != l.Val {
+					all = false
+					break
+				}
+			}
+			if all {
+				return false // state is in a blocked cube
+			}
+		}
+		return true
+	}
+	// init in invariant
+	if !holds(c.InitState()) {
+		t.Fatal("invariant excludes init")
+	}
+	for m := 0; m < 1<<uint(nL); m++ {
+		st := make([]bool, nL)
+		for i := range st {
+			st[i] = m>>uint(i)&1 == 1
+		}
+		if !holds(st) {
+			continue
+		}
+		for mi := 0; mi < 1<<uint(nIn); mi++ {
+			ins := make([]bool, nIn)
+			for i := range ins {
+				ins[i] = mi>>uint(i)&1 == 1
+			}
+			next, bad := c.Step(st, ins)
+			if bad {
+				t.Fatalf("invariant state %v asserts bad", st)
+			}
+			if !holds(next) {
+				t.Fatalf("invariant not inductive: %v -> %v", st, next)
+			}
+		}
+	}
+}
+
+func TestCounterUnsafe(t *testing.T) {
+	c := aig.Counter(4, 9)
+	res := Check(c, Options{})
+	if res.Verdict != Unsafe {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	validateTrace(t, c, res.Trace)
+	if len(res.Trace) != 10 {
+		t.Errorf("trace length = %d, want 10", len(res.Trace))
+	}
+}
+
+func TestCounterImmediateBad(t *testing.T) {
+	c := aig.Counter(3, 0) // bad at the initial value
+	res := Check(c, Options{})
+	if res.Verdict != Unsafe {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if len(res.Trace) != 1 {
+		t.Errorf("trace length = %d, want 1", len(res.Trace))
+	}
+	validateTrace(t, c, res.Trace)
+}
+
+func TestSafeCounter(t *testing.T) {
+	c := aig.SafeCounter(4)
+	res := Check(c, Options{})
+	if res.Verdict != Safe {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	validateInvariant(t, c, res.Invariant)
+}
+
+func TestShiftRegisterSafe(t *testing.T) {
+	c := aig.ShiftRegister(6)
+	res := Check(c, Options{})
+	if res.Verdict != Safe {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	validateInvariant(t, c, res.Invariant)
+}
+
+func TestTwistedCounterUnsafe(t *testing.T) {
+	n := 6
+	c := aig.TwistedCounter(n)
+	res := Check(c, Options{})
+	if res.Verdict != Unsafe {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	validateTrace(t, c, res.Trace)
+	if len(res.Trace) != n+1 {
+		t.Errorf("trace length = %d, want %d", len(res.Trace), n+1)
+	}
+}
+
+func TestStrongGeneralize(t *testing.T) {
+	c := aig.SafeCounter(6)
+	weak := Check(c, Options{})
+	strong := Check(c, Options{StrongGeneralize: true})
+	if weak.Verdict != Safe || strong.Verdict != Safe {
+		t.Fatalf("verdicts: %v %v", weak.Verdict, strong.Verdict)
+	}
+	validateInvariant(t, c, strong.Invariant)
+}
+
+func TestMaxFramesUnknown(t *testing.T) {
+	c := aig.Counter(10, 900) // needs 900 steps
+	res := Check(c, Options{MaxFrames: 3})
+	if res.Verdict != Unknown {
+		t.Fatalf("verdict = %v, want unknown with tiny frame budget", res.Verdict)
+	}
+}
+
+func TestCubeString(t *testing.T) {
+	c := Cube{{0, true}, {2, false}}
+	if c.String() != "l0 & !l2" {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+// randomCircuit builds a small random sequential circuit.
+func randomCircuit(r *rand.Rand) *aig.Circuit {
+	c := aig.New()
+	nIn := r.Intn(3)
+	nLatch := 2 + r.Intn(4)
+	var pool []aig.Lit
+	pool = append(pool, aig.True)
+	for i := 0; i < nIn; i++ {
+		pool = append(pool, c.AddInput())
+	}
+	latches := make([]aig.Lit, nLatch)
+	for i := range latches {
+		latches[i] = c.AddLatch(r.Intn(2) == 0)
+		pool = append(pool, latches[i])
+	}
+	pick := func() aig.Lit {
+		l := pool[r.Intn(len(pool))]
+		if r.Intn(2) == 0 {
+			l = l.Not()
+		}
+		return l
+	}
+	// random combinational gates
+	for i := 0; i < 4+r.Intn(10); i++ {
+		pool = append(pool, c.And(pick(), pick()))
+	}
+	for _, la := range latches {
+		c.SetNext(la, pick())
+	}
+	c.SetBad(c.And(pick(), pick()))
+	return c
+}
+
+// TestQuickRandomCircuits cross-checks PDR against exhaustive reachability.
+func TestQuickRandomCircuits(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomCircuit(r)
+		reach, ok := bfsReachable(c, 1<<14)
+		if !ok {
+			return true // oracle too expensive; skip
+		}
+		res := Check(c, Options{MaxFrames: 60})
+		switch res.Verdict {
+		case Unsafe:
+			if !reach {
+				return false
+			}
+			// replay trace
+			st := c.InitState()
+			for i := range res.Trace {
+				for j := range st {
+					if res.Trace[i].State[j] != st[j] {
+						return false
+					}
+				}
+				vals := c.Eval(st, res.Trace[i].Inputs)
+				if i == len(res.Trace)-1 {
+					return c.LitVal(vals, c.Bad)
+				}
+				next := make([]bool, len(c.Latches))
+				for j, la := range c.Latches {
+					next[j] = c.LitVal(vals, la.Next)
+				}
+				st = next
+			}
+			return true
+		case Safe:
+			return !reach
+		default:
+			return true // Unknown acceptable under budget
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Errorf("random circuits: %v", err)
+	}
+}
+
+// TestQuickRandomCircuitsStrong repeats the cross-check with strong
+// generalization enabled.
+func TestQuickRandomCircuitsStrong(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ 0x5eed))
+		c := randomCircuit(r)
+		reach, ok := bfsReachable(c, 1<<14)
+		if !ok {
+			return true
+		}
+		res := Check(c, Options{MaxFrames: 60, StrongGeneralize: true})
+		switch res.Verdict {
+		case Unsafe:
+			return reach
+		case Safe:
+			return !reach
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Errorf("random circuits strong: %v", err)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	res := Check(aig.SafeCounter(5), Options{})
+	if res.Verdict != Safe {
+		t.Fatal("should be safe")
+	}
+	if res.Stats.Queries == 0 || res.Stats.BlockedCubes == 0 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+	if res.Frames == 0 {
+		t.Error("frames not counted")
+	}
+}
+
+func TestCOIIntegration(t *testing.T) {
+	// a circuit with junk latches: PDR must still decide correctly and
+	// traces must replay on the ORIGINAL circuit
+	c := aig.New()
+	bits := make([]aig.Lit, 3)
+	for i := range bits {
+		bits[i] = c.AddLatch(false)
+	}
+	carry := aig.True
+	for i := range bits {
+		c.SetNext(bits[i], c.Xor(bits[i], carry))
+		carry = c.And(bits[i], carry)
+	}
+	// junk: a 2-bit shifter unrelated to bad
+	j1 := c.AddLatch(true)
+	j2 := c.AddLatch(false)
+	c.SetNext(j1, j2)
+	c.SetNext(j2, j1)
+	// bad at counter value 5
+	bad := c.And(bits[0], c.And(bits[1].Not(), bits[2]))
+	c.SetBad(bad)
+
+	res := Check(c, Options{})
+	if res.Verdict != Unsafe {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	validateTrace(t, c, res.Trace)
+	if len(res.Trace[0].State) != 5 {
+		t.Errorf("trace states must be original-sized, got %d", len(res.Trace[0].State))
+	}
+
+	// safe variant: unreachable bad (counter is 3 bits, bad needs phantom)
+	c2 := aig.New()
+	b0 := c2.AddLatch(false)
+	junk := c2.AddLatch(true)
+	c2.SetNext(b0, b0) // stuck at 0
+	c2.SetNext(junk, junk.Not())
+	c2.SetBad(b0)
+	res2 := Check(c2, Options{})
+	if res2.Verdict != Safe {
+		t.Fatalf("safe verdict = %v", res2.Verdict)
+	}
+	validateInvariant(t, c2, res2.Invariant)
+}
+
+func TestCertifyBooleanInvariants(t *testing.T) {
+	for _, c := range []*aig.Circuit{
+		aig.SafeCounter(5),
+		aig.ShiftRegister(6),
+	} {
+		res := Check(c, Options{})
+		if res.Verdict != Safe {
+			t.Fatalf("verdict = %v", res.Verdict)
+		}
+		if err := VerifyInvariant(c, res.Invariant); err != nil {
+			t.Errorf("certification failed: %v", err)
+		}
+	}
+}
+
+func TestCertifyRejectsBogus(t *testing.T) {
+	c := aig.Counter(4, 9) // unsafe: no invariant exists
+	// bogus claim: "counter value >= 8 unreachable"
+	bogus := []Cube{{{Idx: 3, Val: true}}}
+	if err := VerifyInvariant(c, bogus); err == nil {
+		t.Error("bogus invariant certified")
+	}
+	// cube containing the initial state
+	bogus2 := []Cube{{{Idx: 0, Val: false}}}
+	if err := VerifyInvariant(c, bogus2); err == nil {
+		t.Error("init-containing cube certified")
+	}
+}
+
+// TestQuickCertifyRandomSafe: every Safe verdict on random circuits
+// carries a certifiable invariant.
+func TestQuickCertifyRandomSafe(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ 0xce57))
+		c := randomCircuit(r)
+		res := Check(c, Options{MaxFrames: 60})
+		if res.Verdict != Safe {
+			return true
+		}
+		return VerifyInvariant(c, res.Invariant) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Errorf("random certify: %v", err)
+	}
+}

@@ -1,0 +1,123 @@
+package ic3icp
+
+import (
+	"fmt"
+
+	"icpic3/internal/expr"
+	"icpic3/internal/icp"
+	"icpic3/internal/tnf"
+	"icpic3/internal/ts"
+)
+
+// VerifyInvariant independently certifies a Safe verdict: it checks with
+// fresh solver instances that Inv = Prop ∧ ⋀ ¬cube is a safe inductive
+// invariant of the system, i.e.
+//
+//  1. Init ⊆ Inv   (Init ∧ ¬Prop and Init ∧ cube are UNSAT for every cube)
+//  2. Inv ∧ T ⊆ Inv'  (Inv ∧ T ∧ ¬Prop' and Inv ∧ T ∧ cube' are UNSAT)
+//  3. Inv ⊆ Prop   (trivial: Prop is a conjunct of Inv)
+//
+// All checks rely only on the UNSAT side of the ICP solver, which is
+// sound over the reals, so a nil return is a genuine proof certificate.
+// A non-nil error names the failed (or undecided) obligation.
+func VerifyInvariant(sys *ts.System, invariant []Cube, opts icp.Options) error {
+	if err := sys.Validate(); err != nil {
+		return err
+	}
+	if opts.Eps <= 0 {
+		opts.Eps = 1e-5
+	}
+
+	// --- obligation 1: Init ⊆ Inv ------------------------------------
+	initSys := tnf.NewSystem()
+	initIDs, err := sys.DeclareStep(initSys, 0)
+	if err != nil {
+		return err
+	}
+	if err := initSys.Assert(ts.AtStep(sys.Init, 0)); err != nil {
+		return err
+	}
+	badInit, err := initSys.CompileBool(expr.Not(ts.AtStep(sys.Prop, 0)))
+	if err != nil {
+		return err
+	}
+	initSolver := icp.New(initSys, opts)
+	if r := initSolver.Solve([]tnf.Lit{badInit}); r.Status != icp.StatusUnsat {
+		return fmt.Errorf("ic3icp: certify: Init ∧ ¬Prop is %v", r.Status)
+	}
+	name2idx := map[string]int{}
+	for i, v := range sys.Vars {
+		name2idx[v.Name] = i
+	}
+	litsOn := func(c Cube, ids []tnf.VarID) ([]tnf.Lit, error) {
+		out := make([]tnf.Lit, len(c))
+		for i, b := range c {
+			idx, ok := name2idx[b.Var]
+			if !ok {
+				return nil, fmt.Errorf("ic3icp: certify: unknown variable %q", b.Var)
+			}
+			dir := tnf.DirGe
+			if b.Le {
+				dir = tnf.DirLe
+			}
+			out[i] = tnf.Lit{Var: ids[idx], Dir: dir, B: b.B, Strict: b.Strict}
+		}
+		return out, nil
+	}
+	for _, c := range invariant {
+		lits, err := litsOn(c, initIDs)
+		if err != nil {
+			return err
+		}
+		if r := initSolver.Solve(lits); r.Status != icp.StatusUnsat {
+			return fmt.Errorf("ic3icp: certify: Init ∧ (%s) is %v", c, r.Status)
+		}
+	}
+
+	// --- obligation 2: Inv ∧ T ⊆ Inv' ---------------------------------
+	stepSys := tnf.NewSystem()
+	curIDs, err := sys.DeclareStep(stepSys, 0)
+	if err != nil {
+		return err
+	}
+	nextIDs, err := sys.DeclareStep(stepSys, 1)
+	if err != nil {
+		return err
+	}
+	if err := stepSys.Assert(ts.AtStep(sys.Trans, 0)); err != nil {
+		return err
+	}
+	if err := stepSys.Assert(ts.AtStep(sys.Prop, 0)); err != nil {
+		return err
+	}
+	badNext, err := stepSys.CompileBool(expr.Not(ts.AtStep(sys.Prop, 1)))
+	if err != nil {
+		return err
+	}
+	stepSolver := icp.New(stepSys, opts)
+	// Inv's ¬cube conjuncts over the current state
+	for _, c := range invariant {
+		lits, err := litsOn(c, curIDs)
+		if err != nil {
+			return err
+		}
+		cl := make(tnf.Clause, len(lits))
+		for i, l := range lits {
+			cl[i] = stepSys.NegLit(l)
+		}
+		stepSolver.AddClause(cl)
+	}
+	if r := stepSolver.Solve([]tnf.Lit{badNext}); r.Status != icp.StatusUnsat {
+		return fmt.Errorf("ic3icp: certify: Inv ∧ T ∧ ¬Prop' is %v", r.Status)
+	}
+	for _, c := range invariant {
+		lits, err := litsOn(c, nextIDs)
+		if err != nil {
+			return err
+		}
+		if r := stepSolver.Solve(lits); r.Status != icp.StatusUnsat {
+			return fmt.Errorf("ic3icp: certify: Inv ∧ T ∧ (%s)' is %v", c, r.Status)
+		}
+	}
+	return nil
+}

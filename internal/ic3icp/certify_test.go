@@ -1,0 +1,102 @@
+package ic3icp
+
+import (
+	"testing"
+
+	"icpic3/internal/engine"
+	"icpic3/internal/icp"
+)
+
+func TestCertifyDiscoveredInvariants(t *testing.T) {
+	// every Safe verdict's invariant must pass independent certification
+	srcs := []string{
+		`
+system decay
+var x : real [0, 10]
+init x >= 0 and x <= 6
+trans x' = x / 2
+prop x <= 8
+`,
+		`
+system frozen
+var x : real [0, 100]
+var y : real [0, 1]
+init x >= 0 and x <= 1 and y = 0
+trans x' = x + y and y' = y
+prop x <= 5
+`,
+		// (the vehicle attractor invariant also certifies, but its
+		// boundary-tight cube makes the step check take ~1 min; it is
+		// exercised by the examples instead)
+		`
+system logistic
+var x : real [0, 1]
+init x >= 0.1 and x <= 0.4
+trans x' = 2.5 * x * (1 - x)
+prop x <= 0.9
+`,
+	}
+	for _, src := range srcs {
+		sys := mustParse(t, src)
+		res, info := CheckFull(sys, Options{})
+		if res.Verdict != engine.Safe {
+			t.Fatalf("%s: verdict = %v (%s)", sys.Name, res.Verdict, res.Note)
+		}
+		if err := VerifyInvariant(sys, info.Invariant, icp.Options{}); err != nil {
+			t.Errorf("%s: certification failed: %v", sys.Name, err)
+		}
+	}
+}
+
+func TestCertifyRejectsBogusInvariant(t *testing.T) {
+	sys := mustParse(t, `
+system counter
+var x : real [0, 100]
+init x >= 0 and x <= 0
+trans x' = x + 1
+prop x <= 200
+`)
+	// claim "x > 5 is unreachable": false (x reaches 6)
+	bogus := []Cube{{{Var: "x", Le: false, B: 5, Strict: true}}}
+	if err := VerifyInvariant(sys, bogus, icp.Options{}); err == nil {
+		t.Error("bogus invariant certified")
+	}
+	// claim with a cube that intersects Init
+	bogus2 := []Cube{{{Var: "x", Le: true, B: 1}}}
+	if err := VerifyInvariant(sys, bogus2, icp.Options{}); err == nil {
+		t.Error("init-intersecting cube certified")
+	}
+	// unknown variable
+	bogus3 := []Cube{{{Var: "zzz", Le: true, B: 1}}}
+	if err := VerifyInvariant(sys, bogus3, icp.Options{}); err == nil {
+		t.Error("unknown-variable cube certified")
+	}
+}
+
+func TestCertifyRejectsUnsafeProp(t *testing.T) {
+	// a property violated from Init directly: obligation 1 must fail
+	sys := mustParse(t, `
+system bad
+var x : real [0, 10]
+init x >= 7
+trans x' = x
+prop x <= 5
+`)
+	if err := VerifyInvariant(sys, nil, icp.Options{}); err == nil {
+		t.Error("Init ∧ ¬Prop should fail certification")
+	}
+}
+
+func TestCertifyEmptyInvariant(t *testing.T) {
+	// a 1-inductive property certifies with no cubes at all
+	sys := mustParse(t, `
+system ind
+var x : real [0, 10]
+init x >= 0 and x <= 6
+trans x' = x / 2
+prop x <= 8
+`)
+	if err := VerifyInvariant(sys, nil, icp.Options{}); err != nil {
+		t.Errorf("1-inductive property failed: %v", err)
+	}
+}

@@ -1,0 +1,1239 @@
+// Package ic3icp implements the paper's contribution: IC3/PDR with
+// interval constraint propagation as the underlying solver, for safety
+// verification of transition systems with non-linear arithmetic.
+//
+// Differences from Boolean IC3 (package ic3bool):
+//
+//   - Cubes are interval boxes: conjunctions of bound literals
+//     (x >= lo, x <= hi) over the state variables.
+//   - A SAT answer of the CDCL(ICP) solver returns a whole box of
+//     predecessor states — a generalization for free compared to the
+//     single model of a SAT solver.
+//   - UNSAT answers come with assumption cores over the primed cube
+//     literals, enabling literal-drop generalization; bounds surviving the
+//     core can additionally be widened outward while the blocking query
+//     stays UNSAT ("stronger generalization", the ablation of Table III).
+//   - Init is a region, not a point: intersection checks are themselves
+//     ICP queries (UNSAT is sound; candidate answers route to
+//     counterexample validation).
+//   - Counterexample traces are ε-candidate chains and are validated by
+//     concrete replay before Unsafe is reported; a failed validation makes
+//     the engine answer Unknown, never a wrong verdict.
+package ic3icp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"icpic3/internal/engine"
+	"icpic3/internal/expr"
+	"icpic3/internal/icp"
+	"icpic3/internal/interval"
+	"icpic3/internal/tnf"
+	"icpic3/internal/ts"
+)
+
+// GenMode selects the generalization strategy for blocked cubes.
+type GenMode int
+
+const (
+	// GenNone blocks the full cube unchanged (ablation baseline).
+	GenNone GenMode = iota
+	// GenCore drops literals absent from the UNSAT core.
+	GenCore
+	// GenCoreWiden additionally widens surviving bounds outward while the
+	// blocking query remains UNSAT.
+	GenCoreWiden
+)
+
+func (g GenMode) String() string {
+	switch g {
+	case GenNone:
+		return "none"
+	case GenCore:
+		return "core"
+	case GenCoreWiden:
+		return "core+widen"
+	}
+	return "?"
+}
+
+// Options configures an IC3-ICP run.
+type Options struct {
+	// MaxFrames bounds the number of frames (0 = 200).
+	MaxFrames int
+	// Solver configures the underlying CDCL(ICP) solver (Eps default 1e-5).
+	Solver icp.Options
+	// ValidateTol is the counterexample validation tolerance
+	// (0 = 1000 * Eps).
+	ValidateTol float64
+	// Generalize selects the generalization strategy (default GenCoreWiden;
+	// note GenNone is the zero value and therefore must be requested via
+	// GeneralizeSet).
+	Generalize GenMode
+	// GeneralizeSet marks Generalize as explicitly chosen (lets GenNone be
+	// selectable despite being the zero value).
+	GeneralizeSet bool
+	// WidenRounds is the number of bisection steps when widening a bound
+	// outward (0 = 8, used only by GenCoreWiden).
+	WidenRounds int
+	// MaxObligations bounds the total proof obligations (0 = 200_000).
+	MaxObligations int64
+	// DebugTrace prints blocking activity to stdout (development aid).
+	DebugTrace bool
+	// Budget bounds the run.
+	Budget engine.Budget
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxFrames <= 0 {
+		o.MaxFrames = 200
+	}
+	if o.Solver.Eps <= 0 {
+		o.Solver.Eps = 1e-5
+	}
+	if o.ValidateTol <= 0 {
+		o.ValidateTol = 1000 * o.Solver.Eps
+	}
+	if !o.GeneralizeSet {
+		o.Generalize = GenCoreWiden
+	}
+	if o.WidenRounds <= 0 {
+		o.WidenRounds = 8
+	}
+	if o.MaxObligations <= 0 {
+		o.MaxObligations = 200_000
+	}
+	return o
+}
+
+// Bound is one literal of a state cube, in terms of the system's variable
+// names.
+type Bound struct {
+	Var    string
+	Le     bool // true: Var <= B (or < B when Strict); false: Var >= B (> B)
+	B      float64
+	Strict bool
+}
+
+func (b Bound) String() string {
+	op := "<="
+	if b.Le {
+		if b.Strict {
+			op = "<"
+		}
+	} else {
+		op = ">="
+		if b.Strict {
+			op = ">"
+		}
+	}
+	return fmt.Sprintf("%s%s%g", b.Var, op, b.B)
+}
+
+// Cube is a box: a conjunction of bounds.
+type Cube []Bound
+
+func (c Cube) String() string {
+	s := ""
+	for i, b := range c {
+		if i > 0 {
+			s += " & "
+		}
+		s += b.String()
+	}
+	return s
+}
+
+// Info carries IC3-specific detail beyond the engine result.
+type Info struct {
+	// Invariant holds the blocked cubes of the invariant frame (Safe):
+	// the inductive invariant is Prop ∧ ∧_c ¬c over the variable ranges.
+	Invariant []Cube
+	// Frames is the number of frames at termination.
+	Frames int
+}
+
+// checker is the per-run state.
+type checker struct {
+	sys  *ts.System
+	opts Options
+
+	// main solver: steps 0 (current) and 1 (next), Trans asserted
+	tnfMain   *tnf.System
+	main      *icp.Solver
+	curIDs    []tnf.VarID // state var ids at step 0
+	nextIDs   []tnf.VarID // state var ids at step 1
+	badLit    tnf.Lit     // !Prop over step-0 vars
+	badRobust tnf.Lit     // robust violation: !Weaken(Prop) over step-0 vars
+	runLit    tnf.Lit     // guards the transition relation
+
+	// init solver: step 0 only, Init asserted
+	tnfInit *tnf.System
+	init    *icp.Solver
+	initIDs []tnf.VarID
+
+	// prop solvers: step 0 only, used for widening bad boxes.
+	// prop asserts the δ-weakened property (box ∧ it UNSAT ⟺ box is
+	// robustly bad); propPlain asserts the exact property (⟺ box is bad).
+	tnfProp      *tnf.System
+	prop         *icp.Solver
+	propIDs      []tnf.VarID
+	tnfPropPlain *tnf.System
+	propPlain    *icp.Solver
+	propPlainIDs []tnf.VarID
+
+	frameAct []tnf.VarID // per-level activation variable (main solver)
+	frames   [][]icpCube // per-level blocked cubes
+	budget   engine.Budget
+	stats    map[string]int64
+
+	// counterexample-to-generalization machinery
+	ctgBudget   int     // remaining recursive CTG blocks for this obligation
+	lastWitness icpCube // predecessor box of the last failed block query
+
+	// F_∞: unguarded clauses from self-inductive blocked cubes
+	infCubes    []icpCube
+	provedByInf bool
+
+	sim *ts.Simulator // exact point replay for counterexample repair
+}
+
+// icpCube is a cube in solver terms: literals over curIDs.
+type icpCube []tnf.Lit
+
+// obligation is a pending blocking task.
+type obligation struct {
+	cube  icpCube
+	point ts.State // midpoint state used for trace reconstruction
+	frame int
+	depth int
+	succ  *obligation
+}
+
+type obQueue []*obligation
+
+func (q obQueue) Len() int { return len(q) }
+func (q obQueue) Less(i, j int) bool {
+	if q[i].frame != q[j].frame {
+		return q[i].frame < q[j].frame
+	}
+	return q[i].depth > q[j].depth
+}
+func (q obQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *obQueue) Push(x interface{}) { *q = append(*q, x.(*obligation)) }
+func (q *obQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// Check model-checks AG Prop on the system.
+func Check(sys *ts.System, opts Options) engine.Result {
+	res, _ := CheckFull(sys, opts)
+	return res
+}
+
+// CheckFull is Check returning IC3-specific detail.
+func CheckFull(sys *ts.System, opts Options) (engine.Result, *Info) {
+	opts = opts.withDefaults()
+	budget := opts.Budget.Start()
+	info := &Info{}
+	if err := sys.Validate(); err != nil {
+		return engine.Result{Verdict: engine.Unknown, Note: err.Error()}, info
+	}
+	userStop := opts.Solver.Stop
+	opts.Solver.Stop = func() bool {
+		return budget.Expired() || (userStop != nil && userStop())
+	}
+
+	ch := &checker{sys: sys, opts: opts, budget: budget, stats: map[string]int64{}}
+	if err := ch.build(); err != nil {
+		return engine.Result{Verdict: engine.Unknown, Note: err.Error()}, info
+	}
+	res := ch.run(info)
+	res.Runtime = budget.Elapsed()
+	res.Stats = ch.stats
+	return res, info
+}
+
+// build compiles the two solver instances.
+func (ch *checker) build() error {
+	sys := ch.sys
+
+	ch.tnfMain = tnf.NewSystem()
+	cur, err := sys.DeclareStep(ch.tnfMain, 0)
+	if err != nil {
+		return err
+	}
+	next, err := sys.DeclareStep(ch.tnfMain, 1)
+	if err != nil {
+		return err
+	}
+	ch.curIDs, ch.nextIDs = cur, next
+	// The transition relation is guarded by a run literal: blocking and
+	// propagation queries assume it, while bad-state queries leave it free
+	// so that property-violating states without successors (possible when
+	// variable ranges truncate the dynamics) are still found.
+	runID, err := ch.tnfMain.AddBool(".run")
+	if err != nil {
+		return err
+	}
+	ch.runLit = tnf.MkGe(runID, 1)
+	transLit, err := ch.tnfMain.CompileBool(ts.AtStep(sys.Trans, 0))
+	if err != nil {
+		return err
+	}
+	ch.tnfMain.AddClause(tnf.Clause{tnf.MkLe(runID, 0), transLit})
+	bad, err := ch.tnfMain.CompileBool(expr.Not(ts.AtStep(sys.Prop, 0)))
+	if err != nil {
+		return err
+	}
+	ch.badLit = bad
+	badR, err := ch.tnfMain.CompileBool(expr.Not(expr.Weaken(ts.AtStep(sys.Prop, 0), 2*ch.opts.ValidateTol)))
+	if err != nil {
+		return err
+	}
+	ch.badRobust = badR
+	ch.main = icp.New(ch.tnfMain, ch.opts.Solver)
+
+	ch.tnfInit = tnf.NewSystem()
+	ids, err := sys.DeclareStep(ch.tnfInit, 0)
+	if err != nil {
+		return err
+	}
+	ch.initIDs = ids
+	if err := ch.tnfInit.Assert(ts.AtStep(sys.Init, 0)); err != nil {
+		return err
+	}
+	ch.init = icp.New(ch.tnfInit, ch.opts.Solver)
+
+	// The prop solver asserts the δ-weakened property: a box is disjoint
+	// from it exactly when every state in the box violates Prop robustly
+	// (by margin δ), so widened bad cubes only contain validatable
+	// violations.  δ matches the robust bad-state query margin.
+	ch.tnfProp = tnf.NewSystem()
+	pids, err := sys.DeclareStep(ch.tnfProp, 0)
+	if err != nil {
+		return err
+	}
+	ch.propIDs = pids
+	weak := expr.Simplify(expr.Weaken(ts.AtStep(sys.Prop, 0), 2*ch.opts.ValidateTol))
+	if err := ch.tnfProp.Assert(weak); err != nil {
+		return err
+	}
+	ch.prop = icp.New(ch.tnfProp, ch.opts.Solver)
+
+	ch.tnfPropPlain = tnf.NewSystem()
+	ppids, err := sys.DeclareStep(ch.tnfPropPlain, 0)
+	if err != nil {
+		return err
+	}
+	ch.propPlainIDs = ppids
+	if err := ch.tnfPropPlain.Assert(ts.AtStep(sys.Prop, 0)); err != nil {
+		return err
+	}
+	ch.propPlain = icp.New(ch.tnfPropPlain, ch.opts.Solver)
+	return nil
+}
+
+// onProp maps cube literals onto the prop solver's variables.
+func (ch *checker) onProp(c icpCube) []tnf.Lit {
+	idx := make(map[tnf.VarID]int, len(ch.curIDs))
+	for i, id := range ch.curIDs {
+		idx[id] = i
+	}
+	out := make([]tnf.Lit, len(c))
+	for i, l := range c {
+		out[i] = tnf.Lit{Var: ch.propIDs[idx[l.Var]], Dir: l.Dir, B: l.B, Strict: l.Strict}
+	}
+	return out
+}
+
+// entirelyBad reports whether the box is provably contained in the
+// robust-violation region (¬Weaken(Prop, δ)).
+func (ch *checker) entirelyBad(c icpCube) bool {
+	if len(c) == 0 {
+		return false
+	}
+	ch.stats["propQueries"]++
+	r := ch.prop.Solve(ch.onProp(c))
+	return r.Status == icp.StatusUnsat
+}
+
+// entirelyBadPlain reports whether the box is provably contained in ¬Prop.
+func (ch *checker) entirelyBadPlain(c icpCube) bool {
+	if len(c) == 0 {
+		return false
+	}
+	ch.stats["propQueries"]++
+	idx := make(map[tnf.VarID]int, len(ch.curIDs))
+	for i, id := range ch.curIDs {
+		idx[id] = i
+	}
+	lits := make([]tnf.Lit, len(c))
+	for i, l := range c {
+		lits[i] = tnf.Lit{Var: ch.propPlainIDs[idx[l.Var]], Dir: l.Dir, B: l.B, Strict: l.Strict}
+	}
+	r := ch.propPlain.Solve(lits)
+	return r.Status == icp.StatusUnsat
+}
+
+// widenBadCube expands a bad ε-box to a (locally) maximal box inside the
+// bad region, so one obligation covers the whole region instead of an
+// ε-sliver enumeration.  Robustly-bad boxes widen within the robust
+// region (their obligation chains yield validatable counterexamples);
+// boundary boxes — violations by less than the validation margin — widen
+// within the plain region so the boundary shell is blocked wholesale.
+func (ch *checker) widenBadCube(c icpCube) icpCube {
+	if ch.entirelyBad(c) {
+		return ch.widenCubeWith(c, ch.entirelyBad)
+	}
+	if ch.entirelyBadPlain(c) {
+		return ch.widenCubeWith(c, ch.entirelyBadPlain)
+	}
+	return c
+}
+
+// widenCubeWith expands a cube to a (locally) maximal cube still
+// satisfying the given monotone predicate: per literal it tries dropping,
+// then a doubling advance, then bisection with a final strict-bound snap.
+func (ch *checker) widenCubeWith(c icpCube, test func(icpCube) bool) icpCube {
+	domOf := func(v tnf.VarID) interval.Interval {
+		for i, id := range ch.curIDs {
+			if id == v {
+				return ch.sys.Vars[i].Dom
+			}
+		}
+		return interval.Entire()
+	}
+	rounds := ch.opts.WidenRounds
+	for i := 0; i < len(c); i++ {
+		// try dropping the literal
+		if len(c) > 1 {
+			cand := make(icpCube, 0, len(c)-1)
+			cand = append(cand, c[:i]...)
+			cand = append(cand, c[i+1:]...)
+			if test(cand) {
+				c = cand
+				i--
+				continue
+			}
+		}
+		l := c[i]
+		dom := domOf(l.Var)
+		limit := dom.Hi
+		if l.Dir == tnf.DirGe {
+			limit = dom.Lo
+		}
+		if l.B == limit || math.IsInf(limit, 0) {
+			continue
+		}
+		try := func(b float64, strict bool) bool {
+			cand := append(icpCube{}, c...)
+			cand[i] = tnf.Lit{Var: l.Var, Dir: l.Dir, B: b, Strict: strict}
+			return test(cand)
+		}
+		good, goodStrict := l.B, l.Strict
+		bad := math.NaN()
+		dir := 1.0
+		if limit < good {
+			dir = -1
+		}
+		span := math.Abs(limit - good)
+		step := math.Max(span/math.Pow(4, float64(rounds-1)),
+			math.Max(ch.opts.Solver.Eps, math.Abs(good)*1e-12))
+		for r := 0; r < rounds; r++ {
+			cand := good + dir*step
+			if (dir > 0 && cand >= limit) || (dir < 0 && cand <= limit) {
+				cand = limit
+			}
+			if cand == good {
+				break
+			}
+			if try(cand, false) {
+				good, goodStrict = cand, false
+				if cand == limit {
+					break
+				}
+				step *= 4
+			} else {
+				bad = cand
+				break
+			}
+		}
+		if !math.IsNaN(bad) {
+			for r := 0; r < rounds; r++ {
+				mid := good + (bad-good)/2
+				if mid == good || mid == bad || math.IsNaN(mid) {
+					break
+				}
+				if try(mid, false) {
+					good, goodStrict = mid, false
+				} else {
+					bad = mid
+				}
+			}
+			if try(bad, true) {
+				good, goodStrict = bad, true
+			}
+		}
+		if good != l.B || goodStrict != l.Strict {
+			c = append(icpCube{}, c...)
+			c[i] = tnf.Lit{Var: l.Var, Dir: l.Dir, B: good, Strict: goodStrict}
+		}
+	}
+	return c
+}
+
+// selfInductive reports whether the cube's complement is closed under the
+// transition relation on its own: ¬c ∧ T ∧ c' is UNSAT without any frame
+// clauses.  Such a cube can be excluded permanently (the F_∞ frame of
+// classical PDR implementations).
+func (ch *checker) selfInductive(c icpCube) bool {
+	if len(c) == 0 {
+		return false
+	}
+	ch.stats["infQueries"]++
+	tmp := ch.main.AddBoolVar(fmt.Sprintf(".inf%d", ch.stats["infQueries"]))
+	cl := append(tnf.Clause{tnf.MkLe(tmp, 0)}, ch.negCube(c)...)
+	ch.main.AddClause(cl)
+	assumps := []tnf.Lit{ch.runLit, tnf.MkGe(tmp, 1)}
+	assumps = append(assumps, ch.primed(c)...)
+	r := ch.main.Solve(assumps)
+	ch.main.AddClause(tnf.Clause{tnf.MkLe(tmp, 0)}) // retire
+	return r.Status == icp.StatusUnsat
+}
+
+// inductiveAndSeparate is the widening predicate for F_∞ promotion.
+func (ch *checker) inductiveAndSeparate(c icpCube) bool {
+	if intersects, _ := ch.initIntersects(c); intersects {
+		return false
+	}
+	return ch.selfInductive(c)
+}
+
+// promoteInductive checks whether cube c is self-inductive and disjoint
+// from Init; if so it widens it within that predicate, installs the
+// negation as an unguarded (F_∞) clause, and returns true.
+func (ch *checker) promoteInductive(c icpCube) bool {
+	if !ch.inductiveAndSeparate(c) {
+		return false
+	}
+	g := c
+	if ch.opts.Generalize == GenCoreWiden {
+		// widening the inductive cube is part of the "stronger
+		// generalization" strategy (the Table III ablation axis)
+		g = ch.widenCubeWith(c, ch.inductiveAndSeparate)
+	}
+	ch.infCubes = append(ch.infCubes, g)
+	ch.main.AddClause(ch.negCube(g))
+	ch.stats["infCubes"]++
+	if ch.opts.DebugTrace {
+		fmt.Printf("promote F_inf: %s\n", ch.exportCube(g))
+	}
+	return true
+}
+
+// globallySafe reports whether the F_∞ clauses alone already exclude every
+// property violation: then Prop ∧ the F_∞ clauses form a safe inductive
+// invariant and the run can stop.
+func (ch *checker) globallySafe() bool {
+	if len(ch.infCubes) == 0 {
+		return false
+	}
+	ch.stats["globalSafeChecks"]++
+	r := ch.main.Solve([]tnf.Lit{ch.badLit})
+	return r.Status == icp.StatusUnsat
+}
+
+// newFrame appends a frame level with a fresh activation variable.
+func (ch *checker) newFrame() {
+	name := fmt.Sprintf(".frame%d", len(ch.frameAct))
+	ch.frameAct = append(ch.frameAct, ch.main.AddBoolVar(name))
+	ch.frames = append(ch.frames, nil)
+}
+
+// actLits returns activation assumptions for F_i (levels >= i).
+func (ch *checker) actLits(i int) []tnf.Lit {
+	lits := make([]tnf.Lit, 0, len(ch.frameAct)-i)
+	for j := i; j < len(ch.frameAct); j++ {
+		lits = append(lits, tnf.MkGe(ch.frameAct[j], 1))
+	}
+	return lits
+}
+
+// boxCube extracts the state cube from a solution box, trimming bounds
+// that coincide with the variable's declared range (no information).
+func (ch *checker) boxCube(box []interval.Interval, ids []tnf.VarID) icpCube {
+	var cube icpCube
+	for i, v := range ch.sys.Vars {
+		b := box[ids[i]]
+		// express over the *current*-state ids regardless of which ids the
+		// box was read from
+		cid := ch.curIDs[i]
+		if b.Lo > v.Dom.Lo {
+			cube = append(cube, tnf.MkGe(cid, b.Lo))
+		}
+		if b.Hi < v.Dom.Hi {
+			cube = append(cube, tnf.MkLe(cid, b.Hi))
+		}
+	}
+	return cube
+}
+
+// boxCorner extracts a corner state of a box over the given ids.
+func (ch *checker) boxCorner(box []interval.Interval, ids []tnf.VarID, hi bool) ts.State {
+	st := ts.State{}
+	for i, v := range ch.sys.Vars {
+		b := box[ids[i]]
+		val := b.Lo
+		if hi {
+			val = b.Hi
+		}
+		if v.Kind != expr.KindReal {
+			val = math.Round(val)
+		}
+		st[v.Name] = val
+	}
+	return st
+}
+
+// boxPoint extracts the midpoint state of a box over the given ids.
+func (ch *checker) boxPoint(box []interval.Interval, ids []tnf.VarID) ts.State {
+	st := ts.State{}
+	for i, v := range ch.sys.Vars {
+		val := box[ids[i]].Mid()
+		if v.Kind != expr.KindReal {
+			val = math.Round(val)
+		}
+		st[v.Name] = val
+	}
+	return st
+}
+
+// primed maps cube literals onto the next-state variables.
+func (ch *checker) primed(c icpCube) []tnf.Lit {
+	idx := make(map[tnf.VarID]int, len(ch.curIDs))
+	for i, id := range ch.curIDs {
+		idx[id] = i
+	}
+	out := make([]tnf.Lit, len(c))
+	for i, l := range c {
+		out[i] = tnf.Lit{Var: ch.nextIDs[idx[l.Var]], Dir: l.Dir, B: l.B, Strict: l.Strict}
+	}
+	return out
+}
+
+// onInit maps cube literals onto the init solver's variables.
+func (ch *checker) onInit(c icpCube) []tnf.Lit {
+	idx := make(map[tnf.VarID]int, len(ch.curIDs))
+	for i, id := range ch.curIDs {
+		idx[id] = i
+	}
+	out := make([]tnf.Lit, len(c))
+	for i, l := range c {
+		out[i] = tnf.Lit{Var: ch.initIDs[idx[l.Var]], Dir: l.Dir, B: l.B, Strict: l.Strict}
+	}
+	return out
+}
+
+// negCube returns the clause ¬cube over the main solver's current vars
+// (relaxed negation; sound).
+func (ch *checker) negCube(c icpCube) tnf.Clause {
+	cl := make(tnf.Clause, len(c))
+	for i, l := range c {
+		cl[i] = ch.tnfMain.NegLit(l)
+	}
+	return cl
+}
+
+// initIntersects asks whether cube ∩ Init is (candidate-)satisfiable.
+// The bool result is true for "may intersect" (SAT or Unknown: sound side)
+// and false only when proven disjoint.
+func (ch *checker) initIntersects(c icpCube) (bool, *icp.Result) {
+	ch.stats["initQueries"]++
+	r := ch.init.Solve(ch.onInit(c))
+	if r.Status == icp.StatusUnsat {
+		return false, &r
+	}
+	return true, &r
+}
+
+// blockQuery asks SAT(F_{frame-1} ∧ ¬cube ∧ T ∧ cube').  On UNSAT it
+// returns the subset of cube literals in the assumption core.
+func (ch *checker) blockQuery(c icpCube, frame int) (icp.Result, icpCube) {
+	ch.stats["queries"]++
+	// one-shot activation variable for the ¬cube clause
+	tmp := ch.main.AddBoolVar(fmt.Sprintf(".tmp%d", ch.stats["queries"]))
+	cl := append(tnf.Clause{tnf.MkLe(tmp, 0)}, ch.negCube(c)...)
+	ch.main.AddClause(cl)
+
+	assumps := ch.actLits(frame - 1)
+	assumps = append(assumps, ch.runLit, tnf.MkGe(tmp, 1))
+	primed := ch.primed(c)
+	assumps = append(assumps, primed...)
+	r := ch.main.Solve(assumps)
+
+	var coreCube icpCube
+	if r.Status == icp.StatusUnsat {
+		inCore := make(map[tnf.Lit]bool, len(r.Core))
+		for _, l := range r.Core {
+			inCore[l] = true
+		}
+		for i, pl := range primed {
+			if inCore[pl] {
+				coreCube = append(coreCube, c[i])
+			}
+		}
+	}
+	ch.main.AddClause(tnf.Clause{tnf.MkLe(tmp, 0)}) // retire
+	return r, coreCube
+}
+
+// addBlockedCube installs ¬cube at the given frame level.
+func (ch *checker) addBlockedCube(c icpCube, level int) {
+	ch.stats["blockedCubes"]++
+	if ch.opts.DebugTrace {
+		fmt.Printf("block@%d: %s\n", level, ch.exportCube(c))
+	}
+	ch.frames[level] = append(ch.frames[level], c)
+	cl := append(tnf.Clause{tnf.MkLe(ch.frameAct[level], 0)}, ch.negCube(c)...)
+	ch.main.AddClause(cl)
+}
+
+// exportCube renders an icpCube with variable names.
+func (ch *checker) exportCube(c icpCube) Cube {
+	name := make(map[tnf.VarID]string, len(ch.curIDs))
+	for i, id := range ch.curIDs {
+		name[id] = ch.sys.Vars[i].Name
+	}
+	out := make(Cube, len(c))
+	for i, l := range c {
+		out[i] = Bound{Var: name[l.Var], Le: l.Dir == tnf.DirLe, B: l.B, Strict: l.Strict}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Var != out[j].Var {
+			return out[i].Var < out[j].Var
+		}
+		return out[i].Le && !out[j].Le
+	})
+	return out
+}
+
+// run executes the main IC3 loop.
+func (ch *checker) run(info *Info) engine.Result {
+	// Compile the remaining tnf-level content FIRST and sync it, so that
+	// tnf variable ids and solver variable ids stay aligned; from here on
+	// new variables enter only through Solver.AddBoolVar (activation and
+	// one-shot query variables), which the tnf systems never see.
+	initLit, err := ch.tnfMain.CompileBool(ts.AtStep(ch.sys.Init, 0))
+	if err != nil {
+		return engine.Result{Verdict: engine.Unknown, Note: err.Error()}
+	}
+	ch.main.Sync(ch.tnfMain)
+	badInit, err := ch.tnfInit.CompileBool(expr.Not(ts.AtStep(ch.sys.Prop, 0)))
+	if err != nil {
+		return engine.Result{Verdict: engine.Unknown, Note: err.Error()}
+	}
+	ch.init.Sync(ch.tnfInit)
+
+	// 0-step: Init ∧ !Prop
+	ch.stats["initQueries"]++
+	r0 := ch.init.Solve([]tnf.Lit{badInit})
+	if r0.Status == icp.StatusSat {
+		trace := []ts.State{ch.boxPoint(r0.Box, ch.initIDs)}
+		if verr := ch.sys.ValidateTrace(trace, ch.opts.ValidateTol); verr == nil {
+			return engine.Result{Verdict: engine.Unsafe, Trace: trace, Depth: 0}
+		}
+		return engine.Result{Verdict: engine.Unknown, Note: "0-step candidate failed validation"}
+	}
+	if r0.Status == icp.StatusUnknown {
+		return engine.Result{Verdict: engine.Unknown, Note: "solver budget (0-step)"}
+	}
+
+	// Frame 0 = Init: the main solver encodes F_0 by asserting Init over
+	// the step-0 variables guarded by act_0.
+	ch.newFrame() // level 0
+	ch.main.AddClause(tnf.Clause{tnf.MkLe(ch.frameAct[0], 0), initLit})
+	ch.newFrame() // level 1
+
+	k := 1
+	for k < ch.opts.MaxFrames {
+		if ch.budget.Expired() {
+			info.Frames = k
+			return engine.Result{Verdict: engine.Unknown, Depth: k, Note: "timeout"}
+		}
+		// block all bad states in F_k.  Robustly violating states are
+		// searched first (boundary-only violations cannot be validated as
+		// counterexamples); the plain query provides the sound UNSAT side.
+		for {
+			ch.stats["queries"]++
+			r := ch.main.Solve(append(ch.actLits(k), ch.badRobust))
+			if r.Status == icp.StatusUnsat {
+				ch.stats["queries"]++
+				r = ch.main.Solve(append(ch.actLits(k), ch.badLit))
+			}
+			if r.Status == icp.StatusUnsat {
+				break
+			}
+			if r.Status == icp.StatusUnknown {
+				info.Frames = k
+				return engine.Result{Verdict: engine.Unknown, Depth: k, Note: "solver budget (bad query)"}
+			}
+			bad := ch.widenBadCube(ch.boxCube(r.Box, ch.curIDs))
+			if ch.opts.DebugTrace {
+				fmt.Printf("getBad k=%d cube=%s\n", k, ch.exportCube(bad))
+			}
+			root := &obligation{cube: bad, point: ch.boxPoint(r.Box, ch.curIDs), frame: k, depth: 0}
+			verdict, res := ch.block(root, k)
+			if verdict != engine.Safe { // Unsafe or Unknown bubble up
+				info.Frames = k
+				res.Depth = max(res.Depth, 0)
+				return res
+			}
+			if ch.provedByInf {
+				// the F_∞ clauses alone exclude all violations: Prop plus
+				// their conjunction is a safe inductive invariant
+				for _, c := range ch.infCubes {
+					info.Invariant = append(info.Invariant, ch.exportCube(c))
+				}
+				info.Frames = k
+				return engine.Result{Verdict: engine.Safe, Depth: k}
+			}
+		}
+
+		// propagate clauses forward
+		ch.newFrame()
+		for i := 1; i <= k; i++ {
+			var kept []icpCube
+			for _, c := range ch.frames[i] {
+				r, _ := ch.blockQuery(c, i+1)
+				if r.Status == icp.StatusUnsat {
+					ch.addBlockedCube(c, i+1)
+					ch.stats["propagated"]++
+				} else {
+					kept = append(kept, c)
+				}
+			}
+			ch.frames[i] = kept
+			if len(kept) == 0 {
+				// F_i == F_{i+1}: inductive invariant
+				for j := i + 1; j < len(ch.frames); j++ {
+					for _, c := range ch.frames[j] {
+						info.Invariant = append(info.Invariant, ch.exportCube(c))
+					}
+				}
+				info.Frames = k
+				ch.stats["frames"] = int64(k)
+				return engine.Result{Verdict: engine.Safe, Depth: k}
+			}
+		}
+		k++
+		ch.stats["frames"] = int64(k)
+	}
+	info.Frames = k
+	return engine.Result{Verdict: engine.Unknown, Depth: k, Note: "frame budget"}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// block discharges the root obligation.  It returns Safe when all
+// obligations were blocked, Unsafe with a validated trace, or Unknown.
+func (ch *checker) block(root *obligation, k int) (engine.Verdict, engine.Result) {
+	var q obQueue
+	heap.Init(&q)
+	heap.Push(&q, root)
+
+	for q.Len() > 0 {
+		if ch.budget.Expired() {
+			return engine.Unknown, engine.Result{Verdict: engine.Unknown, Note: "timeout"}
+		}
+		ob := heap.Pop(&q).(*obligation)
+		ch.stats["obligations"]++
+		if ch.opts.DebugTrace {
+			fmt.Printf("pop frame=%d depth=%d cube=%s\n", ob.frame, ob.depth, ch.exportCube(ob.cube))
+		}
+		if ch.stats["obligations"] > ch.opts.MaxObligations {
+			return engine.Unknown, engine.Result{Verdict: engine.Unknown, Note: "obligation budget"}
+		}
+
+		// counterexample checks: frame 0 or cube touching Init
+		if ob.frame == 0 {
+			return ch.candidateCex(ob)
+		}
+		if intersects, _ := ch.initIntersects(ob.cube); intersects {
+			return ch.candidateCex(ob)
+		}
+
+		r, coreCube := ch.blockQuery(ob.cube, ob.frame)
+		switch r.Status {
+		case icp.StatusSat:
+			pred := ch.boxCube(r.Box, ch.curIDs)
+			heap.Push(&q, &obligation{
+				cube: pred, point: ch.boxPoint(r.Box, ch.curIDs),
+				frame: ob.frame - 1, depth: ob.depth + 1, succ: ob,
+			})
+			heap.Push(&q, ob)
+		case icp.StatusUnknown:
+			return engine.Unknown, engine.Result{Verdict: engine.Unknown, Note: "solver budget (block query)"}
+		case icp.StatusUnsat:
+			ch.ctgBudget = 16 // per-obligation allowance for CTG blocking
+			if ch.promoteInductive(ob.cube) {
+				// the cube's region is excluded forever; no frame-local
+				// bookkeeping or re-push needed
+				if ch.globallySafe() {
+					ch.provedByInf = true
+					return engine.Safe, engine.Result{}
+				}
+				continue
+			}
+			g := ch.generalize(ob.cube, coreCube, ob.frame)
+			ch.addBlockedCube(g, ob.frame)
+			if ob.frame < len(ch.frames)-1 {
+				ob.frame++
+				heap.Push(&q, ob)
+			}
+		}
+	}
+	return engine.Safe, engine.Result{}
+}
+
+// candidateCex validates the obligation chain as a concrete trace,
+// attempting an exact forward repair when the raw midpoint chain drifts.
+func (ch *checker) candidateCex(ob *obligation) (engine.Verdict, engine.Result) {
+	var trace []ts.State
+	for o := ob; o != nil; o = o.succ {
+		trace = append(trace, o.point)
+	}
+	// If the first state does not hit Init exactly (it is a box midpoint),
+	// try substituting a point from the init region query; corner points of
+	// the init box are kept as alternative starts for trace repair.
+	startVariants := []ts.State{trace[0]}
+	if ok, r := ch.initIntersects(ob.cube); ok && r.Status == icp.StatusSat {
+		trace[0] = ch.boxPoint(r.Box, ch.initIDs)
+		startVariants = []ts.State{trace[0]}
+		startVariants = append(startVariants,
+			ch.boxCorner(r.Box, ch.initIDs, false),
+			ch.boxCorner(r.Box, ch.initIDs, true))
+	}
+	if err := ch.sys.ValidateTrace(trace, ch.opts.ValidateTol); err == nil {
+		return engine.Unsafe, engine.Result{Verdict: engine.Unsafe, Trace: trace, Depth: len(trace) - 1}
+	}
+	for _, start := range startVariants {
+		cand := append([]ts.State{start}, trace[1:]...)
+		if ch.opts.DebugTrace {
+			fmt.Printf("repair attempt from %v over %v\n", start, trace)
+		}
+		if repaired, ok := ch.repairTrace(cand); ok {
+			ch.stats["repairedCex"]++
+			return engine.Unsafe, engine.Result{Verdict: engine.Unsafe, Trace: repaired, Depth: len(repaired) - 1}
+		}
+	}
+	ch.stats["spuriousCex"]++
+	return engine.Unknown, engine.Result{
+		Verdict: engine.Unknown,
+		Note:    fmt.Sprintf("candidate counterexample of length %d failed validation (ε-spurious)", len(trace)),
+	}
+}
+
+// repairTrace rebuilds the candidate trace as an exact trajectory: starting
+// from the validated initial point it advances step by step with point ICP
+// queries (current state fixed, successor guided toward the candidate's
+// next state), then re-validates.  This recovers genuine counterexamples
+// from ε-drifted obligation chains.
+func (ch *checker) repairTrace(cand []ts.State) ([]ts.State, bool) {
+	if len(cand) == 0 || ch.budget.Expired() {
+		return nil, false
+	}
+	out := []ts.State{cand[0]}
+	cur := cand[0]
+	slack := math.Max(ch.opts.ValidateTol*10, 1e-6)
+	for i := 1; i < len(cand); i++ {
+		next, ok := ch.stepFrom(cur, cand[i], slack)
+		if !ok {
+			// retry unguided: any successor
+			next, ok = ch.stepFrom(cur, nil, 0)
+			if !ok {
+				return nil, false
+			}
+		}
+		out = append(out, next)
+		cur = next
+	}
+	if err := ch.sys.ValidateTrace(out, ch.opts.ValidateTol); err == nil {
+		return out, true
+	}
+	// Overshoot: the exact replay may reach the violation a few steps
+	// after the (boundary-hugging) candidate length.
+	for extra := 0; extra < 8; extra++ {
+		next, ok := ch.stepFrom(cur, nil, 0)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, next)
+		cur = next
+		if v, err := ch.sys.Prop.EvalApprox(cur.Env(), ch.opts.ValidateTol); err == nil && v == 0 {
+			if err := ch.sys.ValidateTrace(out, ch.opts.ValidateTol); err == nil {
+				ch.stats["overshoot"]++
+				return out, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// stepFrom solves Trans(cur, ·) with the current state pinned; when guide
+// is non-nil the successor is constrained to lie within slack of it.
+func (ch *checker) stepFrom(cur ts.State, guide ts.State, slack float64) (ts.State, bool) {
+	if ch.sim == nil {
+		ch.sim = ts.NewSimulator(ch.sys, math.Min(ch.opts.Solver.Eps, 1e-9))
+	}
+	return ch.sim.Step(cur, guide, slack)
+}
+
+// generalize shrinks/widens a blocked cube per the configured mode.
+func (ch *checker) generalize(c, coreCube icpCube, frame int) icpCube {
+	if ch.opts.Generalize == GenNone {
+		return c
+	}
+	g := coreCube
+	if len(g) == 0 {
+		g = c
+	}
+	// the generalized cube must stay disjoint from Init
+	if intersects, _ := ch.initIntersects(g); intersects {
+		g = ch.restoreInitSeparation(c, g)
+	}
+	ch.stats["coreDropped"] += int64(len(c) - len(g))
+
+	if ch.opts.Generalize != GenCoreWiden {
+		return g
+	}
+	// widen each bound outward toward the variable's range; a fully
+	// widened bound is dropped
+	domOf := func(v tnf.VarID) interval.Interval {
+		for i, id := range ch.curIDs {
+			if id == v {
+				return ch.sys.Vars[i].Dom
+			}
+		}
+		return interval.Entire()
+	}
+	for i := 0; i < len(g); i++ {
+		// try dropping the literal entirely
+		if cand, ok := ch.tryDrop(g, i, frame); ok {
+			g = cand
+			i--
+			continue
+		}
+		l := g[i]
+		dom := domOf(l.Var)
+		var limit float64
+		if l.Dir == tnf.DirLe {
+			limit = dom.Hi
+		} else {
+			limit = dom.Lo
+		}
+		if l.B == limit || math.IsInf(limit, 0) {
+			continue
+		}
+		if wl, ok := ch.widenLit(g, i, limit, frame); ok {
+			g = append(icpCube{}, g...)
+			g[i] = wl
+			ch.stats["widened"]++
+		}
+	}
+	return g
+}
+
+// widenLit searches for the weakest still-blocked variant of literal i:
+// first an exponential (doubling) advance from the current bound toward
+// the range limit, then bisection inside the failure bracket, and finally
+// a strict-bound snap exactly at the failure point — the half-open cube
+// [.., bad) is often blockable even when the closed cube [.., bad] is not,
+// and it eliminates the ε-sliver crawl at reachability boundaries.
+func (ch *checker) widenLit(g icpCube, i int, limit float64, frame int) (tnf.Lit, bool) {
+	l := g[i]
+	tryBound := func(b float64, strict bool) bool {
+		wl := tnf.Lit{Var: l.Var, Dir: l.Dir, B: b, Strict: strict}
+		cand := append(icpCube{}, g...)
+		cand[i] = wl
+		ok := ch.blockedAndSeparate(cand, frame)
+		if ch.opts.DebugTrace {
+			fmt.Printf("  widen try %s strict=%v -> %v\n", wl, strict, ok)
+		}
+		return ok
+	}
+	good := l.B
+	goodStrict := l.Strict
+	bad := math.NaN() // no known failure yet
+	dir := 1.0
+	if limit < good {
+		dir = -1
+	}
+	rounds := ch.opts.WidenRounds
+	// size the first step so the doubling phase can span the whole range
+	// within its round budget
+	span := math.Abs(limit - good)
+	step := math.Max(span/math.Pow(4, float64(rounds-1)),
+		math.Max(ch.opts.Solver.Eps, math.Abs(good)*1e-12))
+
+	// doubling phase: advance geometrically from the current bound
+	for r := 0; r < rounds; r++ {
+		cand := good + dir*step
+		if (dir > 0 && cand >= limit) || (dir < 0 && cand <= limit) {
+			cand = limit
+		}
+		if cand == good {
+			break
+		}
+		if tryBound(cand, false) {
+			good, goodStrict = cand, false
+			if cand == limit {
+				break
+			}
+			step *= 4
+		} else {
+			bad = cand
+			break
+		}
+	}
+	// bisection phase inside (good, bad)
+	if !math.IsNaN(bad) {
+		for r := 0; r < rounds; r++ {
+			mid := good + (bad-good)/2
+			if mid == good || mid == bad || math.IsNaN(mid) {
+				break
+			}
+			if tryBound(mid, false) {
+				good, goodStrict = mid, false
+			} else {
+				bad = mid
+			}
+		}
+		// strict snap: the half-open cube up to (but excluding) bad.
+		// When the snap fails because of an unblocked predecessor at the
+		// previous frame (a counterexample to generalization), try to
+		// block that predecessor there and retry.
+		snap := func() bool {
+			for attempt := 0; attempt < 3; attempt++ {
+				if tryBound(bad, true) {
+					good, goodStrict = bad, true
+					ch.stats["strictSnap"]++
+					return true
+				}
+				w := ch.lastWitness
+				if w == nil || !ch.blockCTG(w, frame-1) {
+					return false
+				}
+			}
+			return false
+		}
+		if !snap() {
+			// full-precision refinement: converge the bracket to the exact
+			// obstruction boundary, then snap once more.  This collapses
+			// ε-sliver crawls at region boundaries (e.g. the edge of the
+			// initial region or of the reachable frontier).
+			for r := 0; r < 64; r++ {
+				mid := good + (bad-good)/2
+				if mid == good || mid == bad || math.IsNaN(mid) {
+					break
+				}
+				if tryBound(mid, false) {
+					good, goodStrict = mid, false
+				} else {
+					bad = mid
+				}
+			}
+			if snap() {
+				ch.stats["fineSnap"]++
+			}
+		}
+	}
+	if good == l.B && goodStrict == l.Strict {
+		return l, false
+	}
+	return tnf.Lit{Var: l.Var, Dir: l.Dir, B: good, Strict: goodStrict}, true
+}
+
+// tryDrop removes literal i from g if the remainder stays blocked and
+// disjoint from Init.
+func (ch *checker) tryDrop(g icpCube, i, frame int) (icpCube, bool) {
+	if len(g) <= 1 {
+		return g, false
+	}
+	cand := make(icpCube, 0, len(g)-1)
+	cand = append(cand, g[:i]...)
+	cand = append(cand, g[i+1:]...)
+	if ch.blockedAndSeparate(cand, frame) {
+		ch.stats["widenDropped"]++
+		return cand, true
+	}
+	return g, false
+}
+
+// blockedAndSeparate reports whether cand is still blocked relative to
+// F_{frame-1} and provably disjoint from Init.
+func (ch *checker) blockedAndSeparate(cand icpCube, frame int) bool {
+	ch.lastWitness = nil
+	if intersects, _ := ch.initIntersects(cand); intersects {
+		return false
+	}
+	r, _ := ch.blockQuery(cand, frame)
+	if r.Status == icp.StatusSat {
+		ch.lastWitness = ch.boxCube(r.Box, ch.curIDs)
+	}
+	return r.Status == icp.StatusUnsat
+}
+
+// blockCTG attempts to block a counterexample-to-generalization cube at
+// the given frame: a state that obstructs widening but may itself be
+// unreachable there.  Bounded by the per-obligation CTG budget; failures
+// are silently dropped (never treated as counterexamples).
+func (ch *checker) blockCTG(w icpCube, frame int) bool {
+	if frame < 1 || ch.ctgBudget <= 0 || len(w) == 0 || ch.budget.Expired() {
+		return false
+	}
+	ch.ctgBudget--
+	if intersects, _ := ch.initIntersects(w); intersects {
+		return false
+	}
+	r, coreCube := ch.blockQuery(w, frame)
+	if r.Status != icp.StatusUnsat {
+		return false
+	}
+	ch.stats["ctgBlocked"]++
+	g := ch.generalize(w, coreCube, frame)
+	ch.addBlockedCube(g, frame)
+	return true
+}
+
+// restoreInitSeparation adds literals of c back into g until the cube is
+// provably disjoint from Init again.
+func (ch *checker) restoreInitSeparation(c, g icpCube) icpCube {
+	have := make(map[tnf.Lit]bool, len(g))
+	for _, l := range g {
+		have[l] = true
+	}
+	out := append(icpCube{}, g...)
+	for _, l := range c {
+		if have[l] {
+			continue
+		}
+		out = append(out, l)
+		if intersects, _ := ch.initIntersects(out); !intersects {
+			return out
+		}
+	}
+	return out // full cube; caller checked Init ∩ c = ∅ earlier
+}

@@ -1,0 +1,153 @@
+package icp
+
+import (
+	"icpic3/internal/tnf"
+)
+
+// analyze performs 1-UIP conflict analysis at conflict level clevel
+// (> nAssump).  It returns the learned clause, the asserting literal
+// (negation of the UIP bound), and the backjump level.
+//
+// The learned clause is the negation of a set of trail bounds whose
+// conjunction was shown contradictory; negation is relaxed for real
+// variables (closed bounds), which keeps the clause implied by the system
+// over the reals.
+func (s *Solver) analyze(cf *conflict, clevel int32) (tnf.Clause, tnf.Lit, int32, bool) {
+	seen := make(map[int32]bool, len(cf.ante)*2)
+	counter := 0
+	var lower []int32
+
+	var mark func(a int32)
+	mark = func(a int32) {
+		if a < 0 || seen[a] {
+			return
+		}
+		seen[a] = true
+		s.bumpActivity(s.trail[a].v)
+		lv := s.trail[a].level
+		switch {
+		case lv == 0:
+			// implied by the formula alone: contributes nothing
+		case lv == clevel:
+			counter++
+		default:
+			lower = append(lower, a)
+		}
+	}
+	for _, a := range cf.ante {
+		mark(a)
+	}
+
+	var uip int32 = -1
+	if counter > 0 {
+		idx := int32(len(s.trail)) - 1
+		for {
+			for idx >= 0 && (!seen[idx] || s.trail[idx].level != clevel) {
+				idx--
+			}
+			if idx < 0 {
+				return nil, tnf.Lit{}, 0, false // should not happen
+			}
+			if counter == 1 {
+				uip = idx
+				break
+			}
+			e := &s.trail[idx]
+			seen[idx] = false
+			counter--
+			for _, a := range e.ante {
+				mark(a)
+			}
+			idx--
+		}
+	} else {
+		// conflict consists entirely of lower-level events: treat the
+		// deepest one as the UIP
+		var deepest int32 = -1
+		var deepLv int32 = -1
+		for i, a := range lower {
+			if s.trail[a].level > deepLv {
+				deepLv = s.trail[a].level
+				deepest = int32(i)
+			}
+		}
+		if deepest < 0 {
+			return nil, tnf.Lit{}, 0, false // conflict at level 0
+		}
+		uip = lower[deepest]
+		lower = append(lower[:deepest], lower[deepest+1:]...)
+	}
+
+	assertLit := s.negLit(s.trail[uip].lit())
+	// build the learned clause with per-(var,dir) weakest-literal dedup
+	type key struct {
+		v tnf.VarID
+		d tnf.Dir
+	}
+	litMap := map[key]tnf.Lit{{assertLit.Var, assertLit.Dir}: assertLit}
+	btLevel := int32(0)
+	for _, a := range lower {
+		e := &s.trail[a]
+		if e.level > btLevel {
+			btLevel = e.level
+		}
+		l := s.negLit(e.lit())
+		k := key{l.Var, l.Dir}
+		if prev, ok := litMap[k]; ok {
+			// keep the weaker (more easily satisfied) literal; on equal
+			// bounds the non-strict one is weaker
+			if l.Dir == tnf.DirLe {
+				if l.B > prev.B || (l.B == prev.B && !l.Strict) {
+					litMap[k] = l
+				}
+			} else if l.B < prev.B || (l.B == prev.B && !l.Strict) {
+				litMap[k] = l
+			}
+		} else {
+			litMap[k] = l
+		}
+	}
+	learnt := make(tnf.Clause, 0, len(litMap))
+	learnt = append(learnt, litMap[key{assertLit.Var, assertLit.Dir}])
+	assertLit = learnt[0]
+	for k, l := range litMap {
+		if k.v == assertLit.Var && k.d == assertLit.Dir {
+			continue
+		}
+		learnt = append(learnt, l)
+	}
+	return learnt, assertLit, btLevel, true
+}
+
+// finalCore computes a subset of the current assumptions sufficient for
+// the conflict, by tracing antecedents back to assumption decisions.
+func (s *Solver) finalCore(ante []int32) []tnf.Lit {
+	seen := make(map[int32]bool)
+	stack := append([]int32{}, ante...)
+	coreSet := make(map[tnf.Lit]bool)
+	var core []tnf.Lit
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if a < 0 || seen[a] {
+			continue
+		}
+		seen[a] = true
+		e := &s.trail[a]
+		if e.level == 0 {
+			continue // formula-implied
+		}
+		if e.kind == reasonDecision {
+			if int(e.level) >= 1 && int(e.level) <= s.nAssump {
+				l := s.assumptions[e.level-1]
+				if !coreSet[l] {
+					coreSet[l] = true
+					core = append(core, l)
+				}
+			}
+			continue
+		}
+		stack = append(stack, e.ante...)
+	}
+	return core
+}

@@ -1,0 +1,307 @@
+package icp
+
+import (
+	"math"
+
+	"icpic3/internal/interval"
+	"icpic3/internal/tnf"
+)
+
+// propagate runs clause unit propagation and constraint contraction to a
+// fixed point, returning a conflict if one arises.
+func (s *Solver) propagate() *conflict {
+	// seed clauses added since the last call (they may be unit or false
+	// already under the current level-0 state)
+	if len(s.newClause) > 0 {
+		pending := s.newClause
+		s.newClause = nil
+		for _, ci := range pending {
+			if cf := s.checkClause(ci); cf != nil {
+				return cf
+			}
+		}
+	}
+	for {
+		progress := false
+		// scan new trail events for clause propagation
+		for s.propHead < int32(len(s.trail)) {
+			e := &s.trail[s.propHead]
+			s.propHead++
+			progress = true
+			var occ []int32
+			if e.side == sideLo {
+				occ = s.occLe[e.v] // raising lo can falsify (x <= c)
+			} else {
+				occ = s.occGe[e.v] // lowering hi can falsify (x >= c)
+			}
+			for _, ci := range occ {
+				if cf := s.checkClause(ci); cf != nil {
+					return cf
+				}
+			}
+		}
+		// contract one constraint from the queue
+		if len(s.conQueue) > 0 {
+			ci := s.conQueue[len(s.conQueue)-1]
+			s.conQueue = s.conQueue[:len(s.conQueue)-1]
+			s.inQueue[ci] = false
+			progress = true
+			if cf := s.revise(ci); cf != nil {
+				return cf
+			}
+		}
+		if !progress {
+			return nil
+		}
+	}
+}
+
+// checkClause examines clause ci: skips satisfied clauses, reports a
+// conflict if all literals are false, propagates a unit literal otherwise.
+func (s *Solver) checkClause(ci int32) *conflict {
+	c := &s.clauses[ci]
+	unitIdx := -1
+	for i, l := range c.lits {
+		if s.litTrue(l) {
+			return nil
+		}
+		if !s.litFalse(l) {
+			if unitIdx >= 0 {
+				return nil // two non-false literals: nothing to do
+			}
+			unitIdx = i
+		}
+	}
+	if unitIdx < 0 {
+		// all false: conflict, antecedents are the falsifying events
+		ante := make([]int32, 0, len(c.lits))
+		for _, l := range c.lits {
+			ante = append(ante, s.falsifyingEvent(l))
+		}
+		return &conflict{ante: ante}
+	}
+	// unit: assert lits[unitIdx]
+	ante := make([]int32, 0, len(c.lits)-1)
+	for i, l := range c.lits {
+		if i == unitIdx {
+			continue
+		}
+		ante = append(ante, s.falsifyingEvent(l))
+	}
+	cf, _ := s.assertLit(c.lits[unitIdx], reasonClause, ci, -1, ante)
+	return cf
+}
+
+// dom returns the current interval of v.
+func (s *Solver) dom(v tnf.VarID) interval.Interval {
+	return interval.New(s.lo[v], s.hi[v])
+}
+
+// revise runs HC4-revise on constraint ci: forward evaluation onto Z and
+// backward projections onto the arguments, applying any tightenings.
+func (s *Solver) revise(ci int32) *conflict {
+	c := s.cons[ci]
+	// snapshot antecedents: latest events of all involved variables
+	vars := s.conVarList(c)
+	ante := make([]int32, 0, 2*len(vars))
+	for _, v := range vars {
+		if e := s.lastLoEv[v]; e >= 0 {
+			ante = append(ante, e)
+		}
+		if e := s.lastHiEv[v]; e >= 0 {
+			ante = append(ante, e)
+		}
+	}
+
+	z, x := s.dom(c.Z), s.dom(c.X)
+	var y interval.Interval
+	binary := false
+	switch c.Op {
+	case tnf.ConAdd, tnf.ConMul, tnf.ConMin, tnf.ConMax:
+		y = s.dom(c.Y)
+		binary = true
+	}
+
+	// Linear operations propagate endpoint openness exactly (see
+	// openbounds.go); everything else uses closed outward-rounded interval
+	// arithmetic, which is sound but strictness-lossy.
+	switch c.Op {
+	case tnf.ConAdd: // z = x + y
+		zl, zh := s.loEpt(int32(c.Z)), s.hiEpt(int32(c.Z))
+		xl, xh := s.loEpt(int32(c.X)), s.hiEpt(int32(c.X))
+		yl, yh := s.loEpt(int32(c.Y)), s.hiEpt(int32(c.Y))
+		if cf := s.applyContractionE(c.Z, sumLo(xl, yl), sumHi(xh, yh), ci, ante); cf != nil {
+			return cf
+		}
+		if cf := s.applyContractionE(c.X, subLo(zl, yh), subHi(zh, yl), ci, ante); cf != nil {
+			return cf
+		}
+		return s.applyContractionE(c.Y, subLo(zl, xh), subHi(zh, xl), ci, ante)
+	case tnf.ConNeg: // z = -x
+		zl, zh := s.loEpt(int32(c.Z)), s.hiEpt(int32(c.Z))
+		xl, xh := s.loEpt(int32(c.X)), s.hiEpt(int32(c.X))
+		if cf := s.applyContractionE(c.Z, negOf(xh), negOf(xl), ci, ante); cf != nil {
+			return cf
+		}
+		return s.applyContractionE(c.X, negOf(zh), negOf(zl), ci, ante)
+	case tnf.ConMul: // z = x * y (forward openness; backward closed)
+		xl, xh := s.loEpt(int32(c.X)), s.hiEpt(int32(c.X))
+		yl, yh := s.loEpt(int32(c.Y)), s.hiEpt(int32(c.Y))
+		zlo, zhi := mulCorners(xl, xh, yl, yh)
+		if cf := s.applyContractionE(c.Z, zlo, zhi, ci, ante); cf != nil {
+			return cf
+		}
+		if cf := s.applyContraction(c.X, interval.InvMulX(z, y), ci, ante); cf != nil {
+			return cf
+		}
+		return s.applyContraction(c.Y, interval.InvMulX(z, x), ci, ante)
+	}
+
+	var nz, nx, ny interval.Interval
+	switch c.Op {
+	case tnf.ConMin: // z = min(x, y)
+		nz = x.Min(y)
+		nx, ny = invMinMax(z, x, y, true)
+	case tnf.ConMax:
+		nz = x.Max(y)
+		nx, ny = invMinMax(z, x, y, false)
+	case tnf.ConAbs:
+		nz = x.Abs()
+		nx = interval.InvAbs(z, x)
+	case tnf.ConPow:
+		nz = x.PowInt(c.N)
+		nx = interval.InvPowInt(z, x, c.N)
+	case tnf.ConSqrt:
+		nz = x.Sqrt()
+		nx = interval.InvSqrt(z)
+	case tnf.ConExp:
+		nz = x.Exp()
+		nx = interval.InvExp(z)
+	case tnf.ConLog:
+		nz = x.Log()
+		nx = interval.InvLog(z)
+	case tnf.ConSin:
+		nz = x.Sin()
+		nx = interval.InvSin(z, x)
+	case tnf.ConCos:
+		nz = x.Cos()
+		nx = interval.InvCos(z, x)
+	case tnf.ConTan:
+		nz = x.Tan()
+		nx = interval.InvTan(z, x)
+	case tnf.ConAtan:
+		nz = x.Atan()
+		nx = interval.InvAtan(z)
+	case tnf.ConTanh:
+		nz = x.Tanh()
+		nx = interval.InvTanh(z)
+	}
+
+	if cf := s.applyContraction(c.Z, nz, ci, ante); cf != nil {
+		return cf
+	}
+	if cf := s.applyContraction(c.X, nx, ci, ante); cf != nil {
+		return cf
+	}
+	if binary {
+		if cf := s.applyContraction(c.Y, ny, ci, ante); cf != nil {
+			return cf
+		}
+	}
+	return nil
+}
+
+// invMinMax projects z = min(x,y) (isMin) or z = max(x,y) onto x and y.
+func invMinMax(z, x, y interval.Interval, isMin bool) (nx, ny interval.Interval) {
+	if isMin {
+		// x >= z.Lo always; if y cannot achieve the min (y.Lo > z.Hi),
+		// x must equal z.
+		nx = x.Intersect(interval.New(z.Lo, posInf()))
+		if y.Lo > z.Hi {
+			nx = nx.Intersect(z)
+		}
+		ny = y.Intersect(interval.New(z.Lo, posInf()))
+		if x.Lo > z.Hi {
+			ny = ny.Intersect(z)
+		}
+		return nx, ny
+	}
+	nx = x.Intersect(interval.New(negInf(), z.Hi))
+	if y.Hi < z.Lo {
+		nx = nx.Intersect(z)
+	}
+	ny = y.Intersect(interval.New(negInf(), z.Hi))
+	if x.Hi < z.Lo {
+		ny = ny.Intersect(z)
+	}
+	return nx, ny
+}
+
+func posInf() float64 { return math.Inf(1) }
+func negInf() float64 { return math.Inf(-1) }
+
+// applyContractionE applies endpoint tightenings carrying openness flags.
+func (s *Solver) applyContractionE(v tnf.VarID, lo, hi ept, ci int32, ante []int32) *conflict {
+	cur := s.dom(v)
+	if interval.New(lo.v, hi.v).IsEmpty() && !(math.IsNaN(lo.v) || math.IsNaN(hi.v)) {
+		// the projection itself is empty: conflict regardless of progress
+		return &conflict{ante: append([]int32{}, ante...)}
+	}
+	threshold := s.contractionThreshold(cur)
+	if cf, applied := s.setBound(v, sideLo, lo.v, lo.open, threshold, reasonConstraint, -1, ci, ante); cf != nil {
+		return cf
+	} else if applied {
+		s.Stats.Contractions++
+	}
+	if cf, applied := s.setBound(v, sideHi, hi.v, hi.open, threshold, reasonConstraint, -1, ci, ante); cf != nil {
+		return cf
+	} else if applied {
+		s.Stats.Contractions++
+	}
+	return nil
+}
+
+// applyContraction intersects v's domain with nd and applies the resulting
+// bound tightenings with constraint ci as the reason.
+func (s *Solver) applyContraction(v tnf.VarID, nd interval.Interval, ci int32, ante []int32) *conflict {
+	cur := s.dom(v)
+	nd = cur.Intersect(nd)
+	if nd.IsEmpty() {
+		// empty intersection: conflict regardless of progress thresholds
+		cf := &conflict{ante: append([]int32{}, ante...)}
+		return cf
+	}
+	threshold := s.contractionThreshold(cur)
+	if nd.Lo > cur.Lo {
+		if cf, applied := s.setBound(v, sideLo, nd.Lo, false, threshold, reasonConstraint, -1, ci, ante); cf != nil {
+			return cf
+		} else if applied {
+			s.Stats.Contractions++
+		}
+	}
+	if nd.Hi < cur.Hi {
+		if cf, applied := s.setBound(v, sideHi, nd.Hi, false, threshold, reasonConstraint, -1, ci, ante); cf != nil {
+			return cf
+		} else if applied {
+			s.Stats.Contractions++
+		}
+	}
+	return nil
+}
+
+// contractionThreshold computes the minimal progress demanded for a
+// contraction of a domain of width w.
+func (s *Solver) contractionThreshold(cur interval.Interval) float64 {
+	w := cur.Width()
+	if w == 0 {
+		return s.opts.MinProgress
+	}
+	t := s.opts.ProgressFrac * w
+	if t < s.opts.MinProgress || t != t /* NaN */ {
+		t = s.opts.MinProgress
+	}
+	if t > 1e6 { // unbounded domains: any finite bound is progress
+		t = 1e6
+	}
+	return t
+}

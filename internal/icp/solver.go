@@ -1,0 +1,885 @@
+// Package icp implements an iSAT3-style CDCL(ICP) solver: a conflict-driven
+// clause-learning search whose literals are interval bounds (x <= c,
+// x >= c), whose deduction combines unit propagation over bound-literal
+// clauses with HC4-revise interval contraction of ternary-normal-form
+// arithmetic constraints, and whose decisions split interval domains.
+//
+// Soundness regime (exactly iSAT's): UNSAT answers are sound for the real
+// semantics of the input system; SAT answers are ε-candidate boxes that a
+// caller must validate (e.g. by concrete evaluation).  Assumption-based
+// solving with UNSAT-core extraction supports the IC3 use case.
+package icp
+
+import (
+	"math"
+
+	"icpic3/internal/interval"
+	"icpic3/internal/tnf"
+)
+
+// Status is the outcome of a Solve call.
+type Status int
+
+const (
+	// StatusSat means a candidate solution box was found (ε-SAT: must be
+	// validated by the caller for exactness).
+	StatusSat Status = iota
+	// StatusUnsat means the system has no real solution under the
+	// assumptions (sound).
+	StatusUnsat
+	// StatusUnknown means a resource budget was exhausted.
+	StatusUnknown
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusSat:
+		return "sat"
+	case StatusUnsat:
+		return "unsat"
+	case StatusUnknown:
+		return "unknown"
+	}
+	return "?"
+}
+
+// Result carries the outcome of a Solve call.
+type Result struct {
+	Status Status
+	// Box is the candidate solution box (indexed by VarID), set when
+	// Status == StatusSat.
+	Box []interval.Interval
+	// Core is a subset of the assumptions sufficient for unsatisfiability,
+	// set when Status == StatusUnsat.
+	Core []tnf.Lit
+}
+
+// Options configures the solver.
+type Options struct {
+	// Eps is the minimal splitting width: real variables with domains no
+	// wider than Eps are not split further.  Default 1e-4.
+	Eps float64
+	// ProgressFrac is the minimal relative progress a contraction must
+	// achieve to be recorded.  Default 0.05.
+	ProgressFrac float64
+	// MinProgress is the minimal absolute progress for contraction.
+	// Default Eps/8.
+	MinProgress float64
+	// MaxConflicts bounds the conflicts per Solve call (0 = default 200k).
+	MaxConflicts int64
+	// MaxDecisions bounds the decisions per Solve call (0 = default 2M).
+	MaxDecisions int64
+	// Stop, when non-nil, is polled periodically during Solve; returning
+	// true aborts the search with StatusUnknown (used for wall-clock
+	// budgets by the engines).
+	Stop func() bool
+	// UseActivity enables conflict-driven (VSIDS-style) branching on top
+	// of the width-first heuristic.  Off by default: the IC3 engines rely
+	// on deterministic width-first splits for box quality.
+	UseActivity bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Eps <= 0 {
+		o.Eps = 1e-4
+	}
+	if o.ProgressFrac <= 0 {
+		o.ProgressFrac = 0.05
+	}
+	if o.MinProgress <= 0 {
+		o.MinProgress = o.Eps / 8
+	}
+	if o.MaxConflicts <= 0 {
+		o.MaxConflicts = 200_000
+	}
+	if o.MaxDecisions <= 0 {
+		o.MaxDecisions = 2_000_000
+	}
+	return o
+}
+
+// Stats counts solver work across all Solve calls.
+type Stats struct {
+	Decisions    int64
+	Conflicts    int64
+	Propagations int64 // bound events
+	Contractions int64 // successful constraint tightenings
+	Learned      int64 // learned clauses
+	Solves       int64
+	Reductions   int64 // clause database reductions
+}
+
+const (
+	sideLo = 0 // event raised a lower bound
+	sideHi = 1 // event lowered an upper bound
+)
+
+type reasonKind int8
+
+const (
+	reasonDecision reasonKind = iota
+	reasonClause
+	reasonConstraint
+)
+
+// event records one bound tightening on the trail.
+type event struct {
+	v       tnf.VarID
+	side    int8
+	old     float64 // endpoint value before the event
+	oldOpen bool    // endpoint openness before the event
+	nb      float64 // endpoint value after the event
+	nbOpen  bool    // endpoint openness after the event
+	level   int32
+	kind    reasonKind
+	cl      int32   // clause index for reasonClause
+	con     int32   // constraint index for reasonConstraint
+	ante    []int32 // antecedent trail indices (-1 entries are skipped)
+}
+
+// lit returns the bound literal established by the event.
+func (e *event) lit() tnf.Lit {
+	if e.side == sideLo {
+		return tnf.Lit{Var: e.v, Dir: tnf.DirGe, B: e.nb, Strict: e.nbOpen}
+	}
+	return tnf.Lit{Var: e.v, Dir: tnf.DirLe, B: e.nb, Strict: e.nbOpen}
+}
+
+type clause struct {
+	lits    []tnf.Lit
+	learned bool
+}
+
+// conflict describes a dead end: the trail events that jointly imply false.
+type conflict struct {
+	ante []int32
+}
+
+// Solver is a CDCL(ICP) solver over a compiled tnf.System.
+// It is not safe for concurrent use.
+type Solver struct {
+	opts Options
+
+	vars           []tnf.VarInfo
+	initial        []interval.Interval // declared domains
+	lo, hi         []float64           // current domains
+	loOpen, hiOpen []bool              // endpoint openness (strict bounds)
+	activity       []float64           // conflict-driven branching activity
+	actInc         float64             // current activity increment
+
+	cons    []tnf.Constraint
+	varCons [][]int32 // var -> constraint indices
+
+	clauses []clause
+	occLe   [][]int32 // var -> clauses containing an (x <= c) literal
+	occGe   [][]int32 // var -> clauses containing an (x >= c) literal
+
+	trail     []event
+	trailLim  []int32 // trail length at the start of each level
+	lastLoEv  []int32 // var -> latest trail index that raised lo (-1 none)
+	lastHiEv  []int32
+	propHead  int32   // next trail index to scan for clause propagation
+	conQueue  []int32 // dirty constraints
+	inQueue   []bool
+	newClause []int32 // clauses added since last propagation (to seed)
+
+	nAssump     int       // number of assumption levels in current Solve
+	assumptions []tnf.Lit // current assumptions (indexed by level-1)
+
+	rootConflict bool // system is UNSAT at level 0
+
+	// Sync progress over the source tnf.System
+	nVarsSynced, nConsSynced, nClausesSynced int
+
+	lastReduceSize int // clause count at the last DB reduction
+
+	Stats Stats
+}
+
+// New builds a solver over the compiled system.  The system's clauses and
+// constraints are installed; the system may keep growing afterwards —
+// call Sync between Solve calls to pull in newly compiled variables,
+// constraints and clauses.
+func New(sys *tnf.System, opts Options) *Solver {
+	s := &Solver{opts: opts.withDefaults(), actInc: 1}
+	s.Sync(sys)
+	return s
+}
+
+// Sync pulls variables, constraints and clauses added to sys since the
+// last Sync (or New).  It must be called at decision level 0 (between
+// Solve calls).  Clauses added directly with AddClause are unaffected.
+func (s *Solver) Sync(sys *tnf.System) {
+	for _, vi := range sys.Vars[s.nVarsSynced:] {
+		s.addVarInfo(vi)
+	}
+	s.nVarsSynced = len(sys.Vars)
+	for _, c := range sys.Cons[s.nConsSynced:] {
+		s.addConstraint(c)
+	}
+	s.nConsSynced = len(sys.Cons)
+	for _, cl := range sys.Clauses[s.nClausesSynced:] {
+		s.AddClause(cl)
+	}
+	s.nClausesSynced = len(sys.Clauses)
+}
+
+func (s *Solver) addVarInfo(vi tnf.VarInfo) tnf.VarID {
+	id := tnf.VarID(len(s.vars))
+	s.vars = append(s.vars, vi)
+	s.initial = append(s.initial, vi.Domain)
+	d := vi.Domain
+	if d.IsEmpty() {
+		s.rootConflict = true
+		d = interval.Point(0) // placeholder; solver reports UNSAT anyway
+	}
+	s.lo = append(s.lo, d.Lo)
+	s.hi = append(s.hi, d.Hi)
+	s.loOpen = append(s.loOpen, false)
+	s.hiOpen = append(s.hiOpen, false)
+	s.varCons = append(s.varCons, nil)
+	s.occLe = append(s.occLe, nil)
+	s.occGe = append(s.occGe, nil)
+	s.lastLoEv = append(s.lastLoEv, -1)
+	s.lastHiEv = append(s.lastHiEv, -1)
+	s.activity = append(s.activity, 0)
+	return id
+}
+
+// bumpActivity raises the branching activity of v (VSIDS-style).
+func (s *Solver) bumpActivity(v tnf.VarID) {
+	s.activity[v] += s.actInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.actInc *= 1e-100
+	}
+}
+
+// decayActivities makes future bumps weigh more than past ones.
+func (s *Solver) decayActivities() {
+	s.actInc /= 0.95
+}
+
+// AddBoolVar introduces a fresh Boolean variable (used for activation
+// literals by IC3).  Must be called at decision level 0 (between solves).
+func (s *Solver) AddBoolVar(name string) tnf.VarID {
+	return s.addVarInfo(tnf.VarInfo{Name: name, Integer: true, Domain: interval.New(0, 1)})
+}
+
+func (s *Solver) addConstraint(c tnf.Constraint) {
+	id := int32(len(s.cons))
+	s.cons = append(s.cons, c)
+	s.inQueue = append(s.inQueue, false)
+	seen := map[tnf.VarID]bool{}
+	for _, v := range s.conVarList(c) {
+		if !seen[v] {
+			seen[v] = true
+			s.varCons[v] = append(s.varCons[v], id)
+		}
+	}
+	s.enqueueCon(id)
+}
+
+func (s *Solver) conVarList(c tnf.Constraint) []tnf.VarID {
+	switch c.Op {
+	case tnf.ConAdd, tnf.ConMul, tnf.ConMin, tnf.ConMax:
+		return []tnf.VarID{c.Z, c.X, c.Y}
+	default:
+		return []tnf.VarID{c.Z, c.X}
+	}
+}
+
+// AddClause installs a clause.  It must be called at decision level 0
+// (between Solve calls); the clause takes effect on the next propagation.
+func (s *Solver) AddClause(c tnf.Clause) {
+	s.addClauseInternal(c, false)
+}
+
+func (s *Solver) addClauseInternal(c tnf.Clause, learned bool) int32 {
+	if len(c) == 0 {
+		s.rootConflict = true
+		return -1
+	}
+	lits := make([]tnf.Lit, len(c))
+	copy(lits, c)
+	id := int32(len(s.clauses))
+	s.clauses = append(s.clauses, clause{lits: lits, learned: learned})
+	seenLe := map[tnf.VarID]bool{}
+	seenGe := map[tnf.VarID]bool{}
+	for _, l := range lits {
+		if l.Dir == tnf.DirLe {
+			if !seenLe[l.Var] {
+				seenLe[l.Var] = true
+				s.occLe[l.Var] = append(s.occLe[l.Var], id)
+			}
+		} else {
+			if !seenGe[l.Var] {
+				seenGe[l.Var] = true
+				s.occGe[l.Var] = append(s.occGe[l.Var], id)
+			}
+		}
+	}
+	s.newClause = append(s.newClause, id)
+	return id
+}
+
+// NumVars returns the number of variables.
+func (s *Solver) NumVars() int { return len(s.vars) }
+
+// VarInfo returns the metadata of v.
+func (s *Solver) VarInfo(v tnf.VarID) tnf.VarInfo { return s.vars[v] }
+
+// Domain returns the current domain of v (initial domain at level 0).
+func (s *Solver) Domain(v tnf.VarID) interval.Interval {
+	return interval.New(s.lo[v], s.hi[v])
+}
+
+func (s *Solver) level() int32 { return int32(len(s.trailLim)) }
+
+// litTrue reports whether l is entailed by the current domains.
+func (s *Solver) litTrue(l tnf.Lit) bool {
+	if l.Dir == tnf.DirLe {
+		hi := s.hi[l.Var]
+		if l.Strict { // x < B for all x in domain
+			return hi < l.B || (hi == l.B && s.hiOpen[l.Var])
+		}
+		return hi <= l.B
+	}
+	lo := s.lo[l.Var]
+	if l.Strict { // x > B
+		return lo > l.B || (lo == l.B && s.loOpen[l.Var])
+	}
+	return lo >= l.B
+}
+
+// litFalse reports whether l is refuted by the current domains.
+func (s *Solver) litFalse(l tnf.Lit) bool {
+	if l.Dir == tnf.DirLe {
+		lo := s.lo[l.Var]
+		if l.Strict { // no x < B
+			return lo >= l.B
+		}
+		return lo > l.B || (lo == l.B && s.loOpen[l.Var])
+	}
+	hi := s.hi[l.Var]
+	if l.Strict { // no x > B
+		return hi <= l.B
+	}
+	return hi < l.B || (hi == l.B && s.hiOpen[l.Var])
+}
+
+// negLit mirrors tnf.System.NegLit using the solver's variable table:
+// exact negation via strictness flipping (integral bounds shift instead).
+func (s *Solver) negLit(l tnf.Lit) tnf.Lit {
+	if s.vars[l.Var].Integer {
+		if l.Dir == tnf.DirLe {
+			b := math.Floor(l.B)
+			if l.Strict {
+				b = math.Ceil(l.B) - 1
+			}
+			return tnf.MkGe(l.Var, b+1)
+		}
+		b := math.Ceil(l.B)
+		if l.Strict {
+			b = math.Floor(l.B) + 1
+		}
+		return tnf.MkLe(l.Var, b-1)
+	}
+	if l.Dir == tnf.DirLe {
+		return tnf.Lit{Var: l.Var, Dir: tnf.DirGe, B: l.B, Strict: !l.Strict}
+	}
+	return tnf.Lit{Var: l.Var, Dir: tnf.DirLe, B: l.B, Strict: !l.Strict}
+}
+
+// falsifyingEvent returns the trail index of the event that refutes l
+// (-1 if the initial domain already refutes it).
+func (s *Solver) falsifyingEvent(l tnf.Lit) int32 {
+	if l.Dir == tnf.DirLe {
+		return s.lastLoEv[l.Var]
+	}
+	return s.lastHiEv[l.Var]
+}
+
+// pushLevel opens a new decision level.
+func (s *Solver) pushLevel() {
+	s.trailLim = append(s.trailLim, int32(len(s.trail)))
+}
+
+// cancelUntil undoes all trail events above the given level.
+func (s *Solver) cancelUntil(lvl int32) {
+	if lvl >= s.level() {
+		return
+	}
+	limit := s.trailLim[lvl]
+	for i := int32(len(s.trail)) - 1; i >= limit; i-- {
+		e := &s.trail[i]
+		if e.side == sideLo {
+			s.lo[e.v] = e.old
+			s.loOpen[e.v] = e.oldOpen
+			s.lastLoEv[e.v] = prevEvent(s.trail[:i], e.v, sideLo)
+		} else {
+			s.hi[e.v] = e.old
+			s.hiOpen[e.v] = e.oldOpen
+			s.lastHiEv[e.v] = prevEvent(s.trail[:i], e.v, sideHi)
+		}
+	}
+	s.trail = s.trail[:limit]
+	s.trailLim = s.trailLim[:lvl]
+	if s.propHead > limit {
+		s.propHead = limit
+	}
+}
+
+// prevEvent finds the latest event for (v, side) in the truncated trail.
+// Linear scan; called only during backtracking.
+func prevEvent(trail []event, v tnf.VarID, side int8) int32 {
+	for i := len(trail) - 1; i >= 0; i-- {
+		if trail[i].v == v && trail[i].side == side {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
+// setBound applies a bound tightening.  Returns:
+//   - (nil, true) if the bound was applied (a trail event was pushed);
+//   - (nil, false) if it was a no-op or skipped for lack of progress;
+//   - (*conflict, false) if it empties the domain.
+//
+// threshold > 0 demands minimal progress (used by contraction only).
+// strict marks an open bound (x > b / x < b); integral variables normalize
+// strictness away.
+func (s *Solver) setBound(v tnf.VarID, side int8, b float64, strict bool, threshold float64,
+	kind reasonKind, cl, con int32, ante []int32) (*conflict, bool) {
+
+	if s.vars[v].Integer {
+		if side == sideLo {
+			if strict {
+				b = math.Floor(b) + 1
+			} else {
+				b = math.Ceil(b)
+			}
+		} else {
+			if strict {
+				b = math.Ceil(b) - 1
+			} else {
+				b = math.Floor(b)
+			}
+		}
+		strict = false
+	}
+	if math.IsNaN(b) {
+		return nil, false
+	}
+	var old float64
+	var oldOpen bool
+	if side == sideLo {
+		old, oldOpen = s.lo[v], s.loOpen[v]
+		if b < old || (b == old && (oldOpen || !strict)) {
+			return nil, false // no progress
+		}
+		hi, hiOpen := s.hi[v], s.hiOpen[v]
+		if b > hi || (b == hi && (strict || hiOpen)) {
+			// conflict: antecedents plus the event that set hi
+			cf := &conflict{ante: append(append([]int32{}, ante...), s.lastHiEv[v])}
+			return cf, false
+		}
+		if threshold > 0 && b-old < threshold && b != old && !s.vars[v].Integer {
+			return nil, false
+		}
+		s.lo[v] = b
+		s.loOpen[v] = strict || (b == old && oldOpen)
+	} else {
+		old, oldOpen = s.hi[v], s.hiOpen[v]
+		if b > old || (b == old && (oldOpen || !strict)) {
+			return nil, false
+		}
+		lo, loOpen := s.lo[v], s.loOpen[v]
+		if b < lo || (b == lo && (strict || loOpen)) {
+			cf := &conflict{ante: append(append([]int32{}, ante...), s.lastLoEv[v])}
+			return cf, false
+		}
+		if threshold > 0 && old-b < threshold && b != old && !s.vars[v].Integer {
+			return nil, false
+		}
+		s.hi[v] = b
+		s.hiOpen[v] = strict || (b == old && oldOpen)
+	}
+	idx := int32(len(s.trail))
+	var nbOpen bool
+	if side == sideLo {
+		nbOpen = s.loOpen[v]
+	} else {
+		nbOpen = s.hiOpen[v]
+	}
+	s.trail = append(s.trail, event{
+		v: v, side: side, old: old, oldOpen: oldOpen, nb: b, nbOpen: nbOpen,
+		level: s.level(), kind: kind, cl: cl, con: con, ante: ante,
+	})
+	if side == sideLo {
+		s.lastLoEv[v] = idx
+	} else {
+		s.lastHiEv[v] = idx
+	}
+	s.Stats.Propagations++
+	// wake constraints watching v
+	for _, ci := range s.varCons[v] {
+		s.enqueueCon(ci)
+	}
+	return nil, true
+}
+
+// assertLit applies the bound of l with the given reason.
+func (s *Solver) assertLit(l tnf.Lit, kind reasonKind, cl, con int32, ante []int32) (*conflict, bool) {
+	if l.Dir == tnf.DirLe {
+		return s.setBound(l.Var, sideHi, l.B, l.Strict, 0, kind, cl, con, ante)
+	}
+	return s.setBound(l.Var, sideLo, l.B, l.Strict, 0, kind, cl, con, ante)
+}
+
+func (s *Solver) enqueueCon(ci int32) {
+	if !s.inQueue[ci] {
+		s.inQueue[ci] = true
+		s.conQueue = append(s.conQueue, ci)
+	}
+}
+
+// decidable reports whether v can still be split.
+func (s *Solver) decidable(v tnf.VarID) bool {
+	lo, hi := s.lo[v], s.hi[v]
+	if s.vars[v].Integer {
+		return lo < hi
+	}
+	if math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+		return true
+	}
+	return hi-lo > s.opts.Eps
+}
+
+// pickBranchVar selects the variable with the widest relative domain.
+// Primary (user-declared) and integral variables are preferred; auxiliary
+// real variables introduced by the TNF compiler are split only when no
+// primary choice remains, because they normally contract by propagation
+// once the primaries are fixed.
+func (s *Solver) pickBranchVar() (tnf.VarID, bool) {
+	if v, ok := s.pickBranchTier(false); ok {
+		return v, true
+	}
+	return s.pickBranchTier(true)
+}
+
+func (s *Solver) pickBranchTier(aux bool) (tnf.VarID, bool) {
+	best := tnf.VarID(-1)
+	bestScore := -1.0
+	for i := range s.vars {
+		v := tnf.VarID(i)
+		if (s.vars[v].Aux && !s.vars[v].Integer) != aux {
+			continue
+		}
+		if !s.decidable(v) {
+			continue
+		}
+		w := s.hi[v] - s.lo[v]
+		score := w
+		if math.IsInf(w, 1) || math.IsNaN(w) {
+			score = math.MaxFloat64
+		} else {
+			iw := s.initial[v].Width()
+			if iw > 0 && !math.IsInf(iw, 0) {
+				score = w / iw // relative width for bounded vars
+			}
+			if s.opts.UseActivity {
+				// conflict-driven branching (off by default: on the
+				// IC3 workloads deterministic width-first splitting
+				// produces better boxes for widening and F_∞ promotion)
+				score *= 1 + s.activity[v]/s.actInc
+			}
+		}
+		if score > bestScore {
+			bestScore = score
+			best = v
+		}
+	}
+	return best, best >= 0
+}
+
+// decide splits the domain of v: lower half first.
+func (s *Solver) decide(v tnf.VarID) *conflict {
+	s.pushLevel()
+	s.Stats.Decisions++
+	mid := interval.New(s.lo[v], s.hi[v]).Mid()
+	if s.vars[v].Integer {
+		mid = math.Floor(mid)
+		if mid >= s.hi[v] {
+			mid = s.hi[v] - 1
+		}
+		if mid < s.lo[v] {
+			mid = s.lo[v]
+		}
+	} else {
+		// keep the split strictly inside the interval
+		if mid <= s.lo[v] {
+			mid = math.Nextafter(s.lo[v], math.Inf(1))
+		}
+		if mid >= s.hi[v] {
+			mid = math.Nextafter(s.hi[v], math.Inf(-1))
+		}
+	}
+	cf, _ := s.setBound(v, sideHi, mid, false, 0, reasonDecision, -1, -1, nil)
+	return cf
+}
+
+// Solve runs the CDCL(ICP) search under the given assumptions.
+func (s *Solver) Solve(assumptions []tnf.Lit) Result {
+	s.Stats.Solves++
+	if s.rootConflict {
+		return Result{Status: StatusUnsat}
+	}
+	s.cancelUntil(0)
+	s.maybeReduceDB()
+	s.nAssump = len(assumptions)
+	s.assumptions = assumptions
+
+	conflicts := int64(0)
+	decisions := int64(0)
+	noProgress := 0
+	sinceStopPoll := 0
+	const maxNoProgress = 64
+
+	for {
+		if s.opts.Stop != nil {
+			sinceStopPoll++
+			if sinceStopPoll >= 64 {
+				sinceStopPoll = 0
+				if s.opts.Stop() {
+					s.cancelUntil(0)
+					return Result{Status: StatusUnknown}
+				}
+			}
+		}
+		cf := s.propagate()
+		if cf != nil {
+			s.Stats.Conflicts++
+			s.decayActivities()
+			conflicts++
+			lvl := s.maxAnteLevel(cf.ante)
+			if lvl <= int32(s.nAssump) {
+				if lvl == 0 {
+					s.rootConflict = true // formula itself is UNSAT
+				}
+				core := s.finalCore(cf.ante)
+				s.cancelUntil(0)
+				return Result{Status: StatusUnsat, Core: core}
+			}
+			if conflicts > s.opts.MaxConflicts {
+				s.cancelUntil(0)
+				return Result{Status: StatusUnknown}
+			}
+			learnt, assertLit, btLevel, ok := s.analyze(cf, lvl)
+			if !ok {
+				// degenerate conflict (no resolvable structure): give up
+				s.cancelUntil(0)
+				return Result{Status: StatusUnknown}
+			}
+			if btLevel < int32(s.nAssump) {
+				btLevel = s.clampAssumptionLevel(btLevel)
+			}
+			cid := s.addClauseInternal(learnt, true)
+			s.Stats.Learned++
+			s.cancelUntil(btLevel)
+			// Assert the UIP negation; antecedents are the falsifying
+			// events of the other learned literals.
+			ante := make([]int32, 0, len(learnt))
+			for _, l := range learnt {
+				if l == assertLit {
+					continue
+				}
+				ante = append(ante, s.falsifyingEvent(l))
+			}
+			cf2, applied := s.assertLit(assertLit, reasonClause, cid, -1, ante)
+			if cf2 != nil {
+				lvl2 := s.maxAnteLevel(cf2.ante)
+				if lvl2 <= int32(s.nAssump) {
+					core := s.finalCore(cf2.ante)
+					s.cancelUntil(0)
+					return Result{Status: StatusUnsat, Core: core}
+				}
+				// rare: asserting lit conflicts above assumption levels;
+				// back off one more level and continue the outer loop
+				s.cancelUntil(lvl2 - 1)
+			} else if !applied {
+				// The asserting bound made no progress (boundary overlap of
+				// relaxed negation).  Back off one more level to perturb the
+				// deterministic search; give up if it keeps happening.
+				noProgress++
+				if noProgress > maxNoProgress {
+					s.cancelUntil(0)
+					return Result{Status: StatusUnknown}
+				}
+				if btLevel > 0 {
+					s.cancelUntil(btLevel - 1)
+				}
+			} else {
+				noProgress = 0
+			}
+			continue
+		}
+
+		// re-establish assumptions after backjumps/restarts
+		if s.level() < int32(s.nAssump) {
+			idx := int(s.level())
+			s.pushLevel()
+			a := s.assumptions[idx]
+			if s.litFalse(a) {
+				// assumption refuted by current (level <= idx) knowledge
+				core := s.finalCore([]int32{s.falsifyingEvent(a)})
+				core = append(core, a)
+				s.cancelUntil(0)
+				return Result{Status: StatusUnsat, Core: core}
+			}
+			if cf2, _ := s.assertLit(a, reasonDecision, -1, -1, nil); cf2 != nil {
+				core := s.finalCore(cf2.ante)
+				core = append(core, a)
+				s.cancelUntil(0)
+				return Result{Status: StatusUnsat, Core: core}
+			}
+			continue
+		}
+
+		v, ok := s.pickBranchVar()
+		if !ok {
+			// candidate box
+			box := make([]interval.Interval, len(s.vars))
+			for i := range s.vars {
+				box[i] = interval.New(s.lo[i], s.hi[i])
+			}
+			s.cancelUntil(0)
+			return Result{Status: StatusSat, Box: box}
+		}
+		decisions++
+		if decisions > s.opts.MaxDecisions {
+			s.cancelUntil(0)
+			return Result{Status: StatusUnknown}
+		}
+		if cf2 := s.decide(v); cf2 != nil {
+			// a decision can only conflict on pathological domains; treat
+			// it as a regular conflict next iteration by synthesizing one
+			lvl := s.maxAnteLevel(cf2.ante)
+			if lvl <= int32(s.nAssump) {
+				core := s.finalCore(cf2.ante)
+				s.cancelUntil(0)
+				return Result{Status: StatusUnsat, Core: core}
+			}
+			s.cancelUntil(lvl - 1)
+		}
+	}
+}
+
+// clampAssumptionLevel returns the level to backjump to when analysis
+// points below the assumption levels: we return to just below the
+// shallowest assumption still intact, letting the main loop re-push.
+func (s *Solver) clampAssumptionLevel(btLevel int32) int32 {
+	if btLevel < 0 {
+		return 0
+	}
+	return btLevel
+}
+
+// maybeReduceDB garbage-collects the clause database between Solve calls:
+// clauses permanently satisfied at the root level (e.g. retired one-shot
+// query clauses from IC3) are dropped, and only the most recent half of
+// the learned clauses is kept.  Trail events keep their (now stale) clause
+// indices, which is harmless: conflict analysis works on antecedent event
+// indices only.
+func (s *Solver) maybeReduceDB() {
+	if s.level() != 0 {
+		return
+	}
+	if len(s.clauses)-s.lastReduceSize < 2048 {
+		return
+	}
+	satisfiedAtRoot := func(c *clause) bool {
+		for _, l := range c.lits {
+			if s.litTrue(l) {
+				return true
+			}
+		}
+		return false
+	}
+	// clauses not yet propagated (pending in newClause) must survive and
+	// keep valid indices
+	pending := make(map[int32]bool, len(s.newClause))
+	for _, ci := range s.newClause {
+		pending[ci] = true
+	}
+	learnedTotal := 0
+	for i := range s.clauses {
+		if s.clauses[i].learned {
+			learnedTotal++
+		}
+	}
+	learnedSeen := 0
+	kept := s.clauses[:0:0]
+	remap := make(map[int32]int32, len(pending))
+	for i := range s.clauses {
+		c := &s.clauses[i]
+		if !pending[int32(i)] {
+			if satisfiedAtRoot(c) {
+				if c.learned {
+					learnedSeen++
+				}
+				continue
+			}
+			if c.learned {
+				learnedSeen++
+				if learnedSeen <= learnedTotal/2 {
+					continue // drop the older half of the learned clauses
+				}
+			}
+		}
+		remap[int32(i)] = int32(len(kept))
+		kept = append(kept, *c)
+	}
+	s.clauses = kept
+	for i, ci := range s.newClause {
+		s.newClause[i] = remap[ci]
+	}
+	s.lastReduceSize = len(kept)
+	s.Stats.Reductions++
+	// rebuild occurrence lists
+	for v := range s.occLe {
+		s.occLe[v] = s.occLe[v][:0]
+		s.occGe[v] = s.occGe[v][:0]
+	}
+	for i := range s.clauses {
+		id := int32(i)
+		seenLe := map[tnf.VarID]bool{}
+		seenGe := map[tnf.VarID]bool{}
+		for _, l := range s.clauses[i].lits {
+			if l.Dir == tnf.DirLe {
+				if !seenLe[l.Var] {
+					seenLe[l.Var] = true
+					s.occLe[l.Var] = append(s.occLe[l.Var], id)
+				}
+			} else {
+				if !seenGe[l.Var] {
+					seenGe[l.Var] = true
+					s.occGe[l.Var] = append(s.occGe[l.Var], id)
+				}
+			}
+		}
+	}
+}
+
+// maxAnteLevel returns the deepest level among the antecedent events.
+func (s *Solver) maxAnteLevel(ante []int32) int32 {
+	lvl := int32(0)
+	for _, a := range ante {
+		if a >= 0 && s.trail[a].level > lvl {
+			lvl = s.trail[a].level
+		}
+	}
+	return lvl
+}

@@ -1,0 +1,678 @@
+package icp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"icpic3/internal/expr"
+	"icpic3/internal/interval"
+	"icpic3/internal/tnf"
+)
+
+// buildAndSolve compiles declarations + a formula and solves it.
+func buildAndSolve(t *testing.T, decls map[string][2]float64, formula string, opts Options) (Result, *tnf.System) {
+	t.Helper()
+	sys := tnf.NewSystem()
+	for name, d := range decls {
+		if _, err := sys.AddVar(name, false, interval.New(d[0], d[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Assert(expr.MustParse(formula)); err != nil {
+		t.Fatal(err)
+	}
+	s := New(sys, opts)
+	return s.Solve(nil), sys
+}
+
+// validate checks a SAT box by evaluating the formula at the box midpoint
+// with a tolerance proportional to eps.
+func validate(t *testing.T, sys *tnf.System, box []interval.Interval, formula string, names []string, tol float64) bool {
+	t.Helper()
+	env := expr.Env{}
+	for _, n := range names {
+		id, ok := sys.Lookup(n)
+		if !ok {
+			t.Fatalf("missing var %s", n)
+		}
+		env[n] = box[id].Mid()
+	}
+	v, err := expr.MustParse(formula).EvalApprox(env, tol)
+	if err != nil {
+		t.Logf("validate error: %v", err)
+		return false
+	}
+	return v != 0
+}
+
+func TestSolveTrivialSat(t *testing.T) {
+	res, _ := buildAndSolve(t, map[string][2]float64{"x": {0, 10}}, "x >= 3 and x <= 5", Options{})
+	if res.Status != StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestSolveTrivialUnsat(t *testing.T) {
+	res, _ := buildAndSolve(t, map[string][2]float64{"x": {0, 10}}, "x >= 6 and x <= 5", Options{})
+	if res.Status != StatusUnsat {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestSolveOutOfDomain(t *testing.T) {
+	res, _ := buildAndSolve(t, map[string][2]float64{"x": {0, 10}}, "x >= 11", Options{})
+	if res.Status != StatusUnsat {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestSolveLinearSystem(t *testing.T) {
+	// x + y = 10, x - y = 4  ->  x = 7, y = 3
+	res, sys := buildAndSolve(t,
+		map[string][2]float64{"x": {-100, 100}, "y": {-100, 100}},
+		"x + y >= 10 and x + y <= 10 and x - y >= 4 and x - y <= 4",
+		Options{Eps: 1e-6})
+	if res.Status != StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	x, _ := sys.Lookup("x")
+	y, _ := sys.Lookup("y")
+	if !res.Box[x].Contains(7) && math.Abs(res.Box[x].Mid()-7) > 1e-3 {
+		t.Errorf("x box = %v, want around 7", res.Box[x])
+	}
+	if !res.Box[y].Contains(3) && math.Abs(res.Box[y].Mid()-3) > 1e-3 {
+		t.Errorf("y box = %v, want around 3", res.Box[y])
+	}
+}
+
+func TestSolveQuadratic(t *testing.T) {
+	// x^2 = 4 with x >= 0 -> x = 2
+	res, sys := buildAndSolve(t,
+		map[string][2]float64{"x": {0, 10}},
+		"x^2 >= 4 and x^2 <= 4",
+		Options{Eps: 1e-6})
+	if res.Status != StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	x, _ := sys.Lookup("x")
+	if math.Abs(res.Box[x].Mid()-2) > 1e-3 {
+		t.Errorf("x = %v, want 2", res.Box[x])
+	}
+}
+
+func TestSolveQuadraticUnsat(t *testing.T) {
+	// x^2 <= -1 impossible
+	res, _ := buildAndSolve(t, map[string][2]float64{"x": {-10, 10}},
+		"x^2 <= -1", Options{})
+	if res.Status != StatusUnsat {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestSolveNonlinearConjunction(t *testing.T) {
+	// x*y = 6, x+y = 5 -> {2,3}
+	res, sys := buildAndSolve(t,
+		map[string][2]float64{"x": {0, 100}, "y": {0, 100}},
+		"x*y >= 6 and x*y <= 6 and x+y >= 5 and x+y <= 5",
+		Options{Eps: 1e-6})
+	if res.Status != StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	x, _ := sys.Lookup("x")
+	y, _ := sys.Lookup("y")
+	xm, ym := res.Box[x].Mid(), res.Box[y].Mid()
+	if math.Abs(xm*ym-6) > 1e-2 || math.Abs(xm+ym-5) > 1e-2 {
+		t.Errorf("solution x=%v y=%v", xm, ym)
+	}
+}
+
+func TestSolveDisjunction(t *testing.T) {
+	res, sys := buildAndSolve(t,
+		map[string][2]float64{"x": {0, 10}},
+		"(x <= 1 or x >= 9) and x >= 5",
+		Options{Eps: 1e-6})
+	if res.Status != StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	x, _ := sys.Lookup("x")
+	if res.Box[x].Mid() < 8.9 {
+		t.Errorf("x = %v, want >= 9", res.Box[x])
+	}
+}
+
+func TestSolveUnsatDisjunction(t *testing.T) {
+	res, _ := buildAndSolve(t,
+		map[string][2]float64{"x": {0, 10}},
+		"(x <= 1 or x >= 9) and x >= 3 and x <= 7",
+		Options{})
+	if res.Status != StatusUnsat {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestSolveBooleanStructure(t *testing.T) {
+	sys := tnf.NewSystem()
+	for _, n := range []string{"a", "b", "c"} {
+		if _, err := sys.AddBool(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// (a or b) and (!a or c) and (!b or c) and !c  => unsat
+	if err := sys.Assert(expr.MustParse("(a or b) and (!a or c) and (!b or c) and !c")); err != nil {
+		t.Fatal(err)
+	}
+	s := New(sys, Options{})
+	if res := s.Solve(nil); res.Status != StatusUnsat {
+		t.Fatalf("status = %v", res.Status)
+	}
+
+	sys2 := tnf.NewSystem()
+	for _, n := range []string{"a", "b", "c"} {
+		sys2.AddBool(n)
+	}
+	if err := sys2.Assert(expr.MustParse("(a or b) and (!a or c)")); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(sys2, Options{})
+	res := s2.Solve(nil)
+	if res.Status != StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	// model must actually satisfy the formula
+	a, _ := sys2.Lookup("a")
+	b, _ := sys2.Lookup("b")
+	c, _ := sys2.Lookup("c")
+	av, bv, cv := res.Box[a].Lo, res.Box[b].Lo, res.Box[c].Lo
+	if !res.Box[a].IsPoint() || !res.Box[b].IsPoint() || !res.Box[c].IsPoint() {
+		t.Fatalf("boolean vars not fixed: %v %v %v", res.Box[a], res.Box[b], res.Box[c])
+	}
+	if !((av == 1 || bv == 1) && (av == 0 || cv == 1)) {
+		t.Errorf("model a=%v b=%v c=%v violates formula", av, bv, cv)
+	}
+}
+
+func TestSolveMixedBoolReal(t *testing.T) {
+	sys := tnf.NewSystem()
+	sys.AddBool("m")
+	sys.AddVar("x", false, interval.New(-10, 10))
+	// m -> x >= 5 ; !m -> x <= -5 ; x >= 0  => m must be true, x in [5,10]
+	if err := sys.Assert(expr.MustParse("(m -> x >= 5) and (!m -> x <= -5) and x >= 0")); err != nil {
+		t.Fatal(err)
+	}
+	s := New(sys, Options{Eps: 1e-6})
+	res := s.Solve(nil)
+	if res.Status != StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	m, _ := sys.Lookup("m")
+	x, _ := sys.Lookup("x")
+	if res.Box[m].Lo != 1 {
+		t.Errorf("m = %v, want true", res.Box[m])
+	}
+	if res.Box[x].Mid() < 5-1e-6 {
+		t.Errorf("x = %v, want >= 5", res.Box[x])
+	}
+}
+
+func TestSolveIntegers(t *testing.T) {
+	sys := tnf.NewSystem()
+	sys.AddVar("n", true, interval.New(0, 100))
+	// 3 < n < 5  => n = 4
+	if err := sys.Assert(expr.MustParse("n > 3 and n < 5")); err != nil {
+		t.Fatal(err)
+	}
+	s := New(sys, Options{})
+	res := s.Solve(nil)
+	if res.Status != StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	n, _ := sys.Lookup("n")
+	if !res.Box[n].IsPoint() || res.Box[n].Lo != 4 {
+		t.Errorf("n = %v, want 4", res.Box[n])
+	}
+}
+
+func TestSolveIntegerUnsat(t *testing.T) {
+	sys := tnf.NewSystem()
+	sys.AddVar("n", true, interval.New(0, 100))
+	// 3 < n < 4 has no integer solution
+	if err := sys.Assert(expr.MustParse("n > 3 and n < 4")); err != nil {
+		t.Fatal(err)
+	}
+	s := New(sys, Options{})
+	if res := s.Solve(nil); res.Status != StatusUnsat {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestAssumptionsAndCore(t *testing.T) {
+	sys := tnf.NewSystem()
+	x, _ := sys.AddVar("x", false, interval.New(0, 10))
+	y, _ := sys.AddVar("y", false, interval.New(0, 10))
+	// formula: x + y <= 8
+	if err := sys.Assert(expr.MustParse("x + y <= 8")); err != nil {
+		t.Fatal(err)
+	}
+	s := New(sys, Options{Eps: 1e-6})
+
+	// assumptions x >= 7, y >= 5 conflict with x + y <= 8
+	res := s.Solve([]tnf.Lit{tnf.MkGe(x, 7), tnf.MkGe(y, 5)})
+	if res.Status != StatusUnsat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if len(res.Core) == 0 || len(res.Core) > 2 {
+		t.Fatalf("core = %v", res.Core)
+	}
+	// compatible assumptions are SAT
+	res = s.Solve([]tnf.Lit{tnf.MkGe(x, 3), tnf.MkLe(y, 2)})
+	if res.Status != StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	// x >= 3 must hold in the model box
+	if res.Box[x].Lo < 3-1e-9 {
+		t.Errorf("assumption not respected: x = %v", res.Box[x])
+	}
+}
+
+func TestCoreMinimalityish(t *testing.T) {
+	sys := tnf.NewSystem()
+	x, _ := sys.AddVar("x", false, interval.New(0, 10))
+	y, _ := sys.AddVar("y", false, interval.New(0, 10))
+	z, _ := sys.AddVar("z", false, interval.New(0, 10))
+	_ = z
+	if err := sys.Assert(expr.MustParse("x + y <= 5")); err != nil {
+		t.Fatal(err)
+	}
+	s := New(sys, Options{Eps: 1e-6})
+	// z's assumption is irrelevant to the conflict
+	res := s.Solve([]tnf.Lit{tnf.MkGe(z, 1), tnf.MkGe(x, 4), tnf.MkGe(y, 4)})
+	if res.Status != StatusUnsat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	for _, l := range res.Core {
+		if l.Var == z {
+			t.Errorf("irrelevant assumption in core: %v", res.Core)
+		}
+	}
+}
+
+func TestIncrementalClauses(t *testing.T) {
+	sys := tnf.NewSystem()
+	x, _ := sys.AddVar("x", false, interval.New(0, 10))
+	s := New(sys, Options{Eps: 1e-6})
+	if res := s.Solve(nil); res.Status != StatusSat {
+		t.Fatalf("initial solve: %v", res.Status)
+	}
+	s.AddClause(tnf.Clause{tnf.MkGe(x, 8)})
+	res := s.Solve(nil)
+	if res.Status != StatusSat {
+		t.Fatalf("after clause: %v", res.Status)
+	}
+	if res.Box[x].Lo < 8-1e-9 {
+		t.Errorf("x = %v, want >= 8", res.Box[x])
+	}
+	s.AddClause(tnf.Clause{tnf.MkLe(x, 5)})
+	if res := s.Solve(nil); res.Status != StatusUnsat {
+		t.Fatalf("contradictory clauses: %v", res.Status)
+	}
+	// once root-conflicted, stays unsat
+	if res := s.Solve(nil); res.Status != StatusUnsat {
+		t.Fatalf("repeat solve: %v", res.Status)
+	}
+}
+
+func TestActivationLiterals(t *testing.T) {
+	sys := tnf.NewSystem()
+	x, _ := sys.AddVar("x", false, interval.New(0, 10))
+	s := New(sys, Options{Eps: 1e-6})
+	act := s.AddBoolVar("act0")
+	// act -> x <= 2   encoded as clause (!act or x <= 2)
+	s.AddClause(tnf.Clause{tnf.MkLe(act, 0), tnf.MkLe(x, 2)})
+
+	// without activating: x >= 5 is fine
+	res := s.Solve([]tnf.Lit{tnf.MkGe(x, 5)})
+	if res.Status != StatusSat {
+		t.Fatalf("inactive: %v", res.Status)
+	}
+	// activating makes it unsat
+	res = s.Solve([]tnf.Lit{tnf.MkGe(act, 1), tnf.MkGe(x, 5)})
+	if res.Status != StatusUnsat {
+		t.Fatalf("active: %v", res.Status)
+	}
+}
+
+func TestEmptyDomainVar(t *testing.T) {
+	sys := tnf.NewSystem()
+	sys.AddVar("x", false, interval.Empty())
+	s := New(sys, Options{})
+	if res := s.Solve(nil); res.Status != StatusUnsat {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestEmptyClause(t *testing.T) {
+	sys := tnf.NewSystem()
+	sys.AddVar("x", false, interval.New(0, 1))
+	sys.AddClause(tnf.Clause{})
+	s := New(sys, Options{})
+	if res := s.Solve(nil); res.Status != StatusUnsat {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestTranscendental(t *testing.T) {
+	// exp(x) = 2 -> x = ln 2
+	res, sys := buildAndSolve(t,
+		map[string][2]float64{"x": {0, 5}},
+		"exp(x) >= 2 and exp(x) <= 2",
+		Options{Eps: 1e-7})
+	if res.Status != StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	x, _ := sys.Lookup("x")
+	if math.Abs(res.Box[x].Mid()-math.Ln2) > 1e-3 {
+		t.Errorf("x = %v, want ln2=%v", res.Box[x], math.Ln2)
+	}
+}
+
+func TestSqrtConstraint(t *testing.T) {
+	// sqrt(x) = 3 -> x = 9
+	res, sys := buildAndSolve(t,
+		map[string][2]float64{"x": {0, 100}},
+		"sqrt(x) >= 3 and sqrt(x) <= 3",
+		Options{Eps: 1e-7})
+	if res.Status != StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	x, _ := sys.Lookup("x")
+	if math.Abs(res.Box[x].Mid()-9) > 1e-2 {
+		t.Errorf("x = %v, want 9", res.Box[x])
+	}
+}
+
+func TestSinRangeUnsat(t *testing.T) {
+	res, _ := buildAndSolve(t,
+		map[string][2]float64{"x": {-100, 100}},
+		"sin(x) >= 1.5",
+		Options{})
+	if res.Status != StatusUnsat {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestDivisionConstraint(t *testing.T) {
+	// x / y = 2 with y = 3 -> x = 6
+	res, sys := buildAndSolve(t,
+		map[string][2]float64{"x": {0, 100}, "y": {3, 3}},
+		"x / y >= 2 and x / y <= 2",
+		Options{Eps: 1e-7})
+	if res.Status != StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	x, _ := sys.Lookup("x")
+	if math.Abs(res.Box[x].Mid()-6) > 1e-2 {
+		t.Errorf("x = %v, want 6", res.Box[x])
+	}
+}
+
+func TestMinMaxAbsConstraints(t *testing.T) {
+	res, sys := buildAndSolve(t,
+		map[string][2]float64{"x": {-10, 10}, "y": {-10, 10}},
+		"min(x, y) >= 2 and max(x, y) <= 3 and abs(x - y) >= 1",
+		Options{Eps: 1e-6})
+	if res.Status != StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	x, _ := sys.Lookup("x")
+	y, _ := sys.Lookup("y")
+	xm, ym := res.Box[x].Mid(), res.Box[y].Mid()
+	if xm < 2-1e-3 || xm > 3+1e-3 || ym < 2-1e-3 || ym > 3+1e-3 {
+		t.Errorf("x=%v y=%v outside [2,3]", xm, ym)
+	}
+	if math.Abs(xm-ym) < 1-1e-2 {
+		t.Errorf("|x-y| = %v, want >= 1", math.Abs(xm-ym))
+	}
+}
+
+func TestUnboundedVariable(t *testing.T) {
+	sys := tnf.NewSystem()
+	sys.AddVar("x", false, interval.Entire())
+	if err := sys.Assert(expr.MustParse("x >= 5 and x <= 5.5")); err != nil {
+		t.Fatal(err)
+	}
+	s := New(sys, Options{Eps: 1e-6})
+	res := s.Solve(nil)
+	if res.Status != StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	x, _ := sys.Lookup("x")
+	if res.Box[x].Lo < 5-1e-9 || res.Box[x].Hi > 5.5+1e-9 {
+		t.Errorf("x = %v", res.Box[x])
+	}
+}
+
+// TestQuickRandom3SAT cross-checks the CDCL(ICP) solver against brute force
+// on random small Boolean 3-CNF instances.
+func TestQuickRandom3SAT(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nVars := 4 + r.Intn(4)
+		nClauses := 4 + r.Intn(14)
+		type blit struct {
+			v   int
+			pos bool
+		}
+		cnf := make([][]blit, nClauses)
+		for i := range cnf {
+			k := 1 + r.Intn(3)
+			for j := 0; j < k; j++ {
+				cnf[i] = append(cnf[i], blit{v: r.Intn(nVars), pos: r.Intn(2) == 0})
+			}
+		}
+		// brute force
+		satBrute := false
+		for m := 0; m < 1<<nVars && !satBrute; m++ {
+			ok := true
+			for _, cl := range cnf {
+				cok := false
+				for _, l := range cl {
+					if (m>>l.v&1 == 1) == l.pos {
+						cok = true
+						break
+					}
+				}
+				if !cok {
+					ok = false
+					break
+				}
+			}
+			satBrute = ok
+		}
+		// solver
+		sys := tnf.NewSystem()
+		ids := make([]tnf.VarID, nVars)
+		for i := range ids {
+			ids[i], _ = sys.AddBool(fmt.Sprintf("b%d", i))
+		}
+		for _, cl := range cnf {
+			var c tnf.Clause
+			for _, l := range cl {
+				if l.pos {
+					c = append(c, tnf.MkGe(ids[l.v], 1))
+				} else {
+					c = append(c, tnf.MkLe(ids[l.v], 0))
+				}
+			}
+			sys.AddClause(c)
+		}
+		s := New(sys, Options{})
+		res := s.Solve(nil)
+		if satBrute {
+			if res.Status != StatusSat {
+				return false
+			}
+			// verify the model
+			for _, cl := range cnf {
+				cok := false
+				for _, l := range cl {
+					val := res.Box[ids[l.v]].Lo
+					if (val == 1) == l.pos && res.Box[ids[l.v]].IsPoint() {
+						cok = true
+						break
+					}
+				}
+				if !cok {
+					return false
+				}
+			}
+			return true
+		}
+		return res.Status == StatusUnsat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Errorf("random 3SAT: %v", err)
+	}
+}
+
+// TestQuickRandomBoxUnsatSound: random conjunctions of linear constraints
+// whose infeasibility is decided by an LP-free pairwise argument, checking
+// that SAT boxes validate and UNSAT never contradicts a known solution.
+func TestQuickRandomLinear(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// pick a secret solution, generate satisfied constraints around it
+		xs, ys := r.Float64()*10-5, r.Float64()*10-5
+		sys := tnf.NewSystem()
+		x, _ := sys.AddVar("x", false, interval.New(-10, 10))
+		y, _ := sys.AddVar("y", false, interval.New(-10, 10))
+		_ = x
+		_ = y
+		conj := ""
+		for i := 0; i < 5; i++ {
+			a := math.Round((r.Float64()*4-2)*10) / 10
+			b := math.Round((r.Float64()*4-2)*10) / 10
+			v := a*xs + b*ys
+			c := math.Ceil(v + r.Float64())
+			if conj != "" {
+				conj += " and "
+			}
+			conj += fmt.Sprintf("%g*x + %g*y <= %g", a, b, c)
+		}
+		if err := sys.Assert(expr.MustParse(conj)); err != nil {
+			return false
+		}
+		s := New(sys, Options{Eps: 1e-5})
+		res := s.Solve(nil)
+		// instance is satisfiable by construction: must not be UNSAT
+		return res.Status == StatusSat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Errorf("random linear: %v", err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	res, _ := buildAndSolve(t,
+		map[string][2]float64{"x": {0, 10}, "y": {0, 10}},
+		"(x <= 1 or x >= 9) and x*y >= 20 and x + y <= 12",
+		Options{Eps: 1e-6})
+	if res.Status != StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestSolverDomainAccessors(t *testing.T) {
+	sys := tnf.NewSystem()
+	x, _ := sys.AddVar("pos", false, interval.New(1, 2))
+	s := New(sys, Options{})
+	if s.NumVars() != 1 {
+		t.Errorf("NumVars = %d", s.NumVars())
+	}
+	if s.VarInfo(x).Name != "pos" {
+		t.Errorf("VarInfo = %+v", s.VarInfo(x))
+	}
+	d := s.Domain(x)
+	if d.Lo != 1 || d.Hi != 2 {
+		t.Errorf("Domain = %v", d)
+	}
+}
+
+func TestValidateHelper(t *testing.T) {
+	res, sys := buildAndSolve(t,
+		map[string][2]float64{"x": {0, 10}},
+		"x^2 >= 3.9 and x^2 <= 4.1 and x >= 0",
+		Options{Eps: 1e-6})
+	if res.Status != StatusSat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !validate(t, sys, res.Box, "x^2 >= 3.9 and x^2 <= 4.1", []string{"x"}, 1e-3) {
+		t.Error("candidate box failed validation")
+	}
+}
+
+func TestTranscendentalTanAtanTanh(t *testing.T) {
+	// tan(x) = 1 -> x = pi/4
+	res, sys := buildAndSolve(t,
+		map[string][2]float64{"x": {0, 1.5}},
+		"tan(x) >= 1 and tan(x) <= 1",
+		Options{Eps: 1e-7})
+	if res.Status != StatusSat {
+		t.Fatalf("tan status = %v", res.Status)
+	}
+	x, _ := sys.Lookup("x")
+	if math.Abs(res.Box[x].Mid()-math.Pi/4) > 1e-3 {
+		t.Errorf("x = %v, want pi/4", res.Box[x])
+	}
+
+	// atan(x) = pi/4 -> x = 1
+	res, sys = buildAndSolve(t,
+		map[string][2]float64{"x": {0, 10}},
+		"atan(x) >= 0.785398163 and atan(x) <= 0.785398164",
+		Options{Eps: 1e-7})
+	if res.Status != StatusSat {
+		t.Fatalf("atan status = %v", res.Status)
+	}
+	x, _ = sys.Lookup("x")
+	if math.Abs(res.Box[x].Mid()-1) > 1e-2 {
+		t.Errorf("x = %v, want 1", res.Box[x])
+	}
+
+	// tanh(x) >= 1.5 impossible
+	res, _ = buildAndSolve(t, map[string][2]float64{"x": {-100, 100}},
+		"tanh(x) >= 1.5", Options{})
+	if res.Status != StatusUnsat {
+		t.Fatalf("tanh status = %v", res.Status)
+	}
+}
+
+func TestClauseDBReduction(t *testing.T) {
+	sys := tnf.NewSystem()
+	x, _ := sys.AddVar("x", false, interval.New(0, 100))
+	s := New(sys, Options{Eps: 1e-6})
+	// mimic IC3's one-shot clause pattern: add a guarded clause, use it,
+	// retire it, thousands of times
+	for i := 0; i < 3000; i++ {
+		tmp := s.AddBoolVar(fmt.Sprintf("t%d", i))
+		s.AddClause(tnf.Clause{tnf.MkLe(tmp, 0), tnf.MkGe(x, 50)})
+		res := s.Solve([]tnf.Lit{tnf.MkGe(tmp, 1)})
+		if res.Status != StatusSat {
+			t.Fatalf("iteration %d: %v", i, res.Status)
+		}
+		s.AddClause(tnf.Clause{tnf.MkLe(tmp, 0)}) // retire
+	}
+	if s.Stats.Reductions == 0 {
+		t.Error("expected at least one clause DB reduction")
+	}
+	// solver still behaves correctly after reductions
+	res := s.Solve([]tnf.Lit{tnf.MkGe(x, 200)})
+	if res.Status != StatusUnsat {
+		t.Errorf("post-reduction solve = %v", res.Status)
+	}
+	res = s.Solve([]tnf.Lit{tnf.MkLe(x, 10)})
+	if res.Status != StatusSat {
+		t.Errorf("post-reduction sat solve = %v", res.Status)
+	}
+}

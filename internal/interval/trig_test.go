@@ -1,0 +1,123 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTanBasics(t *testing.T) {
+	if got := New(0, 0.5).Tan(); !got.Contains(0) || !got.Contains(math.Tan(0.5)) {
+		t.Errorf("tan[0,0.5] = %v", got)
+	}
+	// interval across the pole at pi/2 must widen to entire
+	if got := New(1.5, 1.7).Tan(); !got.IsEntire() {
+		t.Errorf("tan across pole = %v", got)
+	}
+	if got := New(0, 4).Tan(); !got.IsEntire() {
+		t.Errorf("tan wide = %v", got)
+	}
+	if got := Empty().Tan(); !got.IsEmpty() {
+		t.Error("tan of empty")
+	}
+}
+
+func TestAtanTanhBasics(t *testing.T) {
+	if got := New(-1, 1).Atan(); !got.Contains(math.Atan(-1)) || !got.Contains(math.Atan(1)) {
+		t.Errorf("atan = %v", got)
+	}
+	if got := Entire().Atan(); got.Lo < -math.Pi/2 || got.Hi > math.Pi/2 {
+		t.Errorf("atan range = %v", got)
+	}
+	if got := New(-2, 2).Tanh(); got.Lo < -1 || got.Hi > 1 || !got.Contains(math.Tanh(1.5)) {
+		t.Errorf("tanh = %v", got)
+	}
+	if got := Empty().Atan(); !got.IsEmpty() {
+		t.Error("atan of empty")
+	}
+	if got := Empty().Tanh(); !got.IsEmpty() {
+		t.Error("tanh of empty")
+	}
+}
+
+func TestInvTanAtanTanh(t *testing.T) {
+	// z = tan(x), x in small interval around 0.5
+	x := New(0.4, 0.6)
+	z := x.Tan()
+	if got := InvTan(z, New(0, 1)); !got.Contains(0.5) {
+		t.Errorf("InvTan = %v", got)
+	}
+	// wide x: no contraction, returned unchanged
+	wide := New(-10, 10)
+	if got := InvTan(z, wide); !got.Equal(wide) {
+		t.Errorf("InvTan wide = %v", got)
+	}
+	// atan inverse
+	if got := InvAtan(New(0.1, 0.2)); !got.Contains(math.Tan(0.15)) {
+		t.Errorf("InvAtan = %v", got)
+	}
+	if got := InvAtan(New(2, 3)); !got.IsEmpty() {
+		t.Errorf("InvAtan out of range = %v", got)
+	}
+	// tanh inverse
+	if got := InvTanh(New(0.4, 0.5)); !got.Contains(math.Atanh(0.45)) {
+		t.Errorf("InvTanh = %v", got)
+	}
+	if got := InvTanh(New(2, 3)); !got.IsEmpty() {
+		t.Errorf("InvTanh out of range = %v", got)
+	}
+	if got := InvTanh(New(-1, 1)); !got.IsEntire() {
+		t.Errorf("InvTanh full range = %v", got)
+	}
+}
+
+func TestQuickTrigContainment(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randInterval(r)
+		tan := a.Tan()
+		atan := a.Atan()
+		tanh := a.Tanh()
+		for i := 0; i < 20; i++ {
+			x := randIn(r, a)
+			if !tan.Contains(math.Tan(x)) {
+				return false
+			}
+			if !atan.Contains(math.Atan(x)) {
+				return false
+			}
+			if !tanh.Contains(math.Tanh(x)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Errorf("trig containment: %v", err)
+	}
+}
+
+func TestQuickTrigInverses(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xI := randInterval(r).Intersect(New(-1.4, 1.4))
+		if xI.IsEmpty() {
+			return true
+		}
+		x := randIn(r, xI)
+		if !InvTan(xI.Tan(), xI).Contains(x) {
+			return false
+		}
+		if !InvAtan(xI.Atan()).Contains(x) {
+			return false
+		}
+		if !InvTanh(xI.Tanh()).Contains(x) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Errorf("trig inverses: %v", err)
+	}
+}

@@ -1,0 +1,208 @@
+package kind
+
+import (
+	"testing"
+	"time"
+
+	"icpic3/internal/engine"
+	"icpic3/internal/ts"
+)
+
+func mustParse(t *testing.T, src string) *ts.System {
+	t.Helper()
+	s, err := ts.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestOneInductiveSafe(t *testing.T) {
+	// decay toward 0 from [0,6]: x <= 8 is 1-inductive given range [0,10]
+	sys := mustParse(t, `
+system decay
+var x : real [0, 10]
+init x >= 0 and x <= 6
+trans x' = x / 2
+prop x <= 8
+`)
+	res := Check(sys, Options{MaxK: 8})
+	if res.Verdict != engine.Safe {
+		t.Fatalf("verdict = %v (%s)", res.Verdict, res.Note)
+	}
+	if res.Depth != 1 {
+		t.Errorf("depth = %d, want 1", res.Depth)
+	}
+}
+
+func TestBaseCaseCounterexample(t *testing.T) {
+	sys := mustParse(t, `
+system counter
+var x : real [0, 100]
+init x >= 0 and x <= 0
+trans x' = x + 2
+prop x <= 5
+`)
+	res := Check(sys, Options{MaxK: 10})
+	if res.Verdict != engine.Unsafe {
+		t.Fatalf("verdict = %v (%s)", res.Verdict, res.Note)
+	}
+	if res.Depth != 3 {
+		t.Errorf("depth = %d, want 3 (x=6 after 3 steps)", res.Depth)
+	}
+	if err := sys.ValidateTrace(res.Trace, 1e-2); err != nil {
+		t.Errorf("trace: %v", err)
+	}
+}
+
+func TestNotKInductive(t *testing.T) {
+	// safe, but the property needs an auxiliary invariant no small k
+	// provides: x oscillates between 1 and 2, prop x <= 3 is inductive
+	// given range... make it genuinely non-inductive: range [0,10], the
+	// step case can place x = 10 and x' = 10 is out of prop... use growth
+	// that is blocked only by init
+	sys := mustParse(t, `
+system gap
+var x : real [0, 10]
+init x >= 0 and x <= 1
+trans x' = x
+prop x <= 5
+`)
+	// identity transition: prop is 1-inductive (x <= 5 -> x' = x <= 5)
+	res := Check(sys, Options{MaxK: 4})
+	if res.Verdict != engine.Safe || res.Depth != 1 {
+		t.Fatalf("identity system should be 1-inductive: %v depth %d", res.Verdict, res.Depth)
+	}
+
+	sys2 := mustParse(t, `
+system gap2
+var x : real [0, 100]
+init x >= 0 and x <= 1
+trans x' = x * (2 - x / 8)
+prop x <= 40
+`)
+	// from x <= 40, x' can be 40*(2-5)=... growth map: at x=40: 40*(2-5)
+	// = -120 clamped by range... at x=16: 16*(2-2)=0; max of x(2-x/8) on
+	// [0,40] is at x=8: 8*(2-1)=8... actually f(x)=2x-x^2/8, f'=2-x/4=0
+	// at x=8, f(8)=16-8=8. So from [0,40] next is in [-120, 8] and prop
+	// holds: 1-inductive.
+	res2 := Check(sys2, Options{MaxK: 4})
+	if res2.Verdict != engine.Safe {
+		t.Fatalf("gap2: %v (%s)", res2.Verdict, res2.Note)
+	}
+}
+
+func TestRequiresK2(t *testing.T) {
+	// two-phase toggler: b alternates; x grows only when b, shrinks when
+	// !b; over one step x can grow by 1 beyond any bound, but over two
+	// consecutive steps it returns. prop x <= 7 with x in [0,10],
+	// init x = 0, b false.
+	sys := mustParse(t, `
+system toggle
+var x : real [0, 10]
+var b : bool
+init x >= 0 and x <= 0 and !b
+trans (b -> x' = x + 1) and (!b -> x' = x - 1) and (b' <-> !b) and x' >= 0 and x' <= 10
+prop x <= 7
+`)
+	res := Check(sys, Options{MaxK: 8})
+	if res.Verdict != engine.Safe {
+		t.Fatalf("verdict = %v (%s)", res.Verdict, res.Note)
+	}
+	if res.Depth < 1 {
+		t.Errorf("depth = %d", res.Depth)
+	}
+}
+
+func TestNeverInductiveUnknown(t *testing.T) {
+	// safe only because init is far from the bad region and the dynamics
+	// preserve an invariant k-induction cannot see (x stays equal to y);
+	// with ranges allowing x != y, the step case always finds a CTI.
+	sys := mustParse(t, `
+system twin
+var x : real [0, 100]
+var y : real [0, 100]
+init x >= 1 and x <= 2 and y >= 1 and y <= 2 and x - y >= 0 and x - y <= 0
+trans x' = x + y - y and y' = y + 0 * x
+prop x - y <= 50
+`)
+	// trans: x' = x, y' = y; prop x - y <= 50: not k-inductive because a
+	// start state x=100,y=0 satisfies prop... wait x-y=100 > 50 violates
+	// prop, so it cannot be a start of the step case; x=60,y=20: x-y=40
+	// <= 50 holds, successor identical, holds: inductive after all.
+	// Use growth: x' = x + (x - y), y' = y: from x-y = 40 the gap stays
+	// 40+... x-y grows: (x + (x-y)) - y = (x-y)*2: from gap 30 -> 60 > 50:
+	// CTI exists at every k, so kind must give Unknown.
+	sys2 := mustParse(t, `
+system gapgrow
+var x : real [0, 1000]
+var y : real [0, 1000]
+init x >= 1 and x <= 2 and y >= 1 and y <= 2 and x - y <= 0 and x - y >= 0
+trans x' = x + (x - y) and y' = y
+prop x - y <= 50
+`)
+	_ = sys
+	res := Check(sys2, Options{MaxK: 3})
+	if res.Verdict != engine.Unknown {
+		t.Fatalf("verdict = %v, want unknown (never k-inductive)", res.Verdict)
+	}
+}
+
+func TestIntegerInduction(t *testing.T) {
+	sys := mustParse(t, `
+system intdecay
+var n : int [0, 63]
+init n = 40
+trans n' = n / 2 + 0 * n and n' >= 0 and n' <= 63
+prop n <= 62
+`)
+	// n/2 is real division; n' integer forces floor-ish via equality...
+	// n' = n/2 exactly requires n even; odd n has no successor (deadlock),
+	// still safe. prop n <= 62: 1-inductive within range [0,63]? step:
+	// n <= 62 and n' = n/2 <= 31: holds.
+	res := Check(sys, Options{MaxK: 4})
+	if res.Verdict != engine.Safe {
+		t.Fatalf("verdict = %v (%s)", res.Verdict, res.Note)
+	}
+}
+
+func TestBudget(t *testing.T) {
+	sys := mustParse(t, `
+system hard
+var x : real [0, 1000000]
+var y : real [0, 1000000]
+init x >= 0 and y >= 0
+trans x' = x + y * y and y' = y + x * x
+prop x + y <= 999999
+`)
+	res := Check(sys, Options{MaxK: 100, Budget: engine.Budget{Timeout: 50 * time.Millisecond}})
+	if res.Verdict == engine.Safe {
+		t.Fatal("cannot be safe")
+	}
+}
+
+func TestInvalidSystem(t *testing.T) {
+	s := ts.New("broken")
+	s.AddReal("x", 0, 1)
+	res := Check(s, Options{})
+	if res.Verdict != engine.Unknown || res.Note == "" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestStats(t *testing.T) {
+	sys := mustParse(t, `
+system d
+var x : real [0, 10]
+init x <= 1
+trans x' = x / 2
+prop x <= 9
+`)
+	res := Check(sys, Options{MaxK: 4})
+	if res.Verdict != engine.Safe {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+	if res.Stats["baseSolves"] == 0 || res.Stats["stepSolves"] == 0 {
+		t.Errorf("stats = %v", res.Stats)
+	}
+}

@@ -1,0 +1,116 @@
+// Package portfolio runs the three ICP engines (IC3, BMC, k-induction)
+// concurrently on the same system and returns the first decisive verdict,
+// cancelling the others.  This is the standard deployment mode for
+// complementary engines: IC3 covers deep safety, BMC covers bugs,
+// k-induction covers easy proofs — the portfolio inherits the union of
+// their strengths at the cost of running them in parallel.
+package portfolio
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"icpic3/internal/bmc"
+	"icpic3/internal/engine"
+	"icpic3/internal/ic3icp"
+	"icpic3/internal/kind"
+	"icpic3/internal/ts"
+)
+
+// Options configures the portfolio run.
+type Options struct {
+	// IC3 configures the IC3-ICP engine.
+	IC3 ic3icp.Options
+	// BMC configures the BMC engine.
+	BMC bmc.Options
+	// KInduction configures the k-induction engine.
+	KInduction kind.Options
+	// Budget bounds the whole portfolio (also injected into each engine).
+	Budget engine.Budget
+}
+
+// Check runs all engines concurrently and returns the first decisive
+// result; the Note records which engine produced it.
+func Check(sys *ts.System, opts Options) engine.Result {
+	budget := opts.Budget.Start()
+	if err := sys.Validate(); err != nil {
+		return engine.Result{Verdict: engine.Unknown, Note: err.Error()}
+	}
+
+	var cancelled atomic.Bool
+	stop := func() bool { return cancelled.Load() || budget.Expired() }
+
+	type outcome struct {
+		name string
+		res  engine.Result
+	}
+	results := make(chan outcome, 3)
+	var wg sync.WaitGroup
+
+	launch := func(name string, run func() engine.Result) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- outcome{name: name, res: run()}
+		}()
+	}
+
+	ic3Opts := opts.IC3
+	ic3Opts.Budget = budget
+	prevStop := ic3Opts.Solver.Stop
+	ic3Opts.Solver.Stop = combineStop(stop, prevStop)
+	launch("ic3-icp", func() engine.Result { return ic3icp.Check(sys, ic3Opts) })
+
+	bmcOpts := opts.BMC
+	bmcOpts.Budget = budget
+	prevStop = bmcOpts.Solver.Stop
+	bmcOpts.Solver.Stop = combineStop(stop, prevStop)
+	launch("bmc-icp", func() engine.Result { return bmc.Check(sys, bmcOpts) })
+
+	kindOpts := opts.KInduction
+	kindOpts.Budget = budget
+	prevStop = kindOpts.Solver.Stop
+	kindOpts.Solver.Stop = combineStop(stop, prevStop)
+	launch("kind-icp", func() engine.Result { return kind.Check(sys, kindOpts) })
+
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var unknowns []string
+	for out := range results {
+		if out.res.Verdict != engine.Unknown {
+			cancelled.Store(true)
+			// drain remaining engines in the background; their results are
+			// discarded (the channel is buffered for all of them)
+			res := out.res
+			res.Note = annotate(out.name, res.Note)
+			res.Runtime = budget.Elapsed()
+			return res
+		}
+		unknowns = append(unknowns, fmt.Sprintf("%s: %s", out.name, out.res.Note))
+	}
+	note := "all engines undecided"
+	for _, u := range unknowns {
+		note += "; " + u
+	}
+	return engine.Result{Verdict: engine.Unknown, Note: note, Runtime: budget.Elapsed()}
+}
+
+func combineStop(a, b func() bool) func() bool {
+	return func() bool {
+		if a != nil && a() {
+			return true
+		}
+		return b != nil && b()
+	}
+}
+
+func annotate(name, note string) string {
+	if note == "" {
+		return "decided by " + name
+	}
+	return "decided by " + name + ": " + note
+}

@@ -1,0 +1,238 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DRAT proof logging and checking.
+//
+// When a Proof sink is attached (SetProofWriter), the solver emits every
+// learned clause as a DRAT addition line in the standard textual format
+// (DIMACS literals terminated by 0; deletions prefixed with "d").  For an
+// UNSAT run the resulting file, together with the original clauses, forms
+// a machine-checkable refutation.  CheckDRAT implements the (RUP portion
+// of the) checker: every added clause must be derivable from the current
+// formula by unit propagation, and the proof must end with the empty
+// clause.
+
+// SetProofWriter attaches a DRAT sink; pass nil to detach.  Must be called
+// before Solve.
+func (s *Solver) SetProofWriter(w io.Writer) {
+	if w == nil {
+		s.proof = nil
+		return
+	}
+	s.proof = bufio.NewWriter(w)
+}
+
+// FlushProof flushes the proof sink (call after Solve).
+func (s *Solver) FlushProof() error {
+	if s.proof == nil {
+		return nil
+	}
+	return s.proof.Flush()
+}
+
+// logLearnt emits a clause addition line.
+func (s *Solver) logLearnt(lits []Lit) {
+	if s.proof == nil {
+		return
+	}
+	for _, l := range lits {
+		fmt.Fprintf(s.proof, "%d ", toDimacs(l))
+	}
+	fmt.Fprintln(s.proof, 0)
+}
+
+// logEmpty emits the final empty clause of a refutation.
+func (s *Solver) logEmpty() {
+	if s.proof == nil {
+		return
+	}
+	fmt.Fprintln(s.proof, 0)
+}
+
+// toDimacs converts a literal to DIMACS convention (variables 1-based,
+// negative = negated).
+func toDimacs(l Lit) int {
+	v := l.Var() + 1
+	if !l.Sign() {
+		return -v
+	}
+	return v
+}
+
+// fromDimacs converts a DIMACS literal.
+func fromDimacs(d int) Lit {
+	if d > 0 {
+		return MkLit(d-1, true)
+	}
+	return MkLit(-d-1, false)
+}
+
+// CheckDRAT verifies a refutation: cnf is the original formula (DIMACS
+// literal convention, one clause per inner slice), proof is the text
+// produced by the solver's proof writer.  Every addition must have the
+// RUP property (reverse unit propagation yields a conflict), and the
+// proof must contain the empty clause.  Returns nil for a valid
+// refutation.
+func CheckDRAT(cnf [][]int, proof io.Reader) error {
+	db := make([][]Lit, 0, len(cnf))
+	for _, cl := range cnf {
+		lits := make([]Lit, len(cl))
+		for i, d := range cl {
+			lits[i] = fromDimacs(d)
+		}
+		db = append(db, lits)
+	}
+
+	sc := bufio.NewScanner(proof)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	sawEmpty := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		isDelete := false
+		if strings.HasPrefix(line, "d ") {
+			isDelete = true
+			line = strings.TrimPrefix(line, "d ")
+		}
+		fields := strings.Fields(line)
+		var lits []Lit
+		terminated := false
+		for _, f := range fields {
+			d, err := strconv.Atoi(f)
+			if err != nil {
+				return fmt.Errorf("sat: drat line %d: bad literal %q", lineNo, f)
+			}
+			if d == 0 {
+				terminated = true
+				break
+			}
+			lits = append(lits, fromDimacs(d))
+		}
+		if !terminated {
+			return fmt.Errorf("sat: drat line %d: missing terminator", lineNo)
+		}
+		if isDelete {
+			db = deleteClause(db, lits)
+			continue
+		}
+		if len(lits) == 0 {
+			// the empty clause: valid iff unit propagation on the database
+			// alone conflicts
+			if !rupConflict(db, nil) {
+				return fmt.Errorf("sat: drat line %d: empty clause not derivable", lineNo)
+			}
+			sawEmpty = true
+			continue
+		}
+		// RUP check: assume the negation of every literal; propagation
+		// must conflict
+		if !rupConflict(db, lits) {
+			return fmt.Errorf("sat: drat line %d: clause %v lacks RUP", lineNo, lits)
+		}
+		db = append(db, lits)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawEmpty {
+		return fmt.Errorf("sat: drat proof does not derive the empty clause")
+	}
+	return nil
+}
+
+// deleteClause removes one syntactic occurrence of the clause (order
+// insensitive) from the database.
+func deleteClause(db [][]Lit, lits []Lit) [][]Lit {
+	key := clauseKey(lits)
+	for i, cl := range db {
+		if clauseKey(cl) == key {
+			db[i] = db[len(db)-1]
+			return db[:len(db)-1]
+		}
+	}
+	return db // deleting a non-existent clause is a no-op (standard)
+}
+
+func clauseKey(lits []Lit) string {
+	xs := make([]int, len(lits))
+	for i, l := range lits {
+		xs[i] = toDimacs(l)
+	}
+	sort.Ints(xs)
+	var b strings.Builder
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%d,", x)
+	}
+	return b.String()
+}
+
+// rupConflict performs reverse unit propagation: with the negations of
+// lits as assumptions, does unit propagation over db derive a conflict?
+// A simple counting-free implementation sufficient for checking.
+func rupConflict(db [][]Lit, lits []Lit) bool {
+	// assignment: map var -> value
+	assign := map[int]bool{}
+	assignLit := func(l Lit) bool { // returns false on conflict
+		v, want := l.Var(), l.Sign()
+		if cur, ok := assign[v]; ok {
+			return cur == want
+		}
+		assign[v] = want
+		return true
+	}
+	for _, l := range lits {
+		if !assignLit(l.Neg()) {
+			return true // assumptions already conflicting
+		}
+	}
+	for {
+		progress := false
+		for _, cl := range db {
+			unassigned := -1
+			satisfied := false
+			for i, l := range cl {
+				cur, ok := assign[l.Var()]
+				if !ok {
+					if unassigned >= 0 {
+						if cl[unassigned] == l {
+							continue // duplicate literal, still unit
+						}
+						unassigned = -2 // two distinct unassigned: not unit
+						break
+					}
+					unassigned = i
+					continue
+				}
+				if cur == l.Sign() {
+					satisfied = true
+					break
+				}
+			}
+			if satisfied || unassigned == -2 {
+				continue
+			}
+			if unassigned == -1 {
+				return true // all false: conflict
+			}
+			if !assignLit(cl[unassigned]) {
+				return true
+			}
+			progress = true
+		}
+		if !progress {
+			return false
+		}
+	}
+}

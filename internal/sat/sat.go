@@ -1,0 +1,788 @@
+// Package sat implements a conflict-driven clause-learning (CDCL) Boolean
+// satisfiability solver with two-literal watching, VSIDS branching, phase
+// saving, Luby restarts, assumption-based solving and UNSAT cores.  It is
+// the substrate of the Boolean IC3 baseline (package ic3bool).
+package sat
+
+import (
+	"bufio"
+	"sort"
+)
+
+// Lit is a literal: variable index shifted left once, low bit = negated.
+// Variables are numbered from 0.
+type Lit int32
+
+// MkLit builds a literal for variable v with the given sign
+// (sign true = positive occurrence).
+func MkLit(v int, sign bool) Lit {
+	l := Lit(v << 1)
+	if !sign {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the variable index of l.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Sign reports whether l is the positive literal of its variable.
+func (l Lit) Sign() bool { return l&1 == 0 }
+
+// Neg returns the complement literal.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+const litUndef = Lit(-2)
+
+// lbool is a three-valued Boolean.
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func boolToLbool(b bool) lbool {
+	if b {
+		return lTrue
+	}
+	return lFalse
+}
+
+// Status is a Solve outcome.
+type Status int8
+
+const (
+	// Sat means a model was found.
+	Sat Status = iota
+	// Unsat means no model exists under the assumptions.
+	Unsat
+	// Unknown means the conflict budget was exhausted.
+	Unknown
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+type clause struct {
+	lits     []Lit
+	learned  bool
+	activity float64
+}
+
+type watcher struct {
+	c       int32 // clause index
+	blocker Lit
+}
+
+type varData struct {
+	reason int32 // clause index, -1 for decisions/unassigned
+	level  int32
+}
+
+// Stats counts solver work.
+type Stats struct {
+	Decisions, Conflicts, Propagations, Learned, Restarts int64
+}
+
+// Solver is a CDCL SAT solver.  The zero value is not usable; call New.
+type Solver struct {
+	clauses  []clause
+	watches  [][]watcher // indexed by literal
+	assign   []lbool     // indexed by var
+	vdata    []varData
+	phase    []bool // saved phase
+	activity []float64
+	varInc   float64
+	claInc   float64
+	order    *varHeap
+
+	trail    []Lit
+	trailLim []int32
+	qhead    int
+
+	assumptions    []Lit
+	seen           []bool
+	analyzeBuf     []Lit
+	redundantClear []int // extra seen marks set by clause minimization
+
+	rootUnsat   bool
+	maxLearned  int
+	MaxConflict int64 // per-Solve conflict budget (0 = unlimited)
+
+	model []bool // last model
+	core  []Lit  // last unsat core (subset of assumptions)
+
+	proof *bufio.Writer // optional DRAT sink (see drat.go)
+
+	Stats Stats
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{varInc: 1, claInc: 1, maxLearned: 20000}
+	s.order = &varHeap{s: s}
+	return s
+}
+
+// NewVar introduces a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assign)
+	s.assign = append(s.assign, lUndef)
+	s.vdata = append(s.vdata, varData{reason: -1})
+	s.phase = append(s.phase, false)
+	s.activity = append(s.activity, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.seen = append(s.seen, false)
+	s.order.push(v)
+	return v
+}
+
+// NumVars returns the number of variables.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+func (s *Solver) value(l Lit) lbool {
+	a := s.assign[l.Var()]
+	if a == lUndef {
+		return lUndef
+	}
+	if (a == lTrue) == l.Sign() {
+		return lTrue
+	}
+	return lFalse
+}
+
+func (s *Solver) level() int32 { return int32(len(s.trailLim)) }
+
+// AddClause adds a clause at decision level 0.  Returns false if the
+// solver became trivially unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if s.rootUnsat {
+		return false
+	}
+	s.backtrackTo(0)
+	// simplify: drop false lits, detect satisfied/duplicate
+	out := lits[:0:0]
+	sort.Slice(lits, func(i, j int) bool { return lits[i] < lits[j] })
+	var prev Lit = litUndef
+	for _, l := range lits {
+		if s.value(l) == lTrue || l == prev.Neg() && prev != litUndef {
+			return true // satisfied or tautological
+		}
+		if s.value(l) == lFalse || l == prev {
+			continue
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.rootUnsat = true
+		s.logEmpty()
+		return false
+	case 1:
+		s.logLearnt(out) // the simplified unit is a derived clause
+		s.uncheckedEnqueue(out[0], -1)
+		if s.propagate() >= 0 {
+			s.rootUnsat = true
+			s.logEmpty()
+			return false
+		}
+		return true
+	}
+	s.attachClause(out, false)
+	return true
+}
+
+func (s *Solver) attachClause(lits []Lit, learned bool) int32 {
+	id := int32(len(s.clauses))
+	s.clauses = append(s.clauses, clause{lits: lits, learned: learned, activity: s.claInc})
+	s.watches[lits[0].Neg()] = append(s.watches[lits[0].Neg()], watcher{c: id, blocker: lits[1]})
+	s.watches[lits[1].Neg()] = append(s.watches[lits[1].Neg()], watcher{c: id, blocker: lits[0]})
+	return id
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, reason int32) {
+	v := l.Var()
+	s.assign[v] = boolToLbool(l.Sign())
+	s.vdata[v] = varData{reason: reason, level: s.level()}
+	s.trail = append(s.trail, l)
+	s.Stats.Propagations++
+}
+
+// propagate performs unit propagation; returns a conflicting clause index
+// or -1.
+func (s *Solver) propagate() int32 {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		ws := s.watches[p]
+		n := 0
+	nextWatch:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.value(w.blocker) == lTrue {
+				ws[n] = w
+				n++
+				continue
+			}
+			c := &s.clauses[w.c]
+			// ensure lits[1] is the false literal (p.Neg())
+			if c.lits[0] == p.Neg() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				ws[n] = watcher{c: w.c, blocker: first}
+				n++
+				continue
+			}
+			// look for a new watch
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Neg()] = append(s.watches[c.lits[1].Neg()], watcher{c: w.c, blocker: first})
+					continue nextWatch
+				}
+			}
+			// unit or conflict
+			ws[n] = watcher{c: w.c, blocker: first}
+			n++
+			if s.value(first) == lFalse {
+				// conflict: restore remaining watchers and bail
+				for i++; i < len(ws); i++ {
+					ws[n] = ws[i]
+					n++
+				}
+				s.watches[p] = ws[:n]
+				s.qhead = len(s.trail)
+				return w.c
+			}
+			s.uncheckedEnqueue(first, w.c)
+		}
+		s.watches[p] = ws[:n]
+	}
+	return -1
+}
+
+func (s *Solver) backtrackTo(lvl int32) {
+	if s.level() <= lvl {
+		return
+	}
+	limit := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= int(limit); i-- {
+		v := s.trail[i].Var()
+		s.assign[v] = lUndef
+		s.phase[v] = s.trail[i].Sign()
+		s.vdata[v].reason = -1
+		s.order.pushIfAbsent(v)
+	}
+	s.trail = s.trail[:limit]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) bumpClause(ci int32) {
+	c := &s.clauses[ci]
+	if !c.learned {
+		return
+	}
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for i := range s.clauses {
+			s.clauses[i].activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// analyze performs 1-UIP learning; returns the learned clause (first lit
+// asserting) and the backjump level.
+func (s *Solver) analyze(confl int32) ([]Lit, int32) {
+	for _, v := range s.redundantClear {
+		s.seen[v] = false
+	}
+	s.redundantClear = s.redundantClear[:0]
+	learnt := s.analyzeBuf[:0]
+	learnt = append(learnt, litUndef) // placeholder for UIP
+	counter := 0
+	var p Lit = litUndef
+	idx := len(s.trail) - 1
+	btLevel := int32(0)
+
+	for {
+		c := &s.clauses[confl]
+		s.bumpClause(confl)
+		start := 0
+		if p != litUndef {
+			start = 1
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.vdata[v].level == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.vdata[v].level == s.level() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+				if s.vdata[v].level > btLevel {
+					btLevel = s.vdata[v].level
+				}
+			}
+		}
+		// find next seen literal on trail
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		confl = s.vdata[p.Var()].reason
+		s.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		idx--
+	}
+	learnt[0] = p.Neg()
+
+	// recursive clause minimization: drop literals implied by the rest
+	minimized := learnt[:1]
+	for _, l := range learnt[1:] {
+		if s.vdata[l.Var()].reason < 0 || !s.litRedundant(l) {
+			minimized = append(minimized, l)
+		} else {
+			s.seen[l.Var()] = false // dropped literal: unmark now
+		}
+	}
+	learnt = minimized
+
+	// recompute the backjump level after minimization
+	btLevel = 0
+	for _, l := range learnt[1:] {
+		if lv := s.vdata[l.Var()].level; lv > btLevel {
+			btLevel = lv
+		}
+	}
+
+	// clear seen for learnt lits
+	for _, l := range learnt[1:] {
+		s.seen[l.Var()] = false
+	}
+	s.analyzeBuf = learnt
+	out := make([]Lit, len(learnt))
+	copy(out, learnt)
+	return out, btLevel
+}
+
+// litRedundant reports whether literal l of the learned clause is implied
+// by the remaining literals: every path through its reason graph ends in
+// clause literals (seen) or level-0 assignments.  It must not clear seen
+// flags of actual clause literals, so visited extras are tracked and
+// unwound only on failure paths via the toClear list.
+func (s *Solver) litRedundant(l Lit) bool {
+	var toClear []int
+	stack := []Lit{l}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		r := s.vdata[q.Var()].reason
+		if r < 0 {
+			// reached a decision not in the clause: not redundant
+			for _, v := range toClear {
+				s.seen[v] = false
+			}
+			return false
+		}
+		for _, a := range s.clauses[r].lits[1:] {
+			v := a.Var()
+			if s.seen[v] || s.vdata[v].level == 0 {
+				continue
+			}
+			if s.vdata[v].reason < 0 {
+				for _, vv := range toClear {
+					s.seen[vv] = false
+				}
+				return false
+			}
+			s.seen[v] = true
+			toClear = append(toClear, v)
+			stack = append(stack, a)
+		}
+	}
+	// success: the extra seen marks may stay set; they denote redundant
+	// territory for subsequent literals of the same clause, but they must
+	// be cleared before the next analysis — track them globally
+	s.redundantClear = append(s.redundantClear, toClear...)
+	return true
+}
+
+// analyzeFinal computes the subset of assumptions implying the conflict.
+func (s *Solver) analyzeFinal(confl int32) []Lit {
+	var core []Lit
+	marked := make([]bool, len(s.assign))
+	var stack []Lit
+	for _, l := range s.clauses[confl].lits {
+		stack = append(stack, l)
+	}
+	for len(stack) > 0 {
+		l := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		v := l.Var()
+		if marked[v] || s.vdata[v].level == 0 {
+			continue
+		}
+		marked[v] = true
+		r := s.vdata[v].reason
+		if r < 0 {
+			// decision: must be an assumption
+			core = append(core, l.Neg())
+			continue
+		}
+		for _, q := range s.clauses[r].lits[1:] {
+			stack = append(stack, q)
+		}
+	}
+	return core
+}
+
+// reduceDB removes half of the learned clauses with lowest activity.
+// Clauses that are reasons for current assignments are kept.
+func (s *Solver) reduceDB() {
+	type la struct {
+		idx int32
+		act float64
+	}
+	var cand []la
+	locked := make(map[int32]bool)
+	for _, l := range s.trail {
+		if r := s.vdata[l.Var()].reason; r >= 0 {
+			locked[r] = true
+		}
+	}
+	for i := range s.clauses {
+		c := &s.clauses[i]
+		if c.learned && len(c.lits) > 2 && !locked[int32(i)] {
+			cand = append(cand, la{int32(i), c.activity})
+		}
+	}
+	if len(cand) < s.maxLearned/2 {
+		return
+	}
+	sort.Slice(cand, func(i, j int) bool { return cand[i].act < cand[j].act })
+	remove := make(map[int32]bool, len(cand)/2)
+	for _, c := range cand[:len(cand)/2] {
+		remove[c.idx] = true
+	}
+	// rebuild clause list and watches
+	oldClauses := s.clauses
+	mapping := make([]int32, len(oldClauses))
+	s.clauses = s.clauses[:0]
+	for i := range oldClauses {
+		if remove[int32(i)] {
+			mapping[i] = -1
+			continue
+		}
+		mapping[i] = int32(len(s.clauses))
+		s.clauses = append(s.clauses, oldClauses[i])
+	}
+	for i := range s.watches {
+		ws := s.watches[i][:0]
+		for _, w := range s.watches[i] {
+			if m := mapping[w.c]; m >= 0 {
+				ws = append(ws, watcher{c: m, blocker: w.blocker})
+			}
+		}
+		s.watches[i] = ws
+	}
+	for v := range s.vdata {
+		if r := s.vdata[v].reason; r >= 0 {
+			s.vdata[v].reason = mapping[r]
+		}
+	}
+}
+
+// luby computes the Luby restart sequence value for index i (1-based):
+// 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+func luby(i int64) int64 {
+	x := i - 1 // 0-based
+	var size, seq int64 = 1, 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) / 2
+		seq--
+		x = x % size
+	}
+	return 1 << uint(seq)
+}
+
+// Solve searches for a model under the given assumptions.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if s.rootUnsat {
+		s.core = nil
+		if len(assumptions) == 0 {
+			s.logEmpty() // the formula alone is UP-refutable
+		}
+		return Unsat
+	}
+	s.backtrackTo(0)
+	s.assumptions = assumptions
+	s.core = nil
+
+	var conflicts int64
+	var restarts int64
+	restartBudget := 100 * luby(1)
+
+	for {
+		confl := s.propagate()
+		if confl >= 0 {
+			s.Stats.Conflicts++
+			conflicts++
+			if s.level() <= int32(len(s.assumptions)) {
+				// conflict under assumptions only
+				if s.level() == 0 {
+					s.rootUnsat = true
+					s.logEmpty()
+					return Unsat
+				}
+				s.core = s.analyzeFinal(confl)
+				s.backtrackTo(0)
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.logLearnt(learnt)
+			if btLevel < int32(len(s.assumptions)) {
+				btLevel = int32(len(s.assumptions))
+			}
+			s.backtrackTo(btLevel)
+			if len(learnt) == 1 {
+				s.backtrackTo(0)
+				s.uncheckedEnqueue(learnt[0], -1)
+			} else {
+				ci := s.attachClause(learnt, true)
+				s.Stats.Learned++
+				s.uncheckedEnqueue(learnt[0], ci)
+			}
+			s.varInc /= 0.95
+			s.claInc /= 0.999
+			if s.MaxConflict > 0 && conflicts > s.MaxConflict {
+				s.backtrackTo(0)
+				return Unknown
+			}
+			if conflicts >= restartBudget {
+				restarts++
+				s.Stats.Restarts++
+				restartBudget = conflicts + 100*luby(restarts+1)
+				s.backtrackTo(int32(0))
+			}
+			if learnedCount := s.countLearned(); learnedCount > s.maxLearned {
+				s.reduceDB()
+			}
+			continue
+		}
+
+		// establish assumptions
+		if int(s.level()) < len(s.assumptions) {
+			a := s.assumptions[s.level()]
+			switch s.value(a) {
+			case lTrue:
+				// already satisfied: open an empty level to keep indices aligned
+				s.trailLim = append(s.trailLim, int32(len(s.trail)))
+				continue
+			case lFalse:
+				// conflicting assumption: core = assumptions implying !a
+				s.core = s.coreFromFailedAssumption(a)
+				s.backtrackTo(0)
+				return Unsat
+			}
+			s.trailLim = append(s.trailLim, int32(len(s.trail)))
+			s.uncheckedEnqueue(a, -1)
+			continue
+		}
+
+		// decide
+		v := s.pickBranchVar()
+		if v < 0 {
+			// model found
+			s.model = make([]bool, len(s.assign))
+			for i, a := range s.assign {
+				s.model[i] = a == lTrue
+			}
+			s.backtrackTo(0)
+			return Sat
+		}
+		s.Stats.Decisions++
+		s.trailLim = append(s.trailLim, int32(len(s.trail)))
+		s.uncheckedEnqueue(MkLit(v, s.phase[v]), -1)
+	}
+}
+
+func (s *Solver) countLearned() int {
+	n := 0
+	for i := range s.clauses {
+		if s.clauses[i].learned {
+			n++
+		}
+	}
+	return n
+}
+
+// coreFromFailedAssumption traces why literal a is false.
+func (s *Solver) coreFromFailedAssumption(a Lit) []Lit {
+	core := []Lit{a}
+	marked := make([]bool, len(s.assign))
+	// the stack holds FALSE literals; a itself is false here
+	stack := []Lit{a}
+	for len(stack) > 0 {
+		l := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		v := l.Var()
+		if marked[v] || s.vdata[v].level == 0 {
+			continue
+		}
+		marked[v] = true
+		r := s.vdata[v].reason
+		if r < 0 {
+			core = append(core, l.Neg()) // the assumption literal itself
+			continue
+		}
+		for _, q := range s.clauses[r].lits[1:] {
+			stack = append(stack, q)
+		}
+	}
+	return core
+}
+
+func (s *Solver) pickBranchVar() int {
+	for {
+		v, ok := s.order.pop()
+		if !ok {
+			return -1
+		}
+		if s.assign[v] == lUndef {
+			return v
+		}
+	}
+}
+
+// Model returns the value of variable v in the last model.
+func (s *Solver) Model(v int) bool { return s.model[v] }
+
+// ModelLit reports whether literal l holds in the last model.
+func (s *Solver) ModelLit(l Lit) bool { return s.model[l.Var()] == l.Sign() }
+
+// Core returns the subset of the assumptions responsible for the last
+// Unsat answer (negated as failed assumptions).
+func (s *Solver) Core() []Lit { return s.core }
+
+// Okay reports whether the solver is still consistent at level 0.
+func (s *Solver) Okay() bool { return !s.rootUnsat }
+
+// --- binary max-heap over variable activity -----------------------------
+
+type varHeap struct {
+	s     *Solver
+	heap  []int
+	index map[int]int
+}
+
+func (h *varHeap) less(a, b int) bool {
+	return h.s.activity[a] > h.s.activity[b]
+}
+
+func (h *varHeap) push(v int) {
+	if h.index == nil {
+		h.index = make(map[int]int)
+	}
+	if _, ok := h.index[v]; ok {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.index[v] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pushIfAbsent(v int) { h.push(v) }
+
+func (h *varHeap) pop() (int, bool) {
+	if len(h.heap) == 0 {
+		return -1, false
+	}
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.index[h.heap[0]] = 0
+	h.heap = h.heap[:last]
+	delete(h.index, v)
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return v, true
+}
+
+func (h *varHeap) update(v int) {
+	if i, ok := h.index[v]; ok {
+		h.up(i)
+		h.down(i)
+	}
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(h.heap[i], h.heap[p]) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *varHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.less(h.heap[l], h.heap[m]) {
+			m = l
+		}
+		if r < n && h.less(h.heap[r], h.heap[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h.swap(i, m)
+		i = m
+	}
+}
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.index[h.heap[i]] = i
+	h.index[h.heap[j]] = j
+}

@@ -1,0 +1,529 @@
+package sat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLitBasics(t *testing.T) {
+	l := MkLit(3, true)
+	if l.Var() != 3 || !l.Sign() {
+		t.Errorf("lit = %v", l)
+	}
+	n := l.Neg()
+	if n.Var() != 3 || n.Sign() {
+		t.Errorf("neg = %v", n)
+	}
+	if n.Neg() != l {
+		t.Error("double negation")
+	}
+}
+
+func TestTrivial(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, true))
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status = %v", st)
+	}
+	if !s.Model(a) {
+		t.Error("model should set a true")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, true))
+	if !s.Okay() {
+		t.Fatal("should still be okay")
+	}
+	s.AddClause(MkLit(a, false))
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("status = %v", st)
+	}
+	if s.Okay() {
+		t.Error("solver should be root-unsat")
+	}
+}
+
+func TestEmptyClause(t *testing.T) {
+	s := New()
+	s.NewVar()
+	if s.AddClause() {
+		t.Error("empty clause should return false")
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("status = %v", st)
+	}
+}
+
+func TestTautology(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	if !s.AddClause(MkLit(a, true), MkLit(a, false)) {
+		t.Error("tautology should be accepted")
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status = %v", st)
+	}
+}
+
+func TestUnitChain(t *testing.T) {
+	s := New()
+	vars := make([]int, 5)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	// a0 and (a_i -> a_{i+1}) forces all true
+	s.AddClause(MkLit(vars[0], true))
+	for i := 0; i+1 < len(vars); i++ {
+		s.AddClause(MkLit(vars[i], false), MkLit(vars[i+1], true))
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("status = %v", st)
+	}
+	for i, v := range vars {
+		if !s.Model(v) {
+			t.Errorf("var %d should be true", i)
+		}
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(n+1, n): n+1 pigeons, n holes -> unsat
+	n := 5
+	s := New()
+	p := make([][]int, n+1)
+	for i := range p {
+		p[i] = make([]int, n)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i <= n; i++ {
+		lits := make([]Lit, n)
+		for j := 0; j < n; j++ {
+			lits[j] = MkLit(p[i][j], true)
+		}
+		s.AddClause(lits...)
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i <= n; i++ {
+			for k := i + 1; k <= n; k++ {
+				s.AddClause(MkLit(p[i][j], false), MkLit(p[k][j], false))
+			}
+		}
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("PHP(%d,%d) = %v, want unsat", n+1, n, st)
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, true)) // a -> b
+	if st := s.Solve(MkLit(a, true), MkLit(b, false)); st != Unsat {
+		t.Fatalf("status = %v", st)
+	}
+	core := s.Core()
+	if len(core) == 0 || len(core) > 2 {
+		t.Fatalf("core = %v", core)
+	}
+	// solver reusable after unsat-under-assumptions
+	if st := s.Solve(MkLit(a, true)); st != Sat {
+		t.Fatalf("status = %v", st)
+	}
+	if !s.Model(a) || !s.Model(b) {
+		t.Error("model should satisfy a and b")
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("no assumptions: %v", st)
+	}
+}
+
+func TestCoreExcludesIrrelevant(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, false)) // !(a & b)
+	if st := s.Solve(MkLit(c, true), MkLit(a, true), MkLit(b, true)); st != Unsat {
+		t.Fatal("should be unsat")
+	}
+	for _, l := range s.Core() {
+		if l.Var() == c {
+			t.Errorf("irrelevant assumption in core: %v", s.Core())
+		}
+	}
+}
+
+func TestIncremental(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, true), MkLit(b, true))
+	if st := s.Solve(); st != Sat {
+		t.Fatal("1st solve")
+	}
+	s.AddClause(MkLit(a, false))
+	if st := s.Solve(); st != Sat {
+		t.Fatal("2nd solve")
+	}
+	if s.Model(a) || !s.Model(b) {
+		t.Error("model wrong after increment")
+	}
+	s.AddClause(MkLit(b, false))
+	if st := s.Solve(); st != Unsat {
+		t.Fatal("3rd solve should be unsat")
+	}
+}
+
+func TestActivationPattern(t *testing.T) {
+	// the clause group pattern used by IC3: act -> clause
+	s := New()
+	x := s.NewVar()
+	act := s.NewVar()
+	s.AddClause(MkLit(act, false), MkLit(x, false)) // act -> !x
+	if st := s.Solve(MkLit(x, true)); st != Sat {
+		t.Fatal("inactive group should be ignored")
+	}
+	if st := s.Solve(MkLit(act, true), MkLit(x, true)); st != Unsat {
+		t.Fatal("active group should conflict")
+	}
+}
+
+func TestModelLit(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	if st := s.Solve(); st != Sat {
+		t.Fatal("solve")
+	}
+	if s.ModelLit(MkLit(a, true)) || !s.ModelLit(MkLit(a, false)) {
+		t.Error("ModelLit wrong")
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+// brute-force SAT check
+func bruteSat(nVars int, cnf [][]Lit) bool {
+	for m := 0; m < 1<<nVars; m++ {
+		ok := true
+		for _, cl := range cnf {
+			cok := false
+			for _, l := range cl {
+				if (m>>l.Var()&1 == 1) == l.Sign() {
+					cok = true
+					break
+				}
+			}
+			if !cok {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestQuickRandomCNF(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nVars := 3 + r.Intn(7)
+		nClauses := 3 + r.Intn(25)
+		cnf := make([][]Lit, nClauses)
+		for i := range cnf {
+			k := 1 + r.Intn(3)
+			for j := 0; j < k; j++ {
+				cnf[i] = append(cnf[i], MkLit(r.Intn(nVars), r.Intn(2) == 0))
+			}
+		}
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		for _, cl := range cnf {
+			s.AddClause(cl...)
+		}
+		got := s.Solve()
+		want := bruteSat(nVars, cnf)
+		if want != (got == Sat) {
+			return false
+		}
+		if got == Sat {
+			// verify model
+			for _, cl := range cnf {
+				cok := false
+				for _, l := range cl {
+					if s.ModelLit(l) {
+						cok = true
+						break
+					}
+				}
+				if !cok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Errorf("random CNF: %v", err)
+	}
+}
+
+func TestQuickRandomCNFWithAssumptions(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nVars := 3 + r.Intn(6)
+		nClauses := 3 + r.Intn(18)
+		cnf := make([][]Lit, nClauses)
+		for i := range cnf {
+			k := 1 + r.Intn(3)
+			for j := 0; j < k; j++ {
+				cnf[i] = append(cnf[i], MkLit(r.Intn(nVars), r.Intn(2) == 0))
+			}
+		}
+		nAssump := 1 + r.Intn(3)
+		var assumps []Lit
+		seen := map[int]bool{}
+		for len(assumps) < nAssump {
+			v := r.Intn(nVars)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			assumps = append(assumps, MkLit(v, r.Intn(2) == 0))
+		}
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		for _, cl := range cnf {
+			s.AddClause(cl...)
+		}
+		// brute: CNF + assumption units
+		full := append([][]Lit{}, cnf...)
+		for _, a := range assumps {
+			full = append(full, []Lit{a})
+		}
+		want := bruteSat(nVars, full)
+		got := s.Solve(assumps...)
+		if want != (got == Sat) {
+			return false
+		}
+		if got == Unsat {
+			// core must be a subset of assumptions, and assumptions in the
+			// core plus the CNF must still be unsat
+			coreSet := map[Lit]bool{}
+			for _, l := range s.Core() {
+				found := false
+				for _, a := range assumps {
+					if a == l {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+				coreSet[l] = true
+			}
+			reduced := append([][]Lit{}, cnf...)
+			for l := range coreSet {
+				reduced = append(reduced, []Lit{l})
+			}
+			if bruteSat(nVars, reduced) {
+				return false // core not sufficient
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Errorf("random CNF with assumptions: %v", err)
+	}
+}
+
+func TestManyVarsStress(t *testing.T) {
+	// chain of implications with a diamond structure, forces deep propagation
+	s := New()
+	n := 2000
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(MkLit(vars[i], false), MkLit(vars[i+1], true))
+	}
+	s.AddClause(MkLit(vars[0], true))
+	if st := s.Solve(); st != Sat {
+		t.Fatal("chain solve")
+	}
+	if !s.Model(vars[n-1]) {
+		t.Error("chain propagation failed")
+	}
+	// now force a contradiction at the end
+	s.AddClause(MkLit(vars[n-1], false))
+	if st := s.Solve(); st != Unsat {
+		t.Fatal("chain unsat")
+	}
+}
+
+func TestReduceDBSurvival(t *testing.T) {
+	// random hard-ish instance to exercise clause deletion paths
+	r := rand.New(rand.NewSource(42))
+	s := New()
+	s.maxLearned = 50 // force frequent reduction
+	nVars := 60
+	for i := 0; i < nVars; i++ {
+		s.NewVar()
+	}
+	for i := 0; i < 260; i++ {
+		var cl []Lit
+		for j := 0; j < 3; j++ {
+			cl = append(cl, MkLit(r.Intn(nVars), r.Intn(2) == 0))
+		}
+		s.AddClause(cl...)
+	}
+	st := s.Solve()
+	if st == Unknown {
+		t.Fatal("should decide")
+	}
+	// whatever the answer, the solver must stay usable
+	st2 := s.Solve()
+	if st2 != st {
+		t.Fatalf("non-deterministic: %v then %v", st, st2)
+	}
+}
+
+func TestDRATProofPigeonhole(t *testing.T) {
+	// build PHP(4,3), capture both the CNF and the proof, then check
+	n := 3
+	s := New()
+	var cnf [][]int
+	addClause := func(lits ...Lit) {
+		row := make([]int, len(lits))
+		for i, l := range lits {
+			row[i] = toDimacs(l)
+		}
+		cnf = append(cnf, row)
+		s.AddClause(lits...)
+	}
+	p := make([][]int, n+1)
+	for i := range p {
+		p[i] = make([]int, n)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	var proof strings.Builder
+	s.SetProofWriter(&proof)
+	for i := 0; i <= n; i++ {
+		lits := make([]Lit, n)
+		for j := 0; j < n; j++ {
+			lits[j] = MkLit(p[i][j], true)
+		}
+		addClause(lits...)
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i <= n; i++ {
+			for k := i + 1; k <= n; k++ {
+				addClause(MkLit(p[i][j], false), MkLit(p[k][j], false))
+			}
+		}
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("status = %v", st)
+	}
+	if err := s.FlushProof(); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckDRAT(cnf, strings.NewReader(proof.String())); err != nil {
+		t.Errorf("proof check failed: %v\nproof:\n%s", err, proof.String())
+	}
+}
+
+func TestDRATRejectsBogusProof(t *testing.T) {
+	cnf := [][]int{{1, 2}, {-1, 2}, {1, -2}, {-1, -2}}
+	// a proof claiming an underivable clause
+	bogus := "1 0\n0\n"
+	if err := CheckDRAT(cnf, strings.NewReader(bogus)); err != nil {
+		// "1" IS derivable here (RUP: assume -1: clauses (1,2),(1,-2)
+		// propagate 2 and -2: conflict) so this particular proof is fine;
+		// use a satisfiable formula instead where nothing is derivable
+		t.Logf("note: %v", err)
+	}
+	sat := [][]int{{1, 2}}
+	if err := CheckDRAT(sat, strings.NewReader("-1 0\n0\n")); err == nil {
+		t.Error("bogus proof accepted")
+	}
+	// missing empty clause
+	if err := CheckDRAT(cnf, strings.NewReader("1 0\n")); err == nil {
+		t.Error("proof without empty clause accepted")
+	}
+	// syntax errors
+	if err := CheckDRAT(cnf, strings.NewReader("x 0\n")); err == nil {
+		t.Error("garbage literal accepted")
+	}
+	if err := CheckDRAT(cnf, strings.NewReader("1 2\n")); err == nil {
+		t.Error("unterminated line accepted")
+	}
+}
+
+func TestDRATDeletion(t *testing.T) {
+	cnf := [][]int{{1, 2}, {-1, 2}, {1, -2}, {-1, -2}}
+	proof := "2 0\nd 1 2 0\n-2 0\n0\n"
+	if err := CheckDRAT(cnf, strings.NewReader(proof)); err != nil {
+		t.Errorf("deletion proof rejected: %v", err)
+	}
+}
+
+// TestQuickDRATRandomUnsat: proofs of random UNSAT instances check out.
+func TestQuickDRATRandomUnsat(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nVars := 3 + r.Intn(6)
+		nClauses := 8 + r.Intn(30)
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		var proof strings.Builder
+		s.SetProofWriter(&proof)
+		var cnf [][]int
+		for i := 0; i < nClauses; i++ {
+			k := 1 + r.Intn(3)
+			lits := make([]Lit, 0, k)
+			row := make([]int, 0, k)
+			for j := 0; j < k; j++ {
+				l := MkLit(r.Intn(nVars), r.Intn(2) == 0)
+				lits = append(lits, l)
+				row = append(row, toDimacs(l))
+			}
+			cnf = append(cnf, row)
+			if !s.AddClause(lits...) {
+				break
+			}
+		}
+		st := s.Solve()
+		s.FlushProof()
+		if st != Unsat {
+			return true // only UNSAT proofs are checked
+		}
+		return CheckDRAT(cnf, strings.NewReader(proof.String())) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("random DRAT: %v", err)
+	}
+}

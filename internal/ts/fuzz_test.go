@@ -1,0 +1,33 @@
+package ts
+
+import "testing"
+
+// FuzzParse checks the model-file parser never panics and that parsed
+// systems round-trip through String.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"system a\nvar x : real [0, 1]\ninit x = 0\ntrans x' = x\nprop x <= 1\n",
+		"system b\nvar n : int [0, 9]\nvar b : bool\ninit n = 0 and b\ntrans n' = n + 1 and (b' <-> !b)\nprop n <= 8\n",
+		"invariant x <= 1\n",
+		"var x : real [-inf, inf]\n",
+		"# comment only\n",
+		"system \\\n",
+		"var : real [0,1]\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(src)
+		if err != nil {
+			return
+		}
+		s2, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, s.String())
+		}
+		if len(s2.Vars) != len(s.Vars) || s2.Name != s.Name {
+			t.Fatalf("round trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package ts
+
+import (
+	"math"
+	"testing"
+)
+
+func simSystem(t *testing.T, src string) *System {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSimulatorDeterministicStep(t *testing.T) {
+	sys := simSystem(t, `
+system growth
+var x : real [0, 1000]
+init x = 1
+trans x' = 2 * x
+prop x <= 1000
+`)
+	sim := NewSimulator(sys, 0)
+	st, ok := sim.Step(State{"x": 3}, nil, 0)
+	if !ok {
+		t.Fatal("step failed")
+	}
+	if math.Abs(st["x"]-6) > 1e-6 {
+		t.Errorf("x = %v, want 6", st["x"])
+	}
+}
+
+func TestSimulatorRun(t *testing.T) {
+	sys := simSystem(t, `
+system growth
+var x : real [0, 100]
+init x = 1
+trans x' = 2 * x
+prop x <= 100
+`)
+	sim := NewSimulator(sys, 0)
+	trace := sim.Run(State{"x": 1}, 10)
+	// trace: 1 2 4 8 16 32 64, then deadlock (128 > 100 is out of range)
+	if len(trace) != 7 {
+		t.Fatalf("trace length = %d (%v)", len(trace), trace)
+	}
+	for i, want := range []float64{1, 2, 4, 8, 16, 32, 64} {
+		if math.Abs(trace[i]["x"]-want) > 1e-5 {
+			t.Errorf("step %d: x = %v, want %v", i, trace[i]["x"], want)
+		}
+	}
+}
+
+func TestSimulatorGuided(t *testing.T) {
+	// relational system: x' can be x+1 or x-1; guidance picks
+	sys := simSystem(t, `
+system branchy
+var x : real [-100, 100]
+init x = 0
+trans x' = x + 1 or x' = x - 1
+prop x <= 100
+`)
+	sim := NewSimulator(sys, 0)
+	up, ok := sim.Step(State{"x": 0}, State{"x": 1}, 0.1)
+	if !ok || math.Abs(up["x"]-1) > 1e-6 {
+		t.Errorf("guided up: %v %v", up, ok)
+	}
+	down, ok := sim.Step(State{"x": 0}, State{"x": -1}, 0.1)
+	if !ok || math.Abs(down["x"]+1) > 1e-6 {
+		t.Errorf("guided down: %v %v", down, ok)
+	}
+	// impossible guidance
+	if _, ok := sim.Step(State{"x": 0}, State{"x": 50}, 0.1); ok {
+		t.Error("impossible guidance should fail")
+	}
+}
+
+func TestSimulatorRunUntil(t *testing.T) {
+	sys := simSystem(t, `
+system counter
+var x : real [0, 1000]
+init x = 0
+trans x' = x + 1
+prop x <= 1000
+`)
+	sim := NewSimulator(sys, 0)
+	trace, reached := sim.RunUntil(State{"x": 0}, 20, func(st State) bool {
+		return st["x"] >= 5
+	})
+	if !reached {
+		t.Fatal("should reach x >= 5")
+	}
+	if len(trace) != 6 {
+		t.Errorf("trace length = %d", len(trace))
+	}
+	_, reached = sim.RunUntil(State{"x": 0}, 3, func(st State) bool {
+		return st["x"] >= 5
+	})
+	if reached {
+		t.Error("cannot reach x >= 5 in 3 steps")
+	}
+	// immediate
+	tr, reached := sim.RunUntil(State{"x": 7}, 3, func(st State) bool {
+		return st["x"] >= 5
+	})
+	if !reached || len(tr) != 1 {
+		t.Error("immediate predicate")
+	}
+}
+
+func TestSimulatorIntegerRounding(t *testing.T) {
+	sys := simSystem(t, `
+system intc
+var n : int [0, 100]
+init n = 0
+trans n' = n + 3
+prop n <= 100
+`)
+	sim := NewSimulator(sys, 0)
+	st, ok := sim.Step(State{"n": 6}, nil, 0)
+	if !ok || st["n"] != 9 {
+		t.Errorf("step = %v %v", st, ok)
+	}
+	if st["n"] != math.Trunc(st["n"]) {
+		t.Error("integer var not integral")
+	}
+}
+
+func TestSimulatorDeadlock(t *testing.T) {
+	sys := simSystem(t, `
+system dead
+var x : real [0, 10]
+init x = 9
+trans x' = x + 5
+prop x <= 10
+`)
+	sim := NewSimulator(sys, 0)
+	if _, ok := sim.Step(State{"x": 9}, nil, 0); ok {
+		t.Error("deadlocked state stepped")
+	}
+}

@@ -1,0 +1,8 @@
+# Safety rests on the lemma y <= 0: not k-inductive for any small k,
+# IC3-ICP learns it as a self-inductive interval clause.
+system frozen
+var x : real [0, 100]
+var y : real [0, 1]
+init x >= 0 and x <= 1 and y = 0
+trans x' = x + y and y' = y
+prop x <= 5

@@ -1,0 +1,6 @@
+# Integer doubling reaches the bound quickly.
+system intdouble
+var n : int [0, 100]
+init n = 1
+trans n' = 2 * n
+prop n <= 30

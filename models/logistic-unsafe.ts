@@ -1,0 +1,6 @@
+# Logistic map transient crosses the bound: counterexample at small depth.
+system logistic_unsafe
+var x : real [0, 1]
+init x >= 0.05 and x <= 0.07
+trans x' = 2.8 * x * (1 - x)
+prop x <= 0.52

@@ -1,0 +1,6 @@
+# Quadratic growth escapes after four steps.
+system quad
+var x : real [0, 4000]
+init x >= 3 and x <= 3
+trans x' = x * x / 2
+prop x <= 100

@@ -1,0 +1,9 @@
+# Two-mode heater with Newton cooling; safe: T stays below 32.
+system thermostat
+var T : real [0, 50]
+var on : bool
+init T >= 20 and T <= 22 and on
+trans (on -> T' = T + 0.5 * (30 - T)) and \
+      (!on -> T' = T - 0.25 * T) and \
+      (on' <-> T' <= 25)
+prop T <= 32

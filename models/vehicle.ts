@@ -1,0 +1,6 @@
+# Longitudinal dynamics with quadratic drag; terminal velocity 20.
+system vehicle
+var v : real [0, 60]
+init v >= 0 and v <= 1
+trans v' = v + 0.5 * (4 - 0.01 * v^2)
+prop v <= 30

@@ -1,0 +1,57 @@
+package icpic3_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"icpic3"
+)
+
+// TestModelZoo parses and verifies every model file shipped in models/:
+// files whose name contains "unsafe" must yield a validated
+// counterexample, the rest must be proved safe (pendulum, a known-hard
+// box-invariant case, may stay unknown but must never be wrong).
+func TestModelZoo(t *testing.T) {
+	files, err := filepath.Glob("models/*.ts")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no models found: %v", err)
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := icpic3.ParseSystem(string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			res := icpic3.CheckPortfolio(sys, icpic3.PortfolioOptions{
+				Budget: icpic3.Budget{Timeout: 30 * time.Second},
+			})
+			unsafe := strings.Contains(f, "unsafe")
+			hard := strings.Contains(f, "pendulum")
+			switch {
+			case unsafe:
+				if res.Verdict != icpic3.Unsafe {
+					t.Fatalf("verdict = %v (%s), want unsafe", res.Verdict, res.Note)
+				}
+				if err := sys.ValidateTrace(res.Trace, 1e-2); err != nil {
+					t.Errorf("trace: %v", err)
+				}
+			case hard:
+				if res.Verdict == icpic3.Unsafe {
+					t.Fatalf("hard-safe model reported unsafe")
+				}
+			default:
+				if res.Verdict != icpic3.Safe {
+					t.Fatalf("verdict = %v (%s), want safe", res.Verdict, res.Note)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,29 @@
+# Standard checks for the icpic3 repo.  `make check` is what CI should
+# run: build, vet, the full test suite, and the race detector over the
+# concurrency-heavy packages.
+
+GO ?= go
+
+.PHONY: all build test test-race vet check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector over everything is slow; focus it on the packages
+# with real concurrency (service, portfolio, harness) plus their
+# substrate.  Add packages here when they grow goroutines.
+test-race:
+	$(GO) test -race ./internal/service/... ./internal/portfolio/... ./internal/engine/...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test test-race
+
+clean:
+	$(GO) clean ./...

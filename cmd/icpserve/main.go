@@ -1,0 +1,88 @@
+// Command icpserve runs the verification service as an HTTP server.
+//
+// Usage:
+//
+//	icpserve [-addr :8080] [-workers N] [-cache N] [-timeout 30s] [-grace 10s]
+//
+// Submit a model and wait for the verdict:
+//
+//	curl -s localhost:8080/v1/jobs -d '{
+//	  "model": "system decay\nvar x : real [0, 10]\ninit x >= 0 and x <= 6\ntrans x'"'"' = x / 2\nprop x <= 8",
+//	  "engine": "portfolio",
+//	  "wait_ms": 30000
+//	}'
+//
+// Poll, cancel, observe:
+//
+//	curl -s localhost:8080/v1/jobs/j000001
+//	curl -s -X POST localhost:8080/v1/jobs/j000001/cancel
+//	curl -s localhost:8080/metrics
+//
+// On SIGINT/SIGTERM the server stops accepting work, drains in-flight
+// jobs for up to -grace, cancels whatever is left, and logs the final
+// metrics snapshot before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"icpic3/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		cacheSize  = flag.Int("cache", 256, "result cache size in entries")
+		queueDepth = flag.Int("queue", 256, "maximum queued jobs")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-job budget")
+		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "cap on requested per-job budgets")
+		grace      = flag.Duration("grace", 10*time.Second, "shutdown drain grace period")
+		verbose    = flag.Bool("v", false, "log every job state change")
+	)
+	flag.Parse()
+
+	cfg := service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	svc := service.New(cfg)
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("icpserve: listening on %s (%d workers, cache %d)", *addr, cfg.Workers, *cacheSize)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("icpserve: %v, draining (grace %v)", sig, *grace)
+	case err := <-errc:
+		log.Fatalf("icpserve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	srv.Shutdown(ctx)
+	if err := svc.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("icpserve: shutdown: %v", err)
+	} else if errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("icpserve: grace expired, in-flight jobs cancelled")
+	}
+	log.Printf("icpserve: final metrics:\n%s", svc.Metrics())
+}

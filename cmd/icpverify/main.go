@@ -14,9 +14,20 @@
 //
 // Engines: ic3 (default, proves and refutes), bmc (refutes only),
 // kind (k-induction), all (runs every engine and reports each verdict).
+//
+// Exit codes (scriptable):
+//
+//	0  safe     — the property was proved
+//	1  unsafe   — a validated counterexample was found
+//	2  unknown  — undecided within the budget (timeout or bound reached)
+//	3  usage or parse error
+//
+// With -engine all, unsafe takes precedence over safe, which takes
+// precedence over unknown.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -45,11 +56,19 @@ func main() {
 		witnessOut = flag.String("witness", "", "write a JSON witness to this file")
 		certify    = flag.Bool("certify", false, "independently certify IC3 Safe verdicts")
 	)
-	flag.Parse()
+	// ContinueOnError so flag errors exit 3 (usage), not the flag
+	// package's default 2, which would collide with "unknown verdict".
+	flag.CommandLine.Init("icpverify", flag.ContinueOnError)
+	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		os.Exit(3)
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: icpverify [flags] model.ts")
 		flag.PrintDefaults()
-		os.Exit(2)
+		os.Exit(3)
 	}
 
 	src, err := os.ReadFile(flag.Arg(0))
@@ -121,7 +140,7 @@ func main() {
 	if *engineName == "all" {
 		names = []string{"ic3", "bmc", "kind"}
 	}
-	decided := false
+	sawSafe, sawUnsafe := false, false
 	for _, n := range names {
 		run, ok := engines[n]
 		if !ok {
@@ -136,8 +155,11 @@ func main() {
 		if res.Verdict == engine.Unsafe && *showTrace {
 			printTrace(sys, res.Trace)
 		}
-		if res.Verdict != engine.Unknown {
-			decided = true
+		switch res.Verdict {
+		case engine.Safe:
+			sawSafe = true
+		case engine.Unsafe:
+			sawUnsafe = true
 		}
 		if *witnessOut != "" {
 			w := engine.NewWitness(sys.Name, res, lastInvariant)
@@ -152,8 +174,13 @@ func main() {
 			fmt.Printf("[%s] witness written to %s\n", n, *witnessOut)
 		}
 	}
-	if !decided {
+	switch {
+	case sawUnsafe:
 		os.Exit(1)
+	case sawSafe:
+		os.Exit(0)
+	default:
+		os.Exit(2)
 	}
 }
 
@@ -186,5 +213,5 @@ func printTrace(sys *ts.System, trace []ts.State) {
 
 func fail(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "icpverify: "+format+"\n", args...)
-	os.Exit(2)
+	os.Exit(3)
 }

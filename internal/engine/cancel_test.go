@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBudgetWithDone(t *testing.T) {
+	done := make(chan struct{})
+	b := Budget{}.WithDone(done).Start()
+	if b.Expired() || b.Cancelled() {
+		t.Fatal("budget expired before done closed")
+	}
+	close(done)
+	if !b.Cancelled() {
+		t.Fatal("Cancelled() = false after done closed")
+	}
+	if !b.Expired() {
+		t.Fatal("Expired() = false after done closed")
+	}
+}
+
+func TestBudgetWithDoneNil(t *testing.T) {
+	b := Budget{Timeout: time.Hour}.WithDone(nil).Start()
+	if b.Expired() {
+		t.Fatal("nil done must be a no-op")
+	}
+}
+
+func TestBudgetWithContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := Budget{Timeout: time.Hour}.WithContext(ctx).Start()
+	if b.Expired() {
+		t.Fatal("expired before cancel")
+	}
+	cancel()
+	if !b.Expired() {
+		t.Fatal("Expired() = false after context cancelled")
+	}
+}
+
+func TestBudgetMergedDone(t *testing.T) {
+	first := make(chan struct{})
+	second := make(chan struct{})
+	b := Budget{}.WithDone(first).WithDone(second)
+	if b.Cancelled() {
+		t.Fatal("cancelled before either channel closed")
+	}
+	close(second)
+	// the merge goroutine needs a moment to observe the close
+	deadline := time.Now().Add(time.Second)
+	for !b.Cancelled() {
+		if time.Now().After(deadline) {
+			t.Fatal("merged budget never observed the second channel")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(first)
+}
+
+func TestBudgetStartIdempotent(t *testing.T) {
+	b := Budget{Timeout: 10 * time.Millisecond}.Start()
+	time.Sleep(20 * time.Millisecond)
+	if !b.Expired() {
+		t.Fatal("budget should have expired")
+	}
+	if !b.Start().Expired() {
+		t.Fatal("re-Start must not reset the running deadline")
+	}
+}

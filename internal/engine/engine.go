@@ -3,6 +3,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -54,21 +55,84 @@ func (r Result) String() string {
 
 // Budget bounds a verification run.  The zero value means "effectively
 // unbounded" (engines still apply their own structural bounds).
+//
+// A budget expires either when its wall-clock timeout elapses or when its
+// cancellation signal (installed with WithDone or WithContext) fires.
+// Because every engine polls Expired from its solver Stop hook, closing
+// the done channel aborts a run promptly wherever it is.
 type Budget struct {
 	// Timeout bounds wall-clock time (0 = none).
 	Timeout time.Duration
 	// start is stamped by Start.
 	start time.Time
+	// done, when non-nil, cancels the run as soon as it is closed.
+	done <-chan struct{}
 }
 
-// Start stamps the budget's clock and returns it.
+// Start stamps the budget's clock and returns it.  Start is idempotent:
+// a budget that is already running keeps its original deadline, so a
+// caller (e.g. the portfolio or the service) can start a budget once and
+// hand it to engines that call Start themselves.
 func (b Budget) Start() Budget {
-	b.start = time.Now()
+	if b.start.IsZero() {
+		b.start = time.Now()
+	}
 	return b
 }
 
-// Expired reports whether the budget's timeout has elapsed.
+// WithDone returns a copy of the budget that also expires when done is
+// closed.  If the budget already carries a cancellation signal the two
+// are merged: either one firing expires the budget.
+func (b Budget) WithDone(done <-chan struct{}) Budget {
+	if done == nil {
+		return b
+	}
+	if b.done == nil {
+		b.done = done
+		return b
+	}
+	merged := make(chan struct{})
+	prev := b.done
+	go func() {
+		select {
+		case <-prev:
+		case <-done:
+		}
+		close(merged)
+	}()
+	b.done = merged
+	return b
+}
+
+// WithContext returns a copy of the budget that also expires when ctx is
+// cancelled.
+func (b Budget) WithContext(ctx context.Context) Budget {
+	if ctx == nil {
+		return b
+	}
+	return b.WithDone(ctx.Done())
+}
+
+// Cancelled reports whether the budget's cancellation signal has fired
+// (independently of the timeout).
+func (b Budget) Cancelled() bool {
+	if b.done == nil {
+		return false
+	}
+	select {
+	case <-b.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Expired reports whether the budget's timeout has elapsed or its
+// cancellation signal has fired.
 func (b Budget) Expired() bool {
+	if b.Cancelled() {
+		return true
+	}
 	return b.Timeout > 0 && !b.start.IsZero() && time.Since(b.start) > b.Timeout
 }
 

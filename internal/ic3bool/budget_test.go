@@ -1,0 +1,38 @@
+package ic3bool
+
+import (
+	"testing"
+	"time"
+
+	"icpic3/internal/aig"
+	"icpic3/internal/engine"
+)
+
+func TestBudgetTimeout(t *testing.T) {
+	c := aig.Counter(16, 60000) // deep counterexample: cannot finish instantly
+	start := time.Now()
+	res := Check(c, Options{Budget: engine.Budget{Timeout: 30 * time.Millisecond}})
+	if res.Verdict == Safe {
+		t.Fatalf("cannot be safe: %+v", res)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Errorf("budget not respected: ran %v", d)
+	}
+}
+
+func TestBudgetCancellation(t *testing.T) {
+	done := make(chan struct{})
+	close(done) // cancelled before the run starts
+	res := Check(aig.Counter(16, 60000), Options{Budget: engine.Budget{}.WithDone(done)})
+	if res.Verdict != Unknown {
+		t.Fatalf("verdict = %v, want unknown under pre-cancelled budget", res.Verdict)
+	}
+}
+
+func TestZeroBudgetStillDecides(t *testing.T) {
+	// the zero budget must not change behavior
+	res := Check(aig.SafeCounter(4), Options{})
+	if res.Verdict != Safe {
+		t.Fatalf("verdict = %v, want safe", res.Verdict)
+	}
+}

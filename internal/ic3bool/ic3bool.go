@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"icpic3/internal/aig"
+	"icpic3/internal/engine"
 	"icpic3/internal/sat"
 )
 
@@ -97,6 +98,9 @@ type Options struct {
 	StrongGeneralize bool
 	// MaxObligations bounds total proof obligations (0 = 5_000_000).
 	MaxObligations int64
+	// Budget bounds the run by wall-clock time and supports cooperative
+	// cancellation (see engine.Budget.WithDone); exhaustion yields Unknown.
+	Budget engine.Budget
 }
 
 func (o Options) withDefaults() Options {
@@ -125,6 +129,7 @@ type checker struct {
 	frameAct []int    // frame level -> activation var
 	frames   [][]Cube // frame level -> blocked cubes at that level
 	stats    Stats
+	budget   engine.Budget
 }
 
 // obligation is a proof obligation: block cube at the given frame.
@@ -199,6 +204,8 @@ func Check(c *aig.Circuit, opts Options) Result {
 // checkRaw runs PDR without preprocessing.
 func checkRaw(c *aig.Circuit, opts Options) Result {
 	ch := &checker{c: c, opts: opts.withDefaults(), s: sat.New()}
+	ch.budget = opts.Budget.Start()
+	ch.s.Stop = ch.budget.Expired // aborts long SAT calls mid-search
 	ch.enc = aig.NewEncoder(c)
 	ch.nv = ch.enc.Frame(ch.s)
 	ch.stateVar = make([]int, len(c.Latches))
@@ -439,6 +446,9 @@ func (ch *checker) run() Result {
 	for k < ch.opts.MaxFrames {
 		// block all bad states reachable within F_k
 		for {
+			if ch.budget.Expired() {
+				return Result{Verdict: Unknown, Frames: k, Stats: ch.stats}
+			}
 			ch.stats.Queries++
 			assumps := append(ch.actLits(k), ch.badLit)
 			if ch.s.Solve(assumps...) != sat.Sat {
@@ -450,9 +460,14 @@ func (ch *checker) run() Result {
 			if !ok {
 				return Result{Verdict: Unsafe, Trace: trace, Frames: k, Stats: ch.stats}
 			}
-			if ch.stats.Obligations > ch.opts.MaxObligations {
+			if ch.stats.Obligations > ch.opts.MaxObligations || ch.budget.Expired() {
 				return Result{Verdict: Unknown, Frames: k, Stats: ch.stats}
 			}
+		}
+		// an expired budget must not reach the fixpoint check below: a SAT
+		// call aborted by Stop reads as "no more bad states" above
+		if ch.budget.Expired() {
+			return Result{Verdict: Unknown, Frames: k, Stats: ch.stats}
 		}
 
 		// propagation: push clauses forward; detect fixpoint
@@ -501,7 +516,7 @@ func (ch *checker) block(root *obligation) (bool, []Step) {
 	for q.Len() > 0 {
 		ob := heap.Pop(&q).(*obligation)
 		ch.stats.Obligations++
-		if ch.stats.Obligations > ch.opts.MaxObligations {
+		if ch.stats.Obligations > ch.opts.MaxObligations || ch.budget.Expired() {
 			return true, nil // budget: surface as Unknown upstream
 		}
 		if ch.cubeContainsInit(ob.cube) {

@@ -9,7 +9,6 @@ package portfolio
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"icpic3/internal/bmc"
 	"icpic3/internal/engine"
@@ -31,15 +30,19 @@ type Options struct {
 }
 
 // Check runs all engines concurrently and returns the first decisive
-// result; the Note records which engine produced it.
+// result; the Note records which engine produced it.  Losing engines are
+// cancelled eagerly through the budget's done channel, which every
+// engine polls from its solver inner loop.
 func Check(sys *ts.System, opts Options) engine.Result {
-	budget := opts.Budget.Start()
 	if err := sys.Validate(); err != nil {
 		return engine.Result{Verdict: engine.Unknown, Note: err.Error()}
 	}
 
-	var cancelled atomic.Bool
-	stop := func() bool { return cancelled.Load() || budget.Expired() }
+	// done cancels the losing engines: it is closed on every return path,
+	// and the per-engine budgets below all carry it.
+	done := make(chan struct{})
+	defer close(done)
+	budget := opts.Budget.WithDone(done).Start()
 
 	type outcome struct {
 		name string
@@ -58,20 +61,14 @@ func Check(sys *ts.System, opts Options) engine.Result {
 
 	ic3Opts := opts.IC3
 	ic3Opts.Budget = budget
-	prevStop := ic3Opts.Solver.Stop
-	ic3Opts.Solver.Stop = combineStop(stop, prevStop)
 	launch("ic3-icp", func() engine.Result { return ic3icp.Check(sys, ic3Opts) })
 
 	bmcOpts := opts.BMC
 	bmcOpts.Budget = budget
-	prevStop = bmcOpts.Solver.Stop
-	bmcOpts.Solver.Stop = combineStop(stop, prevStop)
 	launch("bmc-icp", func() engine.Result { return bmc.Check(sys, bmcOpts) })
 
 	kindOpts := opts.KInduction
 	kindOpts.Budget = budget
-	prevStop = kindOpts.Solver.Stop
-	kindOpts.Solver.Stop = combineStop(stop, prevStop)
 	launch("kind-icp", func() engine.Result { return kind.Check(sys, kindOpts) })
 
 	go func() {
@@ -82,9 +79,8 @@ func Check(sys *ts.System, opts Options) engine.Result {
 	var unknowns []string
 	for out := range results {
 		if out.res.Verdict != engine.Unknown {
-			cancelled.Store(true)
-			// drain remaining engines in the background; their results are
-			// discarded (the channel is buffered for all of them)
+			// the deferred close(done) aborts the remaining engines; their
+			// results are discarded (the channel is buffered for all of them)
 			res := out.res
 			res.Note = annotate(out.name, res.Note)
 			res.Runtime = budget.Elapsed()
@@ -97,15 +93,6 @@ func Check(sys *ts.System, opts Options) engine.Result {
 		note += "; " + u
 	}
 	return engine.Result{Verdict: engine.Unknown, Note: note, Runtime: budget.Elapsed()}
-}
-
-func combineStop(a, b func() bool) func() bool {
-	return func() bool {
-		if a != nil && a() {
-			return true
-		}
-		return b != nil && b()
-	}
 }
 
 func annotate(name, note string) string {

@@ -117,6 +117,9 @@ type Solver struct {
 	rootUnsat   bool
 	maxLearned  int
 	MaxConflict int64 // per-Solve conflict budget (0 = unlimited)
+	// Stop, when non-nil, is polled periodically during Solve; returning
+	// true aborts the search with status Unknown (cooperative cancellation).
+	Stop func() bool
 
 	model []bool // last model
 	core  []Lit  // last unsat core (subset of assumptions)
@@ -593,6 +596,10 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 				s.backtrackTo(0)
 				return Unknown
 			}
+			if s.Stop != nil && conflicts%64 == 0 && s.Stop() {
+				s.backtrackTo(0)
+				return Unknown
+			}
 			if conflicts >= restartBudget {
 				restarts++
 				s.Stats.Restarts++
@@ -636,6 +643,10 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			return Sat
 		}
 		s.Stats.Decisions++
+		if s.Stop != nil && s.Stats.Decisions%1024 == 0 && s.Stop() {
+			s.backtrackTo(0)
+			return Unknown
+		}
 		s.trailLim = append(s.trailLim, int32(len(s.trail)))
 		s.uncheckedEnqueue(MkLit(v, s.phase[v]), -1)
 	}

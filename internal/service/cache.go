@@ -1,0 +1,73 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"icpic3/internal/engine"
+)
+
+// resultCache is a bounded LRU of verification results keyed by the
+// canonical job key (system hash + engine + options).  Only decisive
+// results (Safe/Unsafe) are stored — an Unknown depends on the budget
+// that produced it, so replaying it for a different caller would be
+// wrong.  The cache is fill-once: a key already present is never
+// overwritten, which makes concurrent double-computation of the same key
+// observable (Put reports whether it filled) and keeps hits stable.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res engine.Result
+}
+
+func newResultCache(max int) *resultCache {
+	if max <= 0 {
+		max = 256
+	}
+	return &resultCache{max: max, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached result for key and marks it most recently used.
+func (c *resultCache) Get(key string) (engine.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return engine.Result{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores res under key unless the key is already present.  It
+// reports whether the entry was filled and whether an old entry was
+// evicted to make room.
+func (c *resultCache) Put(key string, res engine.Result) (filled, evicted bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		return false, false
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	if c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		evicted = true
+	}
+	return true, evicted
+}
+
+// Len returns the number of cached entries.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,159 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the upper bounds of the job-latency histogram.
+var latencyBuckets = [...]time.Duration{
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+	60 * time.Second,
+}
+
+// histogram is a fixed-bucket latency histogram (last bucket = +Inf).
+type histogram struct {
+	buckets [len(latencyBuckets) + 1]int64
+	sum     time.Duration
+	count   int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	i := 0
+	for ; i < len(latencyBuckets); i++ {
+		if d <= latencyBuckets[i] {
+			break
+		}
+	}
+	h.buckets[i]++
+	h.sum += d
+	h.count++
+}
+
+// Metrics aggregates service counters and per-engine latency histograms.
+// WriteText renders them deterministically (sorted keys), so tests and
+// scrapers can diff successive snapshots.
+type Metrics struct {
+	mu sync.Mutex
+
+	submitted   int64
+	rejected    int64 // bad requests (parse/validate/engine errors)
+	busy        int64 // submissions refused because the queue was full
+	cancelled   int64
+	cacheHits   int64
+	cacheMisses int64
+	coalesced   int64 // submissions attached to an identical in-flight job
+	cacheFills  int64
+	evictions   int64
+
+	completed map[string]int64      // "engine\x00verdict" -> count
+	latency   map[string]*histogram // engine -> histogram
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{completed: make(map[string]int64), latency: make(map[string]*histogram)}
+}
+
+func (m *Metrics) incSubmitted() { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
+func (m *Metrics) incRejected()  { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+func (m *Metrics) incBusy()      { m.mu.Lock(); m.busy++; m.mu.Unlock() }
+func (m *Metrics) incCancelled() { m.mu.Lock(); m.cancelled++; m.mu.Unlock() }
+func (m *Metrics) incHit()       { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
+func (m *Metrics) incMiss()      { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
+func (m *Metrics) incCoalesced() { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
+
+func (m *Metrics) recordFill(evicted bool) {
+	m.mu.Lock()
+	m.cacheFills++
+	if evicted {
+		m.evictions++
+	}
+	m.mu.Unlock()
+}
+
+// recordCompleted counts a finished engine run and its latency.
+func (m *Metrics) recordCompleted(engineName, verdict string, d time.Duration) {
+	m.mu.Lock()
+	m.completed[engineName+"\x00"+verdict]++
+	h := m.latency[engineName]
+	if h == nil {
+		h = &histogram{}
+		m.latency[engineName] = h
+	}
+	h.observe(d)
+	m.mu.Unlock()
+}
+
+// CacheHits returns the number of cache hits served (for tests/logs).
+func (m *Metrics) CacheHits() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cacheHits
+}
+
+// CacheFills returns the number of cache fills performed.
+func (m *Metrics) CacheFills() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cacheFills
+}
+
+// WriteText renders all metrics as deterministic plain text, one
+// `name value` pair per line in the Prometheus exposition style.
+func (m *Metrics) WriteText(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var lines []string
+	add := func(format string, args ...interface{}) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	add("icpserve_cache_coalesced_total %d", m.coalesced)
+	add("icpserve_cache_evictions_total %d", m.evictions)
+	add("icpserve_cache_fills_total %d", m.cacheFills)
+	add("icpserve_cache_hits_total %d", m.cacheHits)
+	add("icpserve_cache_misses_total %d", m.cacheMisses)
+	add("icpserve_jobs_busy_total %d", m.busy)
+	add("icpserve_jobs_cancelled_total %d", m.cancelled)
+	add("icpserve_jobs_rejected_total %d", m.rejected)
+	add("icpserve_jobs_submitted_total %d", m.submitted)
+	for key, n := range m.completed {
+		parts := strings.SplitN(key, "\x00", 2)
+		add("icpserve_jobs_completed_total{engine=%q,verdict=%q} %d", parts[0], parts[1], n)
+	}
+	for name, h := range m.latency {
+		cum := int64(0)
+		for i, b := range h.buckets {
+			cum += b
+			le := "+Inf"
+			if i < len(latencyBuckets) {
+				le = fmt.Sprintf("%g", latencyBuckets[i].Seconds())
+			}
+			add("icpserve_job_seconds_bucket{engine=%q,le=%q} %d", name, le, cum)
+		}
+		add("icpserve_job_seconds_count{engine=%q} %d", name, h.count)
+		add("icpserve_job_seconds_sum{engine=%q} %g", name, h.sum.Seconds())
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the metrics as text (see WriteText).
+func (m *Metrics) String() string {
+	var b strings.Builder
+	m.WriteText(&b)
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package ts
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"icpic3/internal/expr"
+)
+
+// Canonical returns a canonical textual rendering of the system: the
+// system name is dropped, variable declarations are sorted by name, and
+// all formulas are simplified before rendering.  Two model sources that
+// differ only in whitespace, comments, declaration order, or the system
+// name produce identical canonical forms; any semantic difference (a
+// changed bound, domain, or property) changes it.  It is the basis of
+// Hash, the result-cache key of the verification service.
+func (s *System) Canonical() string {
+	var b strings.Builder
+	decls := make([]VarDecl, len(s.Vars))
+	copy(decls, s.Vars)
+	sort.Slice(decls, func(i, j int) bool { return decls[i].Name < decls[j].Name })
+	for _, v := range decls {
+		switch v.Kind {
+		case expr.KindBool:
+			fmt.Fprintf(&b, "var %s : bool\n", v.Name)
+		case expr.KindInt:
+			fmt.Fprintf(&b, "var %s : int [%g, %g]\n", v.Name, v.Dom.Lo, v.Dom.Hi)
+		default:
+			fmt.Fprintf(&b, "var %s : real [%g, %g]\n", v.Name, v.Dom.Lo, v.Dom.Hi)
+		}
+	}
+	if s.Invariant != nil {
+		fmt.Fprintf(&b, "invariant %s\n", expr.Simplify(s.Invariant))
+	}
+	writeFormula := func(kw string, e *expr.Expr) {
+		if e == nil {
+			fmt.Fprintf(&b, "%s <nil>\n", kw)
+			return
+		}
+		fmt.Fprintf(&b, "%s %s\n", kw, expr.Simplify(e))
+	}
+	writeFormula("init", s.Init)
+	writeFormula("trans", s.Trans)
+	writeFormula("prop", s.Prop)
+	return b.String()
+}
+
+// Hash returns the hex-encoded SHA-256 of the canonical rendering.
+func (s *System) Hash() string {
+	sum := sha256.Sum256([]byte(s.Canonical()))
+	return hex.EncodeToString(sum[:])
+}

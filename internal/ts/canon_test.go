@@ -1,0 +1,107 @@
+package ts
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParseCanon(t *testing.T, src string) *System {
+	t.Helper()
+	sys, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return sys
+}
+
+const canonBase = `
+system decay
+var x : real [0, 10]
+var y : real [0, 5]
+init x >= 0 and x <= 6 and y = 1
+trans x' = x / 2 and y' = y
+prop x <= 8
+`
+
+func TestHashInvariantUnderFormatting(t *testing.T) {
+	base := mustParseCanon(t, canonBase)
+
+	// whitespace and comments
+	noisy := mustParseCanon(t, `
+# a comment
+system decay
+
+var x : real [0, 10]
+var y : real [0, 5]
+# another comment
+init   x >= 0   and x <= 6 and y = 1
+trans x' = x / 2 and y' = y
+prop x <= 8
+`)
+	if base.Hash() != noisy.Hash() {
+		t.Errorf("whitespace/comment changes altered the hash:\n%s\nvs\n%s",
+			base.Canonical(), noisy.Canonical())
+	}
+
+	// declaration order
+	reordered := mustParseCanon(t, `
+system decay
+var y : real [0, 5]
+var x : real [0, 10]
+init x >= 0 and x <= 6 and y = 1
+trans x' = x / 2 and y' = y
+prop x <= 8
+`)
+	if base.Hash() != reordered.Hash() {
+		t.Errorf("declaration order altered the hash:\n%s\nvs\n%s",
+			base.Canonical(), reordered.Canonical())
+	}
+
+	// the system name is presentation, not semantics
+	renamed := mustParseCanon(t, strings.Replace(canonBase, "system decay", "system other", 1))
+	if base.Hash() != renamed.Hash() {
+		t.Error("system name altered the hash")
+	}
+
+	// line continuations
+	continued := mustParseCanon(t, `
+system decay
+var x : real [0, 10]
+var y : real [0, 5]
+init x >= 0 and \
+     x <= 6 and y = 1
+trans x' = x / 2 and y' = y
+prop x <= 8
+`)
+	if base.Hash() != continued.Hash() {
+		t.Error("line continuation altered the hash")
+	}
+}
+
+func TestHashSensitivity(t *testing.T) {
+	base := mustParseCanon(t, canonBase)
+	changes := map[string][2]string{
+		"init bound": {"x <= 6", "x <= 7"},
+		"property":   {"prop x <= 8", "prop x <= 9"},
+		"domain":     {"var x : real [0, 10]", "var x : real [0, 11]"},
+		"transition": {"x' = x / 2", "x' = x / 3"},
+		"var kind":   {"var y : real [0, 5]", "var y : int [0, 5]"},
+	}
+	for name, ch := range changes {
+		mutated := mustParseCanon(t, strings.Replace(canonBase, ch[0], ch[1], 1))
+		if base.Hash() == mutated.Hash() {
+			t.Errorf("%s change did not alter the hash", name)
+		}
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	a := mustParseCanon(t, canonBase)
+	b := mustParseCanon(t, canonBase)
+	if a.Hash() != b.Hash() {
+		t.Fatal("same source hashed differently")
+	}
+	if len(a.Hash()) != 64 {
+		t.Fatalf("hash length = %d, want 64 hex chars", len(a.Hash()))
+	}
+}

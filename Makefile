@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet check clean
+.PHONY: all build test test-race vet check fuzz-short clean
 
 all: check
 
@@ -18,10 +18,17 @@ test:
 # with real concurrency (service, portfolio, harness) plus their
 # substrate.  Add packages here when they grow goroutines.
 test-race:
-	$(GO) test -race ./internal/service/... ./internal/portfolio/... ./internal/engine/...
+	$(GO) test -race ./internal/service/... ./internal/portfolio/... ./internal/engine/... ./internal/certify/...
 
 vet:
 	$(GO) vet ./...
+
+# Short native-fuzzing smoke: each target gets a few seconds.  `go test`
+# allows one -fuzz pattern per invocation, hence one line per target.
+fuzz-short:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=5s ./internal/expr/
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=5s ./internal/ts/
+	$(GO) test -run='^$$' -fuzz=FuzzSystem -fuzztime=5s ./internal/ts/
 
 check: build vet test test-race
 

@@ -26,7 +26,13 @@ const benchBudget = 10 * time.Second
 
 // benchSuite returns the benchmark grid used by the table benches
 // (2 instances per family and polarity = 24 instances).
-func benchSuite() []benchmarks.Instance { return benchmarks.Suite(2) }
+func benchSuite() []benchmarks.Instance {
+	s, err := benchmarks.Suite(2)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
 
 // BenchmarkTable1SuiteStats regenerates Table I (suite statistics).
 func BenchmarkTable1SuiteStats(b *testing.B) {
@@ -158,7 +164,7 @@ func BenchmarkFig4Frames(b *testing.B) {
 // nonlinear query (the logistic safe instance's transition step), isolating
 // solver cost from IC3 orchestration.
 func BenchmarkSolverICP(b *testing.B) {
-	in := benchmarks.Logistic(true, 0)
+	in := benchmarks.Must(benchmarks.Logistic(true, 0))
 	for i := 0; i < b.N; i++ {
 		res := ic3icp.Check(in.Sys, ic3icp.Options{Budget: engine.Budget{Timeout: benchBudget}})
 		if res.Verdict != engine.Safe {

@@ -28,6 +28,7 @@ func main() {
 		strong     = flag.Bool("strong", false, "strong (re-query) generalization in IC3")
 		showTrace  = flag.Bool("trace", false, "print the counterexample trace")
 		proofOut   = flag.String("proof", "", "write a DRAT proof of the BMC run to this file")
+		doCertify  = flag.Bool("certify", false, "independently re-check an IC3 Safe invariant with a fresh SAT solver")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -58,6 +59,12 @@ func main() {
 		}
 		if res.Verdict == ic3bool.Safe {
 			fmt.Printf("[ic3] invariant: property plus %d blocked cubes\n", len(res.Invariant))
+			if *doCertify {
+				if err := ic3bool.VerifyInvariant(c, res.Invariant); err != nil {
+					fail("CERTIFICATION FAILED: %v", err)
+				}
+				fmt.Println("[ic3] invariant independently certified")
+			}
 		}
 	}
 	runBMC := func() {

@@ -32,10 +32,17 @@ func main() {
 
 	w := os.Stdout
 	if *all {
-		harness.Report(w, *size, *budget)
+		if err := harness.Report(w, *size, *budget); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		return
 	}
-	suite := benchmarks.Suite(*size)
+	suite, err := benchmarks.Suite(*size)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	engines := harness.Engines()
 	names := harness.EngineNames()
 

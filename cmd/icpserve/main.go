@@ -46,16 +46,34 @@ func main() {
 		timeout    = flag.Duration("timeout", 30*time.Second, "default per-job budget")
 		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "cap on requested per-job budgets")
 		grace      = flag.Duration("grace", 10*time.Second, "shutdown drain grace period")
+		stall      = flag.Duration("stall-timeout", 2*time.Minute, "kill a run with no engine progress for this long (0 disables)")
+		retries    = flag.Int("retries", 1, "retries of panicked/stalled jobs, degrading the engine (0 disables)")
+		backoff    = flag.Duration("retry-backoff", 100*time.Millisecond, "backoff before the first retry (doubled per attempt)")
+		certifyRes = flag.Bool("certify", true, "independently re-check decisive results before serving them")
 		verbose    = flag.Bool("v", false, "log every job state change")
 	)
 	flag.Parse()
 
+	// In Config zero means "use the default", so flag-level zeros (an
+	// explicit opt-out) map to the negative disable values.
+	stallTimeout := *stall
+	if stallTimeout == 0 {
+		stallTimeout = -1
+	}
+	maxRetries := *retries
+	if maxRetries == 0 {
+		maxRetries = -1
+	}
 	cfg := service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,
 		CacheSize:      *cacheSize,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		StallTimeout:   stallTimeout,
+		MaxRetries:     maxRetries,
+		RetryBackoff:   *backoff,
+		SkipCertify:    !*certifyRes,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"icpic3/internal/bmc"
+	"icpic3/internal/certify"
 	"icpic3/internal/engine"
 	"icpic3/internal/ic3icp"
 	"icpic3/internal/icp"
@@ -54,7 +55,7 @@ func main() {
 		showTrace  = flag.Bool("trace", true, "print counterexample traces")
 		showInv    = flag.Bool("invariant", false, "print the inductive invariant (ic3, safe)")
 		witnessOut = flag.String("witness", "", "write a JSON witness to this file")
-		certify    = flag.Bool("certify", false, "independently certify IC3 Safe verdicts")
+		doCertify  = flag.Bool("certify", false, "independently re-check decisive verdicts (Safe certificates, Unsafe traces)")
 	)
 	// ContinueOnError so flag errors exit 3 (usage), not the flag
 	// package's default 2, which would collide with "unknown verdict".
@@ -103,13 +104,6 @@ func main() {
 					fmt.Printf("  !(%s)\n", c)
 				}
 			}
-			if *certify && res.Verdict == engine.Safe {
-				if err := ic3icp.VerifyInvariant(sys, info.Invariant, icp.Options{Eps: *eps}); err != nil {
-					fmt.Printf("[ic3] CERTIFICATION FAILED: %v\n", err)
-				} else {
-					fmt.Println("[ic3] invariant independently certified")
-				}
-			}
 			return res
 		},
 		"bmc": func() engine.Result {
@@ -146,7 +140,24 @@ func main() {
 		if !ok {
 			fail("unknown engine %q", n)
 		}
-		res := run()
+		// Guard converts an engine panic into an Unknown verdict (exit 2)
+		// with the panic in the note, instead of a crash (exit 3-ish).
+		res := engine.Guard(n, func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}, run)
+		if *doCertify && res.Verdict != engine.Unknown {
+			err := certify.Check(sys, res, certify.Options{
+				Eps:    *eps,
+				Budget: engine.Budget{Timeout: *timeout},
+			})
+			if err != nil {
+				fmt.Printf("[%s] CERTIFICATION FAILED, demoting %s to unknown: %v\n", n, res.Verdict, err)
+				res.Verdict = engine.Unknown
+				res.Note = fmt.Sprintf("certification failed: %v", err)
+			} else {
+				fmt.Printf("[%s] %s verdict independently certified\n", n, res.Verdict)
+			}
+		}
 		fmt.Printf("[%s] %s: %s (depth %d, %v)\n", n, sys.Name, res.Verdict, res.Depth,
 			res.Runtime.Round(time.Millisecond))
 		if res.Note != "" {

@@ -26,19 +26,29 @@ type Instance struct {
 	Sys  *ts.System
 }
 
-func mustParse(name string, src string) *ts.System {
+func parse(name string, src string) (*ts.System, error) {
 	s, err := ts.Parse(src)
 	if err != nil {
-		panic(fmt.Sprintf("benchmarks: %s: %v", name, err))
+		return nil, fmt.Errorf("benchmarks: %s: %v", name, err)
 	}
-	return s
+	return s, nil
+}
+
+// Must unwraps a constructor result, turning a generation error into a
+// panic.  Meant for tests and tables over the built-in (known-good)
+// parameter grids; library callers handle the error instead.
+func Must(in Instance, err error) Instance {
+	if err != nil {
+		panic(err)
+	}
+	return in
 }
 
 // Poly builds a cubic-decay instance: Euler steps of dx/dt = a·x − b·x³.
 // Trajectories converge to the equilibrium sqrt(a/b).  The safe variant
 // asks for a bound above the attractor, the unsafe variant for a bound the
 // transient crosses.
-func Poly(safe bool, idx int) Instance {
+func Poly(safe bool, idx int) (Instance, error) {
 	a := 1.0
 	b := []float64{0.25, 0.16, 0.0625, 0.04}[idx%4]
 	eq := math.Sqrt(a / b) // 2, 2.5, 4, 5
@@ -60,11 +70,15 @@ init x >= %g and x <= %g
 trans x' = x + %g * (%g * x - %g * x^3)
 prop x <= %g
 `, name, eq*2.5, x0, x0+0.1, dt, a, b, bound)
-	return Instance{Name: name, Family: "poly", Expected: verdict, Sys: mustParse(name, src)}
+	sys, err := parse(name, src)
+	if err != nil {
+		return Instance{}, err
+	}
+	return Instance{Name: name, Family: "poly", Expected: verdict, Sys: sys}, nil
 }
 
 // Logistic builds a logistic-map instance x' = r·x·(1−x) on [0,1].
-func Logistic(safe bool, idx int) Instance {
+func Logistic(safe bool, idx int) (Instance, error) {
 	r := []float64{2.2, 2.5, 2.8, 3.1}[idx%4]
 	peak := r / 4 // max of the map over [0,1]
 	x0 := 0.05 + 0.05*float64(idx%3)
@@ -85,12 +99,16 @@ init x >= %g and x <= %g
 trans x' = %g * x * (1 - x)
 prop x <= %g
 `, name, x0, x0+0.02, r, bound)
-	return Instance{Name: name, Family: "logistic", Expected: verdict, Sys: mustParse(name, src)}
+	sys, err := parse(name, src)
+	if err != nil {
+		return Instance{}, err
+	}
+	return Instance{Name: name, Family: "logistic", Expected: verdict, Sys: sys}, nil
 }
 
 // Vehicle builds a longitudinal-dynamics instance with quadratic drag:
 // v' = v + dt·(u − c·v²).  Terminal velocity is sqrt(u/c).
-func Vehicle(safe bool, idx int) Instance {
+func Vehicle(safe bool, idx int) (Instance, error) {
 	u := 4.0 + float64(idx%3)
 	c := 0.01
 	vterm := math.Sqrt(u / c) // 20..24.5
@@ -111,13 +129,17 @@ init v >= 0 and v <= 1
 trans v' = v + %g * (%g - %g * v^2)
 prop v <= %g
 `, name, vterm*2, dt, u, c, bound)
-	return Instance{Name: name, Family: "vehicle", Expected: verdict, Sys: mustParse(name, src)}
+	sys, err := parse(name, src)
+	if err != nil {
+		return Instance{}, err
+	}
+	return Instance{Name: name, Family: "vehicle", Expected: verdict, Sys: sys}, nil
 }
 
 // Thermostat builds a two-mode heater with Newton cooling and a bilinear
 // heating term; the Boolean mode switches on a threshold of the *next*
 // temperature, giving genuinely mixed Boolean/real dynamics.
-func Thermostat(safe bool, idx int) Instance {
+func Thermostat(safe bool, idx int) (Instance, error) {
 	power := []float64{30.0, 32.0, 34.0}[idx%3]
 	if !safe {
 		power = []float64{70.0, 76.0, 82.0}[idx%3]
@@ -137,12 +159,16 @@ trans (on -> T' = T + 0.5 * (%g - T)) and \
       (on' <-> T' <= 25)
 prop T <= 40
 `, name, power)
-	return Instance{Name: name, Family: "thermostat", Expected: verdict, Sys: mustParse(name, src)}
+	sys, err := parse(name, src)
+	if err != nil {
+		return Instance{}, err
+	}
+	return Instance{Name: name, Family: "thermostat", Expected: verdict, Sys: sys}, nil
 }
 
 // Pendulum builds a damped-pendulum instance (Euler), exercising the sin
 // contractor: th' = th + dt·w, w' = w + dt·(−k·sin(th) − d·w).
-func Pendulum(safe bool, idx int) Instance {
+func Pendulum(safe bool, idx int) (Instance, error) {
 	k := 1.0
 	d := []float64{0.8, 1.0, 1.2}[idx%3]
 	dt := 0.2
@@ -163,12 +189,16 @@ init th >= %g and th <= %g and w >= 0.4 and w <= 0.45
 trans th' = th + %g * w and w' = w + %g * (-%g * sin(th) - %g * w)
 prop th <= %g
 `, name, th0, th0+0.05, dt, dt, k, d, bound)
-	return Instance{Name: name, Family: "pendulum", Expected: verdict, Hard: safe, Sys: mustParse(name, src)}
+	sys, err := parse(name, src)
+	if err != nil {
+		return Instance{}, err
+	}
+	return Instance{Name: name, Family: "pendulum", Expected: verdict, Hard: safe, Sys: sys}, nil
 }
 
 // CounterNL builds an integer instance with saturating doubling:
 // n' = min(2n, cap).
-func CounterNL(safe bool, idx int) Instance {
+func CounterNL(safe bool, idx int) (Instance, error) {
 	capV := 64 << (idx % 3) // 64, 128, 256
 	name := fmt.Sprintf("counternl-%s-%d", safeTag(safe), idx)
 	verdict := engine.Safe
@@ -184,7 +214,11 @@ init n = 1
 trans n' = min(2 * n, %d)
 prop n <= %d
 `, name, capV, capV, bound)
-	return Instance{Name: name, Family: "counternl", Expected: verdict, Sys: mustParse(name, src)}
+	sys, err := parse(name, src)
+	if err != nil {
+		return Instance{}, err
+	}
+	return Instance{Name: name, Family: "counternl", Expected: verdict, Sys: sys}, nil
 }
 
 // Frozen builds a "frozen parameter" instance: a constant disturbance y
@@ -193,7 +227,7 @@ prop n <= %d
 // unrolling (k-induction) cannot derive for any small k, while IC3-ICP
 // learns it as a self-inductive interval clause.  The unsafe variant gives
 // y a positive range, producing counterexamples tens of steps deep.
-func Frozen(safe bool, idx int) Instance {
+func Frozen(safe bool, idx int) (Instance, error) {
 	bound := []float64{5.0, 6.0, 7.0}[idx%3]
 	name := fmt.Sprintf("frozen-%s-%d", safeTag(safe), idx)
 	verdict := engine.Safe
@@ -210,7 +244,11 @@ init x >= 0 and x <= 1 and %s
 trans x' = x + y and y' = y
 prop x <= %g
 `, name, yInit, bound)
-	return Instance{Name: name, Family: "frozen", Expected: verdict, Sys: mustParse(name, src)}
+	sys, err := parse(name, src)
+	if err != nil {
+		return Instance{}, err
+	}
+	return Instance{Name: name, Family: "frozen", Expected: verdict, Sys: sys}, nil
 }
 
 func safeTag(safe bool) string {
@@ -222,20 +260,24 @@ func safeTag(safe bool) string {
 
 // Suite returns the default benchmark grid: n instances per family and
 // polarity (n is clamped to the family's parameter ranges).
-func Suite(n int) []Instance {
+func Suite(n int) ([]Instance, error) {
 	if n <= 0 {
 		n = 3
 	}
 	var out []Instance
-	type gen func(bool, int) Instance
+	type gen func(bool, int) (Instance, error)
 	for _, g := range []gen{Poly, Logistic, Vehicle, Thermostat, Pendulum, CounterNL, Frozen} {
 		for _, safe := range []bool{true, false} {
 			for i := 0; i < n; i++ {
-				out = append(out, g(safe, i))
+				in, err := g(safe, i)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, in)
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Families lists the family names in suite order.

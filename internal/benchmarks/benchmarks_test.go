@@ -10,7 +10,10 @@ import (
 )
 
 func TestSuiteShape(t *testing.T) {
-	suite := Suite(3)
+	suite, err := Suite(3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// 7 families x 2 polarities x 3 instances
 	if len(suite) != 42 {
 		t.Fatalf("suite size = %d", len(suite))
@@ -32,7 +35,11 @@ func TestSuiteShape(t *testing.T) {
 			t.Errorf("family %s has %d instances", f, seen[f])
 		}
 	}
-	if len(Suite(0)) != len(Suite(3)) {
+	def0, err := Suite(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def0) != len(suite) {
 		t.Error("default size should be 3")
 	}
 }
@@ -40,7 +47,11 @@ func TestSuiteShape(t *testing.T) {
 // TestUnsafeGroundTruth: every unsafe instance has a concrete
 // counterexample that BMC finds and validates.
 func TestUnsafeGroundTruth(t *testing.T) {
-	for _, in := range Suite(2) {
+	suite2, err := Suite(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range suite2 {
 		if in.Expected != engine.Unsafe {
 			continue
 		}
@@ -62,7 +73,11 @@ func TestUnsafeGroundTruth(t *testing.T) {
 
 // TestSafeGroundTruthSanity: no safe instance has a shallow counterexample.
 func TestSafeGroundTruthSanity(t *testing.T) {
-	for _, in := range Suite(2) {
+	suite2, err := Suite(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range suite2 {
 		if in.Expected != engine.Safe {
 			continue
 		}

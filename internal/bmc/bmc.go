@@ -33,6 +33,9 @@ type Options struct {
 	Refinements int
 	// Budget bounds the run.
 	Budget engine.Budget
+	// Progress, when non-nil, receives a heartbeat tick per solver call
+	// and per unrolled depth (see engine.Progress).
+	Progress *engine.Progress
 }
 
 func (o Options) withDefaults() Options {
@@ -176,6 +179,7 @@ func Check(sys *ts.System, opts Options) engine.Result {
 		if err != nil {
 			return finish(engine.Result{Verdict: engine.Unknown, Depth: k, Note: err.Error()})
 		}
+		opts.Progress.Tick()
 		r := u.solver.Solve([]tnf.Lit{robustBad})
 		stats["solves"]++
 		switch r.Status {
@@ -197,6 +201,7 @@ func Check(sys *ts.System, opts Options) engine.Result {
 		case icp.StatusUnsat:
 			// No robust violation; plain violations may still be genuine
 			// for discrete (integer) properties, so validate them too.
+			opts.Progress.Tick()
 			r2 := u.solver.Solve([]tnf.Lit{plainBad})
 			stats["solves"]++
 			if r2.Status == icp.StatusSat {

@@ -47,6 +47,43 @@ type Result struct {
 	Note string
 	// Stats carries engine-specific counters.
 	Stats map[string]int64
+	// Certificate is independently re-checkable evidence for a Safe
+	// verdict (see internal/certify); engines that prove safety attach
+	// one, engines that only refute leave it nil.
+	Certificate *Certificate
+}
+
+// Certificate kinds.
+const (
+	// CertBoxInvariant: Cubes are interval boxes over the state variables;
+	// the inductive invariant is Prop ∧ ⋀_c ¬c (produced by ic3icp).
+	CertBoxInvariant = "box-invariant"
+	// CertBoolInvariant: Cubes are latch-literal cubes of a Boolean
+	// circuit, encoded as 0/1 bounds on variables "l<idx>" (ic3bool).
+	CertBoolInvariant = "bool-invariant"
+	// CertKInduction: the property is K-inductive (produced by kind).
+	CertKInduction = "k-induction"
+)
+
+// Certificate is the evidence attached to a Safe verdict, in an
+// engine-neutral form that internal/certify can re-check with fresh
+// solver instances.
+type Certificate struct {
+	// Kind is one of the Cert* constants.
+	Kind string `json:"kind"`
+	// Cubes holds the blocked cubes of an invariant certificate.
+	Cubes [][]CertBound `json:"cubes,omitempty"`
+	// K is the induction depth of a CertKInduction certificate.
+	K int `json:"k,omitempty"`
+}
+
+// CertBound is one literal of a certificate cube: a bound on a named
+// state variable.
+type CertBound struct {
+	Var    string  `json:"var"`
+	Le     bool    `json:"le"` // true: Var <= B (< when Strict); false: Var >= B (>)
+	B      float64 `json:"b"`
+	Strict bool    `json:"strict,omitempty"`
 }
 
 func (r Result) String() string {

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGuardPassesThrough(t *testing.T) {
+	want := Result{Verdict: Safe, Depth: 3, Note: "ok"}
+	got := Guard("t", nil, func() Result { return want })
+	if got.Verdict != Safe || got.Depth != 3 || got.Note != "ok" {
+		t.Errorf("got %+v", got)
+	}
+	if Panicked(got) {
+		t.Error("clean run reported as panicked")
+	}
+}
+
+func TestGuardRecoversPanic(t *testing.T) {
+	var logged []string
+	logf := func(format string, args ...interface{}) {
+		logged = append(logged, format)
+	}
+	res := Guard("t", logf, func() Result { panic("boom") })
+	if res.Verdict != Unknown {
+		t.Errorf("verdict = %v", res.Verdict)
+	}
+	if !strings.Contains(res.Note, "boom") {
+		t.Errorf("note = %q", res.Note)
+	}
+	if !Panicked(res) {
+		t.Error("Panicked = false after a recovered panic")
+	}
+	if len(logged) == 0 {
+		t.Error("stack not logged")
+	}
+}
+
+func TestGuardNilLogf(t *testing.T) {
+	res := Guard("t", nil, func() Result { panic(42) })
+	if res.Verdict != Unknown || !Panicked(res) {
+		t.Errorf("got %+v", res)
+	}
+}
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	p.Tick() // must not panic
+	if p.Ticks() != 0 {
+		t.Error("nil Progress has ticks")
+	}
+	p = &Progress{}
+	p.Tick()
+	p.Tick()
+	if p.Ticks() != 2 {
+		t.Errorf("ticks = %d", p.Ticks())
+	}
+}
+
+func TestProgressConcurrent(t *testing.T) {
+	p := &Progress{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				p.Tick()
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Ticks() != 8000 {
+		t.Errorf("ticks = %d", p.Ticks())
+	}
+}
+
+func TestInjectFaultPanic(t *testing.T) {
+	disarm := InjectFault("sysA", FaultPanic)
+	defer disarm()
+	res := Guard("sysA", nil, func() Result {
+		FireFault("sysA", Budget{})
+		return Result{Verdict: Safe}
+	})
+	if !Panicked(res) {
+		t.Fatal("armed panic fault did not fire")
+	}
+	disarm()
+	res = Guard("sysA", nil, func() Result {
+		FireFault("sysA", Budget{})
+		return Result{Verdict: Safe}
+	})
+	if Panicked(res) || res.Verdict != Safe {
+		t.Fatalf("disarmed fault still fired: %+v", res)
+	}
+}
+
+func TestInjectFaultStallRespectsBudget(t *testing.T) {
+	disarm := InjectFault("sysB", FaultStall)
+	defer disarm()
+	done := make(chan struct{})
+	start := time.Now()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(done)
+	}()
+	FireFault("sysB", Budget{}.WithDone(done).Start())
+	if time.Since(start) < 15*time.Millisecond {
+		t.Error("stall fault returned before the budget expired")
+	}
+}
+
+func TestCorruptResult(t *testing.T) {
+	res := Result{Verdict: Safe, Certificate: &Certificate{Kind: CertBoxInvariant}}
+	CorruptResult("sysC", &res) // not armed: no-op
+	if len(res.Certificate.Cubes) != 0 {
+		t.Fatal("unarmed CorruptResult mutated the certificate")
+	}
+	disarm := InjectFault("sysC", FaultBadCert)
+	defer disarm()
+	CorruptResult("sysC", &res)
+	if len(res.Certificate.Cubes) != 1 || len(res.Certificate.Cubes[0]) != 0 {
+		t.Fatalf("expected one empty cube, got %+v", res.Certificate.Cubes)
+	}
+	// nil certificate gains one so the corruption is always observable
+	res2 := Result{Verdict: Safe}
+	CorruptResult("sysC", &res2)
+	if res2.Certificate == nil || len(res2.Certificate.Cubes) != 1 {
+		t.Fatalf("nil certificate not corrupted: %+v", res2.Certificate)
+	}
+}

@@ -457,8 +457,11 @@ func Fig4(w io.Writer, points []FramePoint) {
 }
 
 // Report renders everything into one text document.
-func Report(w io.Writer, suiteSize int, perRun time.Duration) {
-	suite := benchmarks.Suite(suiteSize)
+func Report(w io.Writer, suiteSize int, perRun time.Duration) error {
+	suite, err := benchmarks.Suite(suiteSize)
+	if err != nil {
+		return err
+	}
 	engines := Engines()
 	names := EngineNames()
 
@@ -493,6 +496,7 @@ func Report(w io.Writer, suiteSize int, perRun time.Duration) {
 		return in.Family == "vehicle"
 	})
 	Fig4(w, FrameGrowth(vehicles, perRun))
+	return nil
 }
 
 func filterInstances(in []benchmarks.Instance, keep func(benchmarks.Instance) bool) []benchmarks.Instance {

@@ -12,10 +12,10 @@ import (
 
 func smallSuite() []benchmarks.Instance {
 	return []benchmarks.Instance{
-		benchmarks.Poly(true, 0),
-		benchmarks.Poly(false, 0),
-		benchmarks.Logistic(true, 0),
-		benchmarks.Logistic(false, 0),
+		benchmarks.Must(benchmarks.Poly(true, 0)),
+		benchmarks.Must(benchmarks.Poly(false, 0)),
+		benchmarks.Must(benchmarks.Logistic(true, 0)),
+		benchmarks.Must(benchmarks.Logistic(false, 0)),
 	}
 }
 
@@ -56,7 +56,7 @@ func TestRunSuiteAndTable2(t *testing.T) {
 }
 
 func TestAblationAndTable3(t *testing.T) {
-	insts := []benchmarks.Instance{benchmarks.Poly(true, 0)}
+	insts := []benchmarks.Instance{benchmarks.Must(benchmarks.Poly(true, 0))}
 	ab := RunAblation(insts, 5*time.Second)
 	if len(ab) != 3 {
 		t.Fatalf("ablation modes = %d", len(ab))

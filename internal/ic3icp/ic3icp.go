@@ -85,6 +85,10 @@ type Options struct {
 	DebugTrace bool
 	// Budget bounds the run.
 	Budget engine.Budget
+	// Progress, when non-nil, receives a heartbeat tick per solver query
+	// and per discharged obligation (see engine.Progress); a supervisor
+	// uses it to tell a slow run from a wedged one.
+	Progress *engine.Progress
 }
 
 func (o Options) withDefaults() Options {
@@ -204,6 +208,11 @@ type checker struct {
 // icpCube is a cube in solver terms: literals over curIDs.
 type icpCube []tnf.Lit
 
+// tick publishes one heartbeat unit; called once per solver query and
+// per obligation so that a supervisor sees silence only when the engine
+// is genuinely wedged inside a single solver call.
+func (ch *checker) tick() { ch.opts.Progress.Tick() }
+
 // obligation is a pending blocking task.
 type obligation struct {
 	cube  icpCube
@@ -258,7 +267,41 @@ func CheckFull(sys *ts.System, opts Options) (engine.Result, *Info) {
 	res := ch.run(info)
 	res.Runtime = budget.Elapsed()
 	res.Stats = ch.stats
+	if res.Verdict == engine.Safe {
+		res.Certificate = CertificateOf(info.Invariant)
+	}
 	return res, info
+}
+
+// CertificateOf packages an invariant clause set as an engine-neutral
+// certificate that internal/certify can re-check with fresh solvers.
+func CertificateOf(invariant []Cube) *engine.Certificate {
+	cert := &engine.Certificate{Kind: engine.CertBoxInvariant}
+	for _, c := range invariant {
+		bounds := make([]engine.CertBound, len(c))
+		for i, b := range c {
+			bounds[i] = engine.CertBound{Var: b.Var, Le: b.Le, B: b.B, Strict: b.Strict}
+		}
+		cert.Cubes = append(cert.Cubes, bounds)
+	}
+	return cert
+}
+
+// InvariantOf is the inverse of CertificateOf: it recovers the clause
+// set of a box-invariant certificate.
+func InvariantOf(cert *engine.Certificate) ([]Cube, error) {
+	if cert == nil || cert.Kind != engine.CertBoxInvariant {
+		return nil, fmt.Errorf("ic3icp: not a %s certificate", engine.CertBoxInvariant)
+	}
+	inv := make([]Cube, len(cert.Cubes))
+	for i, bounds := range cert.Cubes {
+		c := make(Cube, len(bounds))
+		for j, b := range bounds {
+			c[j] = Bound{Var: b.Var, Le: b.Le, B: b.B, Strict: b.Strict}
+		}
+		inv[i] = c
+	}
+	return inv, nil
 }
 
 // build compiles the two solver instances.
@@ -361,6 +404,7 @@ func (ch *checker) entirelyBad(c icpCube) bool {
 		return false
 	}
 	ch.stats["propQueries"]++
+	ch.tick()
 	r := ch.prop.Solve(ch.onProp(c))
 	return r.Status == icp.StatusUnsat
 }
@@ -371,6 +415,7 @@ func (ch *checker) entirelyBadPlain(c icpCube) bool {
 		return false
 	}
 	ch.stats["propQueries"]++
+	ch.tick()
 	idx := make(map[tnf.VarID]int, len(ch.curIDs))
 	for i, id := range ch.curIDs {
 		idx[id] = i
@@ -657,6 +702,7 @@ func (ch *checker) negCube(c icpCube) tnf.Clause {
 // and false only when proven disjoint.
 func (ch *checker) initIntersects(c icpCube) (bool, *icp.Result) {
 	ch.stats["initQueries"]++
+	ch.tick()
 	r := ch.init.Solve(ch.onInit(c))
 	if r.Status == icp.StatusUnsat {
 		return false, &r
@@ -668,6 +714,7 @@ func (ch *checker) initIntersects(c icpCube) (bool, *icp.Result) {
 // returns the subset of cube literals in the assumption core.
 func (ch *checker) blockQuery(c icpCube, frame int) (icp.Result, icpCube) {
 	ch.stats["queries"]++
+	ch.tick()
 	// one-shot activation variable for the ¬cube clause
 	tmp := ch.main.AddBoolVar(fmt.Sprintf(".tmp%d", ch.stats["queries"]))
 	cl := append(tnf.Clause{tnf.MkLe(tmp, 0)}, ch.negCube(c)...)
@@ -773,9 +820,11 @@ func (ch *checker) run(info *Info) engine.Result {
 		// counterexamples); the plain query provides the sound UNSAT side.
 		for {
 			ch.stats["queries"]++
+			ch.tick()
 			r := ch.main.Solve(append(ch.actLits(k), ch.badRobust))
 			if r.Status == icp.StatusUnsat {
 				ch.stats["queries"]++
+				ch.tick()
 				r = ch.main.Solve(append(ch.actLits(k), ch.badLit))
 			}
 			if r.Status == icp.StatusUnsat {
@@ -822,11 +871,17 @@ func (ch *checker) run(info *Info) engine.Result {
 			}
 			ch.frames[i] = kept
 			if len(kept) == 0 {
-				// F_i == F_{i+1}: inductive invariant
+				// F_i == F_{i+1}: inductive invariant.  The unguarded F_∞
+				// clauses take part in every query, so they are conjuncts of
+				// the invariant too — without them the exported clause set
+				// need not be inductive on its own.
 				for j := i + 1; j < len(ch.frames); j++ {
 					for _, c := range ch.frames[j] {
 						info.Invariant = append(info.Invariant, ch.exportCube(c))
 					}
+				}
+				for _, c := range ch.infCubes {
+					info.Invariant = append(info.Invariant, ch.exportCube(c))
 				}
 				info.Frames = k
 				ch.stats["frames"] = int64(k)
@@ -860,6 +915,7 @@ func (ch *checker) block(root *obligation, k int) (engine.Verdict, engine.Result
 		}
 		ob := heap.Pop(&q).(*obligation)
 		ch.stats["obligations"]++
+		ch.tick()
 		if ch.opts.DebugTrace {
 			fmt.Printf("pop frame=%d depth=%d cube=%s\n", ob.frame, ob.depth, ch.exportCube(ob.cube))
 		}

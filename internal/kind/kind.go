@@ -30,6 +30,9 @@ type Options struct {
 	ValidateTol float64
 	// Budget bounds the run.
 	Budget engine.Budget
+	// Progress, when non-nil, receives a heartbeat tick per base/step
+	// solver call (see engine.Progress).
+	Progress *engine.Progress
 }
 
 func (o Options) withDefaults() Options {
@@ -167,9 +170,11 @@ func Check(sys *ts.System, opts Options) engine.Result {
 		if err != nil {
 			return finish(engine.Result{Verdict: engine.Unknown, Depth: k, Note: err.Error(), Stats: stats})
 		}
+		opts.Progress.Tick()
 		rb := base.solver.Solve([]tnf.Lit{badRobust})
 		stats["baseSolves"]++
 		if rb.Status == icp.StatusUnsat {
+			opts.Progress.Tick()
 			rb = base.solver.Solve([]tnf.Lit{badPlain})
 			stats["baseSolves"]++
 		}
@@ -195,10 +200,14 @@ func Check(sys *ts.System, opts Options) engine.Result {
 			if err != nil {
 				return finish(engine.Result{Verdict: engine.Unknown, Depth: k, Note: err.Error(), Stats: stats})
 			}
+			opts.Progress.Tick()
 			rs := step.solver.Solve([]tnf.Lit{badS})
 			stats["stepSolves"]++
 			if rs.Status == icp.StatusUnsat {
-				return finish(engine.Result{Verdict: engine.Safe, Depth: k, Stats: stats})
+				return finish(engine.Result{
+					Verdict: engine.Safe, Depth: k, Stats: stats,
+					Certificate: &engine.Certificate{Kind: engine.CertKInduction, K: k},
+				})
 			}
 		}
 

@@ -27,6 +27,9 @@ type Options struct {
 	KInduction kind.Options
 	// Budget bounds the whole portfolio (also injected into each engine).
 	Budget engine.Budget
+	// Progress, when non-nil, is shared with every member engine: the
+	// portfolio heartbeats as long as any member is making progress.
+	Progress *engine.Progress
 }
 
 // Check runs all engines concurrently and returns the first decisive
@@ -51,24 +54,36 @@ func Check(sys *ts.System, opts Options) engine.Result {
 	results := make(chan outcome, 3)
 	var wg sync.WaitGroup
 
+	// Each member runs under engine.Guard: a panic in one engine counts as
+	// that member answering Unknown instead of killing the process (the
+	// member goroutines would otherwise crash the whole program).
 	launch := func(name string, run func() engine.Result) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results <- outcome{name: name, res: run()}
+			results <- outcome{name: name, res: engine.Guard(name, nil, run)}
 		}()
 	}
 
 	ic3Opts := opts.IC3
 	ic3Opts.Budget = budget
+	if ic3Opts.Progress == nil {
+		ic3Opts.Progress = opts.Progress
+	}
 	launch("ic3-icp", func() engine.Result { return ic3icp.Check(sys, ic3Opts) })
 
 	bmcOpts := opts.BMC
 	bmcOpts.Budget = budget
+	if bmcOpts.Progress == nil {
+		bmcOpts.Progress = opts.Progress
+	}
 	launch("bmc-icp", func() engine.Result { return bmc.Check(sys, bmcOpts) })
 
 	kindOpts := opts.KInduction
 	kindOpts.Budget = budget
+	if kindOpts.Progress == nil {
+		kindOpts.Progress = opts.Progress
+	}
 	launch("kind-icp", func() engine.Result { return kind.Check(sys, kindOpts) })
 
 	go func() {

@@ -54,6 +54,13 @@ type Metrics struct {
 	cacheFills  int64
 	evictions   int64
 
+	panics     int64 // engine attempts that panicked (recovered by Guard)
+	stalled    int64 // engine attempts killed by the progress watchdog
+	retried    int64 // retries of panicked/stalled attempts
+	degraded   int64 // retries that fell back to a different engine
+	certified  int64 // decisive results that passed independent re-checking
+	certFailed int64 // decisive results demoted to Unknown by certification
+
 	completed map[string]int64      // "engine\x00verdict" -> count
 	latency   map[string]*histogram // engine -> histogram
 }
@@ -69,6 +76,21 @@ func (m *Metrics) incCancelled() { m.mu.Lock(); m.cancelled++; m.mu.Unlock() }
 func (m *Metrics) incHit()       { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
 func (m *Metrics) incMiss()      { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
 func (m *Metrics) incCoalesced() { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
+
+func (m *Metrics) incPanics()     { m.mu.Lock(); m.panics++; m.mu.Unlock() }
+func (m *Metrics) incStalled()    { m.mu.Lock(); m.stalled++; m.mu.Unlock() }
+func (m *Metrics) incRetried()    { m.mu.Lock(); m.retried++; m.mu.Unlock() }
+func (m *Metrics) incDegraded()   { m.mu.Lock(); m.degraded++; m.mu.Unlock() }
+func (m *Metrics) incCertified()  { m.mu.Lock(); m.certified++; m.mu.Unlock() }
+func (m *Metrics) incCertFailed() { m.mu.Lock(); m.certFailed++; m.mu.Unlock() }
+
+// Robustness counter accessors (for tests and logs).
+func (m *Metrics) Panics() int64     { m.mu.Lock(); defer m.mu.Unlock(); return m.panics }
+func (m *Metrics) Stalled() int64    { m.mu.Lock(); defer m.mu.Unlock(); return m.stalled }
+func (m *Metrics) Retried() int64    { m.mu.Lock(); defer m.mu.Unlock(); return m.retried }
+func (m *Metrics) Degraded() int64   { m.mu.Lock(); defer m.mu.Unlock(); return m.degraded }
+func (m *Metrics) Certified() int64  { m.mu.Lock(); defer m.mu.Unlock(); return m.certified }
+func (m *Metrics) CertFailed() int64 { m.mu.Lock(); defer m.mu.Unlock(); return m.certFailed }
 
 func (m *Metrics) recordFill(evicted bool) {
 	m.mu.Lock()
@@ -125,6 +147,12 @@ func (m *Metrics) WriteText(w io.Writer) error {
 	add("icpserve_jobs_cancelled_total %d", m.cancelled)
 	add("icpserve_jobs_rejected_total %d", m.rejected)
 	add("icpserve_jobs_submitted_total %d", m.submitted)
+	add("icpserve_jobs_panics_total %d", m.panics)
+	add("icpserve_jobs_stalled_total %d", m.stalled)
+	add("icpserve_jobs_retried_total %d", m.retried)
+	add("icpserve_jobs_degraded_total %d", m.degraded)
+	add("icpserve_results_certified_total %d", m.certified)
+	add("icpserve_results_cert_failed_total %d", m.certFailed)
 	for key, n := range m.completed {
 		parts := strings.SplitN(key, "\x00", 2)
 		add("icpserve_jobs_completed_total{engine=%q,verdict=%q} %d", parts[0], parts[1], n)

@@ -56,6 +56,27 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps the per-job budget a request may ask for (0 = 5m).
 	MaxTimeout time.Duration
+	// StallTimeout is how long a running engine may go without publishing
+	// a progress heartbeat before the watchdog kills the attempt
+	// (0 = 2m, negative = watchdog disabled).  Distinct from the job
+	// timeout: a stalled run is wedged inside one solver call, not slow.
+	StallTimeout time.Duration
+	// MaxRetries is how many times a panicked or stalled attempt is
+	// retried, degrading the engine per Degrade (0 = 1, negative = no
+	// retries).  Decisive and ordinary-Unknown results never retry.
+	MaxRetries int
+	// RetryBackoff is the sleep before the first retry, doubled per
+	// attempt (0 = 100ms).
+	RetryBackoff time.Duration
+	// Degrade maps an engine to the one a retry falls back to (nil =
+	// {ic3: portfolio, portfolio: bmc}).  An engine with no entry retries
+	// on itself.
+	Degrade map[string]string
+	// SkipCertify disables independent re-checking of decisive results.
+	// By default every Safe verdict's certificate is re-verified with
+	// fresh solvers and every Unsafe trace is replayed before the result
+	// is cached or served; a failed check demotes the result to Unknown.
+	SkipCertify bool
 	// Logf, when non-nil, receives one line per job state change.
 	Logf func(format string, args ...interface{})
 }
@@ -75,6 +96,20 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.StallTimeout == 0 {
+		c.StallTimeout = 2 * time.Minute
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 1
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+	if c.Degrade == nil {
+		c.Degrade = map[string]string{"ic3": "portfolio", "portfolio": "bmc"}
 	}
 	return c
 }
@@ -185,6 +220,10 @@ type job struct {
 	cacheHit  bool
 	coalesced bool
 
+	attempts   int    // engine attempts made (>= 1 once running)
+	engineUsed string // engine of the final attempt (after degradation)
+	certified  bool   // decisive result passed independent certification
+
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -202,7 +241,14 @@ type Status struct {
 	Key       string        `json:"key"`
 	CacheHit  bool          `json:"cache_hit"`
 	Coalesced bool          `json:"coalesced,omitempty"`
-	Verdict   string        `json:"verdict,omitempty"`
+	// Attempts counts engine attempts (> 1 after panic/stall retries);
+	// EngineUsed is the engine of the final attempt, which differs from
+	// Engine after degradation; Certified reports that the decisive
+	// result passed independent re-checking.
+	Attempts   int    `json:"attempts,omitempty"`
+	EngineUsed string `json:"engine_used,omitempty"`
+	Certified  bool   `json:"certified,omitempty"`
+	Verdict    string `json:"verdict,omitempty"`
 	Depth     int           `json:"depth,omitempty"`
 	Note      string        `json:"note,omitempty"`
 	Trace     []ts.State    `json:"trace,omitempty"`
@@ -470,13 +516,16 @@ func (s *Service) worker() {
 		}
 		jb.state = StateRunning
 		jb.started = time.Now()
-		req, sys, cancel := jb.req, jb.sys, jb.cancel
 		s.mu.Unlock()
 
-		res := runEngine(sys, req, engine.Budget{Timeout: req.Timeout}.WithDone(cancel))
+		res, sup := s.runSupervised(jb)
 
 		s.mu.Lock()
+		req := jb.req
 		jb.finished = time.Now()
+		jb.attempts = sup.attempts
+		jb.engineUsed = sup.engineUsed
+		jb.certified = sup.certified
 		if jb.cancelled {
 			jb.state = StateCancelled
 			jb.result = res
@@ -487,7 +536,7 @@ func (s *Service) worker() {
 		} else {
 			jb.state = StateDone
 			jb.result = res
-			s.metrics.recordCompleted(req.Engine, res.Verdict.String(), jb.finished.Sub(jb.started))
+			s.metrics.recordCompleted(sup.engineUsed, res.Verdict.String(), jb.finished.Sub(jb.started))
 			if res.Verdict != engine.Unknown {
 				if filled, evicted := s.cache.Put(jb.key, res); filled {
 					s.metrics.recordFill(evicted)
@@ -583,6 +632,9 @@ func (s *Service) statusLocked(jb *job) Status {
 		CacheHit:  jb.cacheHit,
 		Coalesced: jb.coalesced,
 	}
+	st.Attempts = jb.attempts
+	st.EngineUsed = jb.engineUsed
+	st.Certified = jb.certified
 	if jb.state == StateDone || jb.state == StateCancelled {
 		st.Verdict = jb.result.Verdict.String()
 		st.Depth = jb.result.Depth
@@ -599,25 +651,27 @@ func (s *Service) statusLocked(jb *job) Status {
 	return st
 }
 
-// runEngine dispatches a normalized request to the chosen engine.
-func runEngine(sys *ts.System, req Request, budget engine.Budget) engine.Result {
+// runEngine dispatches a normalized request to the chosen engine; prog
+// (may be nil) receives the engine's progress heartbeat for the watchdog.
+func runEngine(sys *ts.System, req Request, budget engine.Budget, prog *engine.Progress) engine.Result {
 	solver := icp.Options{Eps: req.Eps}
 	gen, genSet := genMode(req.Generalize)
 	switch req.Engine {
 	case "ic3":
 		return ic3icp.Check(sys, ic3icp.Options{
-			Solver: solver, Generalize: gen, GeneralizeSet: genSet, Budget: budget,
+			Solver: solver, Generalize: gen, GeneralizeSet: genSet, Budget: budget, Progress: prog,
 		})
 	case "bmc":
-		return bmc.Check(sys, bmc.Options{MaxDepth: req.MaxDepth, Solver: solver, Budget: budget})
+		return bmc.Check(sys, bmc.Options{MaxDepth: req.MaxDepth, Solver: solver, Budget: budget, Progress: prog})
 	case "kind":
-		return kind.Check(sys, kind.Options{MaxK: req.MaxK, Solver: solver, Budget: budget})
+		return kind.Check(sys, kind.Options{MaxK: req.MaxK, Solver: solver, Budget: budget, Progress: prog})
 	default: // portfolio
 		return portfolio.Check(sys, portfolio.Options{
 			IC3:        ic3icp.Options{Solver: solver, Generalize: gen, GeneralizeSet: genSet},
 			BMC:        bmc.Options{MaxDepth: req.MaxDepth, Solver: solver},
 			KInduction: kind.Options{MaxK: req.MaxK, Solver: solver},
 			Budget:     budget,
+			Progress:   prog,
 		})
 	}
 }

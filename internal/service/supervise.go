@@ -1,0 +1,195 @@
+package service
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"icpic3/internal/certify"
+	"icpic3/internal/engine"
+)
+
+// supervision is the per-job outcome record of runSupervised.
+type supervision struct {
+	attempts   int
+	engineUsed string
+	certified  bool
+}
+
+// runSupervised executes a job under the full robustness envelope:
+//
+//   - every attempt runs under engine.Guard, so a panicking engine costs
+//     one verdict, not one worker;
+//   - a watchdog samples the engine's progress heartbeat and kills an
+//     attempt whose heartbeat stalls past Config.StallTimeout (through
+//     the budget's done channel, like a cancellation);
+//   - panicked and stalled attempts are retried up to Config.MaxRetries
+//     times with exponential backoff, degrading the engine choice per
+//     Config.Degrade (ic3 -> portfolio -> bmc by default);
+//   - decisive results are independently re-checked (certificate
+//     obligations for Safe, trace replay for Unsafe) and demoted to
+//     Unknown when the check fails, so a wrong answer is never cached
+//     or served.
+//
+// Called without mu; only reads the job fields fixed at submission.
+func (s *Service) runSupervised(jb *job) (engine.Result, supervision) {
+	sup := supervision{engineUsed: jb.req.Engine}
+	backoff := s.cfg.RetryBackoff
+	var res engine.Result
+	for {
+		sup.attempts++
+		res = s.runAttempt(jb, sup.engineUsed)
+		panicked := engine.Panicked(res)
+		stalled := res.Stats != nil && res.Stats["stalled"] > 0
+		switch {
+		case panicked:
+			s.metrics.incPanics()
+			s.logf("job %s: attempt %d (%s) panicked: %s", jb.id, sup.attempts, sup.engineUsed, res.Note)
+		case stalled:
+			s.metrics.incStalled()
+			s.logf("job %s: attempt %d (%s) %s", jb.id, sup.attempts, sup.engineUsed, res.Note)
+		}
+		if !(panicked || stalled) || sup.attempts > s.cfg.MaxRetries || s.jobCancelled(jb) {
+			break
+		}
+		s.metrics.incRetried()
+		if next, ok := s.cfg.Degrade[sup.engineUsed]; ok && next != "" && next != sup.engineUsed {
+			s.metrics.incDegraded()
+			s.logf("job %s: degrading engine %s -> %s", jb.id, sup.engineUsed, next)
+			sup.engineUsed = next
+		}
+		select {
+		case <-time.After(backoff):
+		case <-jb.cancel:
+			return res, sup
+		}
+		backoff *= 2
+	}
+
+	if !s.cfg.SkipCertify && res.Verdict != engine.Unknown && !s.jobCancelled(jb) {
+		sup.certified = s.certifyResult(jb, &res)
+	}
+	return res, sup
+}
+
+// runAttempt runs one guarded, watchdog-supervised engine attempt.  A
+// stalled attempt comes back as Unknown with Stats["stalled"] = 1.
+func (s *Service) runAttempt(jb *job, engineName string) engine.Result {
+	req := jb.req
+	req.Engine = engineName
+	prog := &engine.Progress{}
+
+	// The watchdog owns the stalled channel: closing it expires the
+	// attempt's budget exactly like a cancellation, so the kill reuses
+	// the engines' cooperative-abort path and needs no hard preemption.
+	stalled := make(chan struct{})
+	var stallFlag atomic.Bool
+	watchStop := make(chan struct{})
+	watchDone := make(chan struct{})
+	if s.cfg.StallTimeout > 0 {
+		go func() {
+			defer close(watchDone)
+			s.watchProgress(prog, jb.cancel, watchStop, func() {
+				stallFlag.Store(true)
+				close(stalled)
+			})
+		}()
+	} else {
+		close(watchDone)
+	}
+
+	budget := engine.Budget{Timeout: req.Timeout}.WithDone(jb.cancel).WithDone(stalled).Start()
+	res := engine.Guard(jb.id, s.cfg.Logf, func() engine.Result {
+		engine.FireFault(jb.sys.Name, budget)
+		return runEngine(jb.sys, req, budget, prog)
+	})
+	close(watchStop)
+	<-watchDone
+
+	// A decisive verdict that raced the watchdog still stands: the engine
+	// finished its proof or counterexample before observing the kill.
+	if stallFlag.Load() && res.Verdict == engine.Unknown {
+		res.Note = fmt.Sprintf("stalled: no engine progress for %v", s.cfg.StallTimeout)
+		if res.Stats == nil {
+			res.Stats = map[string]int64{}
+		}
+		res.Stats["stalled"] = 1
+	}
+	return res
+}
+
+// watchProgress samples prog until stop/cancel closes or the heartbeat
+// goes quiet for Config.StallTimeout, in which case onStall fires once.
+func (s *Service) watchProgress(prog *engine.Progress, cancel, stop <-chan struct{}, onStall func()) {
+	poll := s.cfg.StallTimeout / 8
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	if poll > 250*time.Millisecond {
+		poll = 250 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	last := prog.Ticks()
+	lastChange := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-cancel:
+			return
+		case <-ticker.C:
+			if t := prog.Ticks(); t != last {
+				last = t
+				lastChange = time.Now()
+				continue
+			}
+			if time.Since(lastChange) >= s.cfg.StallTimeout {
+				onStall()
+				return
+			}
+		}
+	}
+}
+
+// certifyResult independently re-checks a decisive result, demoting it
+// to Unknown on failure.  Returns whether the check passed.  The check
+// itself runs under Guard with its own budget, so a buggy or slow
+// checker degrades to "uncertified" rather than wedging the worker.
+func (s *Service) certifyResult(jb *job, res *engine.Result) bool {
+	engine.CorruptResult(jb.sys.Name, res) // test fault injection point
+
+	certBudget := engine.Budget{Timeout: jb.req.Timeout}.WithDone(jb.cancel)
+	var cerr error
+	gres := engine.Guard(jb.id+" certify", s.cfg.Logf, func() engine.Result {
+		cerr = certify.Check(jb.sys, *res, certify.Options{Eps: jb.req.Eps, Budget: certBudget})
+		return engine.Result{}
+	})
+	if engine.Panicked(gres) {
+		cerr = fmt.Errorf("certifier %s", gres.Note)
+	}
+	if cerr == nil {
+		s.metrics.incCertified()
+		return true
+	}
+	s.metrics.incCertFailed()
+	s.logf("job %s: CERTIFICATION FAILED, demoting %s to unknown: %v", jb.id, res.Verdict, cerr)
+	*res = engine.Result{
+		Verdict: engine.Unknown,
+		Depth:   res.Depth,
+		Runtime: res.Runtime,
+		Stats:   res.Stats,
+		Note:    fmt.Sprintf("CERTIFICATION FAILED: %s verdict withdrawn: %v", res.Verdict, cerr),
+	}
+	return false
+}
+
+// jobCancelled reports whether the job's cancel channel has fired.
+func (s *Service) jobCancelled(jb *job) bool {
+	select {
+	case <-jb.cancel:
+		return true
+	default:
+		return false
+	}
+}

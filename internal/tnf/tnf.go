@@ -303,14 +303,14 @@ func (s *System) compileArith(e *expr.Expr) (VarID, error) {
 		if err != nil {
 			return 0, err
 		}
-		return s.binaryCon(e.Op, x, y), nil
+		return s.binaryCon(e.Op, x, y)
 	case expr.OpNeg, expr.OpAbs, expr.OpSqrt, expr.OpExp, expr.OpLog, expr.OpSin, expr.OpCos,
 		expr.OpTan, expr.OpAtan, expr.OpTanh:
 		x, err := s.CompileArith(e.Args[0])
 		if err != nil {
 			return 0, err
 		}
-		return s.unaryCon(e.Op, x), nil
+		return s.unaryCon(e.Op, x)
 	case expr.OpPow:
 		x, err := s.CompileArith(e.Args[0])
 		if err != nil {
@@ -336,8 +336,14 @@ func (s *System) compileArith(e *expr.Expr) (VarID, error) {
 		da, db := s.Vars[a].Domain, s.Vars[b].Domain
 		z := s.fresh("ite", s.Vars[a].Integer && s.Vars[b].Integer, da.Hull(db))
 		// cond -> z = a ; !cond -> z = b, via difference variables.
-		dza := s.binaryCon(expr.OpSub, z, a)
-		dzb := s.binaryCon(expr.OpSub, z, b)
+		dza, err := s.binaryCon(expr.OpSub, z, a)
+		if err != nil {
+			return 0, err
+		}
+		dzb, err := s.binaryCon(expr.OpSub, z, b)
+		if err != nil {
+			return 0, err
+		}
 		nc := s.NegLit(cond)
 		s.AddClause(Clause{nc, MkLe(dza, 0)})
 		s.AddClause(Clause{nc, MkGe(dza, 0)})
@@ -352,84 +358,84 @@ func (s *System) compileArith(e *expr.Expr) (VarID, error) {
 // Subtraction is encoded through addition (z = x - y  <=>  x = z + y) and
 // division through multiplication (z = x / y  <=>  x = z * y), so the
 // solver needs contractors only for the primitive set.
-func (s *System) binaryCon(op expr.Op, x, y VarID) VarID {
+func (s *System) binaryCon(op expr.Op, x, y VarID) (VarID, error) {
 	dx, dy := s.Vars[x].Domain, s.Vars[y].Domain
 	intg := s.Vars[x].Integer && s.Vars[y].Integer
 	switch op {
 	case expr.OpAdd:
 		z := s.fresh("a", intg, dx.Add(dy))
 		s.addCon(Constraint{Op: ConAdd, Z: z, X: x, Y: y})
-		return z
+		return z, nil
 	case expr.OpSub:
 		z := s.fresh("s", intg, dx.Sub(dy))
 		s.addCon(Constraint{Op: ConAdd, Z: x, X: z, Y: y})
-		return z
+		return z, nil
 	case expr.OpMul:
 		z := s.fresh("m", intg, dx.Mul(dy))
 		s.addCon(Constraint{Op: ConMul, Z: z, X: x, Y: y})
-		return z
+		return z, nil
 	case expr.OpDiv:
 		z := s.fresh("d", false, dx.Div(dy))
 		s.addCon(Constraint{Op: ConMul, Z: x, X: z, Y: y})
-		return z
+		return z, nil
 	case expr.OpMin:
 		z := s.fresh("mn", intg, dx.Min(dy))
 		s.addCon(Constraint{Op: ConMin, Z: z, X: x, Y: y})
-		return z
+		return z, nil
 	case expr.OpMax:
 		z := s.fresh("mx", intg, dx.Max(dy))
 		s.addCon(Constraint{Op: ConMax, Z: z, X: x, Y: y})
-		return z
+		return z, nil
 	}
-	panic("tnf: not a binary arithmetic op: " + op.String())
+	return 0, fmt.Errorf("tnf: not a binary arithmetic op: %s", op)
 }
 
-func (s *System) unaryCon(op expr.Op, x VarID) VarID {
+func (s *System) unaryCon(op expr.Op, x VarID) (VarID, error) {
 	dx := s.Vars[x].Domain
 	intg := s.Vars[x].Integer
 	switch op {
 	case expr.OpNeg:
 		z := s.fresh("n", intg, dx.Neg())
 		s.addCon(Constraint{Op: ConNeg, Z: z, X: x})
-		return z
+		return z, nil
 	case expr.OpAbs:
 		z := s.fresh("ab", intg, dx.Abs())
 		s.addCon(Constraint{Op: ConAbs, Z: z, X: x})
-		return z
+		return z, nil
 	case expr.OpSqrt:
 		z := s.fresh("sq", false, dx.Sqrt())
 		s.addCon(Constraint{Op: ConSqrt, Z: z, X: x})
-		return z
+		return z, nil
 	case expr.OpExp:
 		z := s.fresh("ex", false, dx.Exp())
 		s.addCon(Constraint{Op: ConExp, Z: z, X: x})
-		return z
+		return z, nil
 	case expr.OpLog:
 		z := s.fresh("lg", false, dx.Log())
 		s.addCon(Constraint{Op: ConLog, Z: z, X: x})
-		return z
+		return z, nil
 	case expr.OpSin:
 		z := s.fresh("sn", false, dx.Sin())
 		s.addCon(Constraint{Op: ConSin, Z: z, X: x})
-		return z
+		return z, nil
 	case expr.OpCos:
 		z := s.fresh("cs", false, dx.Cos())
 		s.addCon(Constraint{Op: ConCos, Z: z, X: x})
-		return z
+		return z, nil
 	case expr.OpTan:
 		z := s.fresh("tn", false, dx.Tan())
 		s.addCon(Constraint{Op: ConTan, Z: z, X: x})
-		return z
+		return z, nil
 	case expr.OpAtan:
 		z := s.fresh("at", false, dx.Atan())
 		s.addCon(Constraint{Op: ConAtan, Z: z, X: x})
-		return z
+		return z, nil
 	case expr.OpTanh:
 		z := s.fresh("th", false, dx.Tanh())
 		s.addCon(Constraint{Op: ConTanh, Z: z, X: x})
-		return z
+		return z, nil
 	}
-	panic("tnf: not a unary arithmetic op: " + op.String())
+	return 0, fmt.Errorf("tnf: not a unary arithmetic op: %s", op)
 }
 
 // --- compilation of Boolean structure ----------------------------------

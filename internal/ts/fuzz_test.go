@@ -1,6 +1,11 @@
 package ts
 
-import "testing"
+import (
+	"testing"
+
+	"icpic3/internal/expr"
+	"icpic3/internal/tnf"
+)
 
 // FuzzParse checks the model-file parser never panics and that parsed
 // systems round-trip through String.
@@ -28,6 +33,50 @@ func FuzzParse(f *testing.F) {
 		}
 		if len(s2.Vars) != len(s.Vars) || s2.Name != s.Name {
 			t.Fatalf("round trip mismatch")
+		}
+	})
+}
+
+// FuzzSystem drives a parsed-and-validated model through the whole
+// compilation pipeline the engines use — unrolling two steps, asserting
+// Init and Trans, compiling ¬Prop — and checks that every failure is a
+// returned error, never a panic.  This is the path a hostile model
+// submitted to icpserve reaches before any solver runs.
+func FuzzSystem(f *testing.F) {
+	seeds := []string{
+		"system a\nvar x : real [0, 1]\ninit x = 0\ntrans x' = x\nprop x <= 1\n",
+		"system b\nvar n : int [0, 9]\nvar b : bool\ninit n = 0 and b\ntrans n' = n + 1 and (b' <-> !b)\nprop n <= 8\n",
+		"system c\nvar x : real [0, 10]\ninit x >= 0 and x <= 6\ntrans x' = x / 2 + x^2 / 100\nprop x <= 8\n",
+		"system d\nvar th : real [-2, 2]\ninit th = 1\ntrans th' = sin(th) + cos(th)\nprop th <= 2\n",
+		"system e\nvar x : real [0, 4]\ninit x = 1\ntrans x' = min(2 * x, max(x, sqrt(x)))\nprop x <= 4\n",
+		"system f\nvar x : real [0, 1]\nvar y : real [0, 1]\ninit x = 0 and y = 0\ntrans (x <= y -> x' = y) and (x > y -> x' = x) and y' = y\nprop x <= 1\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			return
+		}
+		sys := tnf.NewSystem()
+		if _, err := s.DeclareStep(sys, 0); err != nil {
+			return
+		}
+		if _, err := s.DeclareStep(sys, 1); err != nil {
+			return
+		}
+		if err := sys.Assert(AtStep(s.Init, 0)); err != nil {
+			return
+		}
+		if err := sys.Assert(AtStep(s.Trans, 0)); err != nil {
+			return
+		}
+		if _, err := sys.CompileBool(expr.Not(AtStep(s.Prop, 0))); err != nil {
+			return
 		}
 	})
 }

@@ -165,6 +165,7 @@ func BenchmarkFig4Frames(b *testing.B) {
 // solver cost from IC3 orchestration.
 func BenchmarkSolverICP(b *testing.B) {
 	in := benchmarks.Must(benchmarks.Logistic(true, 0))
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := ic3icp.Check(in.Sys, ic3icp.Options{Budget: engine.Budget{Timeout: benchBudget}})
 		if res.Verdict != engine.Safe {

@@ -6,9 +6,14 @@
 //	benchtab -all                 # everything (the full report)
 //	benchtab -table 2 -budget 10s # just Table II with a 10s per-run budget
 //	benchtab -fig 1               # just the cactus plot series
+//	benchtab -json                # baseline-vs-parallel BENCH_<date>.json
+//
+// -workers bounds the suite-level worker pool (0 = GOMAXPROCS); record
+// order and verdicts do not depend on it, only wall-clock does.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,18 +26,48 @@ import (
 
 func main() {
 	var (
-		all    = flag.Bool("all", false, "produce the full report")
-		table  = flag.Int("table", 0, "table to produce (1-4)")
-		fig    = flag.Int("fig", 0, "figure to produce (1-4)")
-		budget = flag.Duration("budget", 20*time.Second, "per-run budget")
-		size   = flag.Int("size", 3, "instances per family and polarity")
-		csvOut = flag.Bool("csv", false, "emit CSV instead of text (tables 2, figures 2-3)")
+		all     = flag.Bool("all", false, "produce the full report")
+		table   = flag.Int("table", 0, "table to produce (1-4)")
+		fig     = flag.Int("fig", 0, "figure to produce (1-4)")
+		budget  = flag.Duration("budget", 20*time.Second, "per-run budget")
+		size    = flag.Int("size", 3, "instances per family and polarity")
+		csvOut  = flag.Bool("csv", false, "emit CSV instead of text (tables 2, figures 2-3)")
+		jsonOut = flag.Bool("json", false, "run the suite at workers=1 and workers=N and write BENCH_<date>.json")
+		outFile = flag.String("o", "", "output file for -json (default BENCH_<date>.json)")
+		workers = flag.Int("workers", 0, "suite-level worker pool (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
 	w := os.Stdout
+	if *jsonOut {
+		date := time.Now().Format("2006-01-02")
+		rep, err := harness.BenchJSON(*size, *budget, *workers, date)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		path := *outFile
+		if path == "" {
+			path = fmt.Sprintf("BENCH_%s.json", date)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s (baseline %.2fs, parallel %.2fs @ %d workers, speedup %.2fx)\n",
+			path, rep.Baseline.WallSec, rep.Parallel.WallSec, rep.Parallel.Workers, rep.SpeedupX)
+		return
+	}
 	if *all {
-		if err := harness.Report(w, *size, *budget); err != nil {
+		if err := harness.ReportWorkers(w, *size, *budget, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -50,7 +85,7 @@ func main() {
 	case *table == 1:
 		harness.Table1(w, suite)
 	case *table == 2:
-		records := harness.RunSuite(suite, engines, names, *budget)
+		records := harness.RunSuiteWorkers(suite, engines, names, *budget, *workers)
 		if *csvOut {
 			if err := harness.WriteSummaryCSV(w, records, names); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -63,13 +98,13 @@ func main() {
 		safe := filter(suite, func(in benchmarks.Instance) bool {
 			return in.Expected == engine.Safe && !in.Hard
 		})
-		harness.Table3(w, harness.RunAblation(safe, *budget))
+		harness.Table3(w, harness.RunAblationWorkers(safe, *budget, *workers))
 	case *table == 4:
 		harness.Table4(w, harness.RunCircuits(benchmarks.Circuits(), 128))
 	case *fig == 1:
-		harness.Fig1(w, harness.RunSuite(suite, engines, names, *budget), names)
+		harness.Fig1(w, harness.RunSuiteWorkers(suite, engines, names, *budget, *workers), names)
 	case *fig == 2:
-		records := harness.RunSuite(suite, engines, names, *budget)
+		records := harness.RunSuiteWorkers(suite, engines, names, *budget, *workers)
 		if *csvOut {
 			if err := harness.WriteScatterCSV(w, records, "ic3-icp", "bmc-icp", budget.Seconds()); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -82,7 +117,7 @@ func main() {
 		small := filter(suite, func(in benchmarks.Instance) bool {
 			return in.Family == "poly" || in.Family == "logistic"
 		})
-		points := harness.EpsSweep(small, []float64{1e-2, 1e-3, 1e-4, 1e-5, 1e-6}, *budget)
+		points := harness.EpsSweepWorkers(small, []float64{1e-2, 1e-3, 1e-4, 1e-5, 1e-6}, *budget, *workers)
 		if *csvOut {
 			if err := harness.WriteEpsCSV(w, points); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -93,7 +128,7 @@ func main() {
 		harness.Fig3(w, points)
 	case *fig == 4:
 		vehicles := filter(suite, func(in benchmarks.Instance) bool { return in.Family == "vehicle" })
-		harness.Fig4(w, harness.FrameGrowth(vehicles, *budget))
+		harness.Fig4(w, harness.FrameGrowthWorkers(vehicles, *budget, *workers))
 	default:
 		fmt.Fprintln(os.Stderr, "benchtab: pass -all, -table N or -fig N")
 		flag.PrintDefaults()

@@ -12,6 +12,12 @@
 //	  "wait_ms": 30000
 //	}'
 //
+// The optional per-job "workers" field sets the goroutine count for
+// IC3's parallel clause pushing inside that job (0 = sequential); it
+// changes wall-clock only, never the verdict, so cached answers are
+// shared across worker counts.  Distinct from -workers, which sizes the
+// service's job pool.
+//
 // Poll, cancel, observe:
 //
 //	curl -s localhost:8080/v1/jobs/j000001

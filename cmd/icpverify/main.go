@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -52,6 +53,7 @@ func main() {
 		depth      = flag.Int("depth", 128, "maximum BMC unrolling depth")
 		maxK       = flag.Int("k", 24, "maximum k-induction depth")
 		gen        = flag.String("gen", "core+widen", "IC3 generalization: none | core | core+widen")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for IC3's parallel clause pushing (1 = sequential)")
 		showTrace  = flag.Bool("trace", true, "print counterexample traces")
 		showInv    = flag.Bool("invariant", false, "print the inductive invariant (ic3, safe)")
 		witnessOut = flag.String("witness", "", "write a JSON witness to this file")
@@ -92,7 +94,8 @@ func main() {
 			res, info := ic3icp.CheckFull(sys, ic3icp.Options{
 				Solver:     icp.Options{Eps: *eps},
 				Generalize: genMode, GeneralizeSet: true,
-				Budget: engine.Budget{Timeout: *timeout},
+				Workers: *workers,
+				Budget:  engine.Budget{Timeout: *timeout},
 			})
 			lastInvariant = nil
 			for _, c := range info.Invariant {
@@ -122,7 +125,7 @@ func main() {
 		},
 		"portfolio": func() engine.Result {
 			return portfolio.Check(sys, portfolio.Options{
-				IC3:        ic3icp.Options{Solver: icp.Options{Eps: *eps}, Generalize: genMode, GeneralizeSet: true},
+				IC3:        ic3icp.Options{Solver: icp.Options{Eps: *eps}, Generalize: genMode, GeneralizeSet: true, Workers: *workers},
 				BMC:        bmc.Options{MaxDepth: *depth, Solver: icp.Options{Eps: *eps}},
 				KInduction: kind.Options{MaxK: *maxK, Solver: icp.Options{Eps: *eps}},
 				Budget:     engine.Budget{Timeout: *timeout},

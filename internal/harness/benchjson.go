@@ -1,0 +1,101 @@
+// Machine-readable performance snapshots: BenchJSON runs the engine
+// suite twice — sequentially and with the parallel grid runner — and
+// packages wall-clock, solved counts, and per-engine domain metrics as
+// JSON (cmd/benchtab -json writes it to BENCH_<date>.json), so the
+// repo's perf trajectory is diffable across PRs.
+package harness
+
+import (
+	"runtime"
+	"time"
+
+	"icpic3/internal/benchmarks"
+)
+
+// BenchEngine is the per-engine slice of one suite run.
+type BenchEngine struct {
+	Engine       string  `json:"engine"`
+	SolvedSafe   int     `json:"solved_safe"`
+	SolvedUnsaf  int     `json:"solved_unsafe"`
+	Unknown      int     `json:"unknown"`
+	Wrong        int     `json:"wrong"`
+	EngineSec    float64 `json:"engine_sec"`     // summed per-run engine time
+	SolvedPerSec float64 `json:"solved_per_sec"` // solved / engine_sec
+}
+
+// BenchRun is one full-suite execution at a fixed worker count.
+type BenchRun struct {
+	Workers int           `json:"workers"`
+	WallSec float64       `json:"wall_sec"`
+	Solved  int           `json:"solved"`
+	Unknown int           `json:"unknown"`
+	Wrong   int           `json:"wrong"`
+	Engines []BenchEngine `json:"engines"`
+}
+
+// BenchReport is the BENCH_<date>.json document.
+type BenchReport struct {
+	Date       string   `json:"date"`
+	SuiteSize  int      `json:"suite_size"`
+	Instances  int      `json:"instances"`
+	PerRunSec  float64  `json:"per_run_sec"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Baseline   BenchRun `json:"baseline"` // workers = 1
+	Parallel   BenchRun `json:"parallel"`
+	SpeedupX   float64  `json:"speedup_x"` // baseline wall / parallel wall
+}
+
+// benchRun executes the suite once and aggregates.
+func benchRun(suite []benchmarks.Instance, perRun time.Duration, workers int) BenchRun {
+	engines, names := Engines(), EngineNames()
+	t0 := time.Now()
+	records := RunSuiteWorkers(suite, engines, names, perRun, workers)
+	wall := time.Since(t0)
+
+	run := BenchRun{Workers: workers, WallSec: wall.Seconds()}
+	for _, s := range Summarize(records, names) {
+		solved := s.SolvedSafe + s.SolvedUnsaf
+		be := BenchEngine{
+			Engine:      s.Engine,
+			SolvedSafe:  s.SolvedSafe,
+			SolvedUnsaf: s.SolvedUnsaf,
+			Unknown:     s.Unknown,
+			Wrong:       s.Wrong,
+			EngineSec:   s.TotalTime.Seconds(),
+		}
+		if be.EngineSec > 0 {
+			be.SolvedPerSec = float64(solved) / be.EngineSec
+		}
+		run.Solved += solved
+		run.Unknown += s.Unknown
+		run.Wrong += s.Wrong
+		run.Engines = append(run.Engines, be)
+	}
+	return run
+}
+
+// BenchJSON builds the baseline-vs-parallel comparison over the suite.
+// workers <= 0 selects GOMAXPROCS for the parallel leg; date is stamped
+// by the caller (e.g. time.Now().Format("2006-01-02")).
+func BenchJSON(suiteSize int, perRun time.Duration, workers int, date string) (*BenchReport, error) {
+	suite, err := benchmarks.Suite(suiteSize)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep := &BenchReport{
+		Date:       date,
+		SuiteSize:  suiteSize,
+		Instances:  len(suite),
+		PerRunSec:  perRun.Seconds(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Baseline:   benchRun(suite, perRun, 1),
+		Parallel:   benchRun(suite, perRun, workers),
+	}
+	if rep.Parallel.WallSec > 0 {
+		rep.SpeedupX = rep.Baseline.WallSec / rep.Parallel.WallSec
+	}
+	return rep, nil
+}

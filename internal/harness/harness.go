@@ -16,7 +16,6 @@ import (
 	"icpic3/internal/expr"
 	"icpic3/internal/ic3bool"
 	"icpic3/internal/ic3icp"
-	"icpic3/internal/icp"
 	"icpic3/internal/kind"
 	"icpic3/internal/tnf"
 	"icpic3/internal/ts"
@@ -63,21 +62,14 @@ func (r RunRecord) Wrong() bool {
 	return r.Result.Verdict != engine.Unknown && r.Result.Verdict != r.Expected
 }
 
-// RunSuite executes every engine on every instance with a per-run budget.
+// RunSuite executes every engine on every instance with a per-run
+// budget, fanning the grid across GOMAXPROCS workers (see
+// RunSuiteWorkers for an explicit count).  Record order is always the
+// sequential instance-major order.
 func RunSuite(instances []benchmarks.Instance, engines map[string]EngineFunc,
 	names []string, perRun time.Duration) []RunRecord {
 
-	var out []RunRecord
-	for _, in := range instances {
-		for _, en := range names {
-			res := engines[en](in.Sys, engine.Budget{Timeout: perRun})
-			out = append(out, RunRecord{
-				Instance: in.Name, Family: in.Family, Engine: en,
-				Expected: in.Expected, Result: res,
-			})
-		}
-	}
-	return out
+	return RunSuiteWorkers(instances, engines, names, perRun, 0)
 }
 
 // --- Table I: suite statistics ------------------------------------------
@@ -199,25 +191,11 @@ func GenModes() []ic3icp.GenMode {
 	return []ic3icp.GenMode{ic3icp.GenNone, ic3icp.GenCore, ic3icp.GenCoreWiden}
 }
 
-// RunAblation runs IC3-ICP in each generalization mode over the instances.
+// RunAblation runs IC3-ICP in each generalization mode over the
+// instances, fanning the grid across GOMAXPROCS workers (see
+// RunAblationWorkers).
 func RunAblation(instances []benchmarks.Instance, perRun time.Duration) map[string][]RunRecord {
-	out := map[string][]RunRecord{}
-	for _, mode := range GenModes() {
-		mode := mode
-		var recs []RunRecord
-		for _, in := range instances {
-			res := ic3icp.Check(in.Sys, ic3icp.Options{
-				Generalize: mode, GeneralizeSet: true,
-				Budget: engine.Budget{Timeout: perRun},
-			})
-			recs = append(recs, RunRecord{
-				Instance: in.Name, Family: in.Family, Engine: mode.String(),
-				Expected: in.Expected, Result: res,
-			})
-		}
-		out[mode.String()] = recs
-	}
-	return out
+	return RunAblationWorkers(instances, perRun, 0)
 }
 
 // Table3 renders the generalization ablation.
@@ -391,26 +369,10 @@ type EpsPoint struct {
 	Time    time.Duration
 }
 
-// EpsSweep runs IC3-ICP at each precision over the instances.
+// EpsSweep runs IC3-ICP at each precision over the instances, fanning
+// the grid across GOMAXPROCS workers (see EpsSweepWorkers).
 func EpsSweep(instances []benchmarks.Instance, epss []float64, perRun time.Duration) []EpsPoint {
-	var out []EpsPoint
-	for _, eps := range epss {
-		pt := EpsPoint{Eps: eps}
-		for _, in := range instances {
-			res := ic3icp.Check(in.Sys, ic3icp.Options{
-				Solver: icp.Options{Eps: eps},
-				Budget: engine.Budget{Timeout: perRun},
-			})
-			pt.Time += res.Runtime
-			if res.Verdict == in.Expected {
-				pt.Solved++
-			} else {
-				pt.Unknown++
-			}
-		}
-		out = append(out, pt)
-	}
-	return out
+	return EpsSweepWorkers(instances, epss, perRun, 0)
 }
 
 // Fig3 renders the ε sweep.
@@ -432,19 +394,11 @@ type FramePoint struct {
 	Time     time.Duration
 }
 
-// FrameGrowth runs IC3-ICP over a scaling family and records frame counts.
+// FrameGrowth runs IC3-ICP over a scaling family and records frame
+// counts, fanning the instances across GOMAXPROCS workers (see
+// FrameGrowthWorkers).
 func FrameGrowth(instances []benchmarks.Instance, perRun time.Duration) []FramePoint {
-	var out []FramePoint
-	for _, in := range instances {
-		res := ic3icp.Check(in.Sys, ic3icp.Options{Budget: engine.Budget{Timeout: perRun}})
-		out = append(out, FramePoint{
-			Instance: in.Name,
-			Frames:   res.Depth,
-			Cubes:    res.Stats["blockedCubes"],
-			Time:     res.Runtime,
-		})
-	}
-	return out
+	return FrameGrowthWorkers(instances, perRun, 0)
 }
 
 // Fig4 renders frame growth.
@@ -456,8 +410,14 @@ func Fig4(w io.Writer, points []FramePoint) {
 	}
 }
 
-// Report renders everything into one text document.
+// Report renders everything into one text document with the default
+// (GOMAXPROCS) worker pool.
 func Report(w io.Writer, suiteSize int, perRun time.Duration) error {
+	return ReportWorkers(w, suiteSize, perRun, 0)
+}
+
+// ReportWorkers is Report with an explicit worker count for every grid.
+func ReportWorkers(w io.Writer, suiteSize int, perRun time.Duration, workers int) error {
 	suite, err := benchmarks.Suite(suiteSize)
 	if err != nil {
 		return err
@@ -468,14 +428,14 @@ func Report(w io.Writer, suiteSize int, perRun time.Duration) error {
 	Table1(w, suite)
 	fmt.Fprintln(w)
 
-	records := RunSuite(suite, engines, names, perRun)
+	records := RunSuiteWorkers(suite, engines, names, perRun, workers)
 	Table2(w, records, names)
 	fmt.Fprintln(w)
 
 	safeOnly := filterInstances(suite, func(in benchmarks.Instance) bool {
 		return in.Expected == engine.Safe && !in.Hard
 	})
-	Table3(w, RunAblation(safeOnly, perRun))
+	Table3(w, RunAblationWorkers(safeOnly, perRun, workers))
 	fmt.Fprintln(w)
 
 	Table4(w, RunCircuits(benchmarks.Circuits(), 128))
@@ -489,13 +449,13 @@ func Report(w io.Writer, suiteSize int, perRun time.Duration) error {
 	small := filterInstances(suite, func(in benchmarks.Instance) bool {
 		return in.Family == "poly" || in.Family == "logistic"
 	})
-	Fig3(w, EpsSweep(small, []float64{1e-2, 1e-3, 1e-4, 1e-5, 1e-6}, perRun))
+	Fig3(w, EpsSweepWorkers(small, []float64{1e-2, 1e-3, 1e-4, 1e-5, 1e-6}, perRun, workers))
 	fmt.Fprintln(w)
 
 	vehicles := filterInstances(suite, func(in benchmarks.Instance) bool {
 		return in.Family == "vehicle"
 	})
-	Fig4(w, FrameGrowth(vehicles, perRun))
+	Fig4(w, FrameGrowthWorkers(vehicles, perRun, workers))
 	return nil
 }
 

@@ -81,6 +81,12 @@ type Options struct {
 	WidenRounds int
 	// MaxObligations bounds the total proof obligations (0 = 200_000).
 	MaxObligations int64
+	// Workers is the number of goroutines the forward clause-pushing
+	// phase fans its per-clause consecution queries across (<= 1 =
+	// sequential).  Every worker runs on its own solver snapshot (see
+	// icp.Pool), so verdicts and certificates do not depend on the
+	// worker count.
+	Workers int
 	// DebugTrace prints blocking activity to stdout (development aid).
 	DebugTrace bool
 	// Budget bounds the run.
@@ -109,6 +115,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxObligations <= 0 {
 		o.MaxObligations = 200_000
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
 	}
 	return o
 }
@@ -193,6 +202,29 @@ type checker struct {
 	frames   [][]icpCube // per-level blocked cubes
 	budget   engine.Budget
 	stats    map[string]int64
+
+	// hot-path tables, built once in build(): position and declared
+	// domain of each step-0 state variable, so per-query literal mapping
+	// never rebuilds a map or linearly scans curIDs.
+	curIdx   map[tnf.VarID]int
+	domByVar map[tnf.VarID]interval.Interval
+
+	// single-goroutine scratch buffers for the property/init/primed
+	// literal mappings and the widening candidate cube.  Only the main
+	// IC3 loop uses them; the parallel pushing workers allocate their
+	// own (see parallel.go).
+	propScratch   []tnf.Lit
+	initScratch   []tnf.Lit
+	primedScratch []tnf.Lit
+	widenScratch  icpCube
+
+	// F_∞ probe solvers: selfInductive runs on infSolver — a clone of
+	// infProto (compiled from tnfMain, no frame clauses) plus the F_∞
+	// clauses — so probes stop growing the main solver.  infSolver is
+	// re-cloned from the pristine prototype when its per-query
+	// activation variables accumulate, keeping it bounded too.
+	infProto  *icp.Solver
+	infSolver *icp.Solver
 
 	// counterexample-to-generalization machinery
 	ctgBudget   int     // remaining recursive CTG blocks for this obligation
@@ -381,20 +413,33 @@ func (ch *checker) build() error {
 		return err
 	}
 	ch.propPlain = icp.New(ch.tnfPropPlain, ch.opts.Solver)
+
+	// hot-path tables: step-0 id -> position / declared domain
+	ch.curIdx = make(map[tnf.VarID]int, len(ch.curIDs))
+	ch.domByVar = make(map[tnf.VarID]interval.Interval, len(ch.curIDs))
+	for i, id := range ch.curIDs {
+		ch.curIdx[id] = i
+		ch.domByVar[id] = sys.Vars[i].Dom
+	}
 	return nil
 }
 
-// onProp maps cube literals onto the prop solver's variables.
+// mapLits rewrites cube literals onto another solver's variables using
+// the precomputed position index, appending to dst (pass a scratch
+// buffer truncated to zero to avoid per-query allocation).
+func mapLits(dst []tnf.Lit, c icpCube, ids []tnf.VarID, idx map[tnf.VarID]int) []tnf.Lit {
+	for _, l := range c {
+		dst = append(dst, tnf.Lit{Var: ids[idx[l.Var]], Dir: l.Dir, B: l.B, Strict: l.Strict})
+	}
+	return dst
+}
+
+// onProp maps cube literals onto the prop solver's variables.  The
+// returned slice is a scratch buffer valid until the next onProp /
+// entirelyBadPlain call.
 func (ch *checker) onProp(c icpCube) []tnf.Lit {
-	idx := make(map[tnf.VarID]int, len(ch.curIDs))
-	for i, id := range ch.curIDs {
-		idx[id] = i
-	}
-	out := make([]tnf.Lit, len(c))
-	for i, l := range c {
-		out[i] = tnf.Lit{Var: ch.propIDs[idx[l.Var]], Dir: l.Dir, B: l.B, Strict: l.Strict}
-	}
-	return out
+	ch.propScratch = mapLits(ch.propScratch[:0], c, ch.propIDs, ch.curIdx)
+	return ch.propScratch
 }
 
 // entirelyBad reports whether the box is provably contained in the
@@ -416,15 +461,8 @@ func (ch *checker) entirelyBadPlain(c icpCube) bool {
 	}
 	ch.stats["propQueries"]++
 	ch.tick()
-	idx := make(map[tnf.VarID]int, len(ch.curIDs))
-	for i, id := range ch.curIDs {
-		idx[id] = i
-	}
-	lits := make([]tnf.Lit, len(c))
-	for i, l := range c {
-		lits[i] = tnf.Lit{Var: ch.propPlainIDs[idx[l.Var]], Dir: l.Dir, B: l.B, Strict: l.Strict}
-	}
-	r := ch.propPlain.Solve(lits)
+	ch.propScratch = mapLits(ch.propScratch[:0], c, ch.propPlainIDs, ch.curIdx)
+	r := ch.propPlain.Solve(ch.propScratch)
 	return r.Status == icp.StatusUnsat
 }
 
@@ -447,30 +485,27 @@ func (ch *checker) widenBadCube(c icpCube) icpCube {
 // widenCubeWith expands a cube to a (locally) maximal cube still
 // satisfying the given monotone predicate: per literal it tries dropping,
 // then a doubling advance, then bisection with a final strict-bound snap.
+// Candidate cubes are built in a pooled scratch buffer; a fresh cube is
+// materialized only when a widening step actually succeeds.
 func (ch *checker) widenCubeWith(c icpCube, test func(icpCube) bool) icpCube {
-	domOf := func(v tnf.VarID) interval.Interval {
-		for i, id := range ch.curIDs {
-			if id == v {
-				return ch.sys.Vars[i].Dom
-			}
-		}
-		return interval.Entire()
-	}
 	rounds := ch.opts.WidenRounds
 	for i := 0; i < len(c); i++ {
 		// try dropping the literal
 		if len(c) > 1 {
-			cand := make(icpCube, 0, len(c)-1)
-			cand = append(cand, c[:i]...)
+			cand := append(ch.widenScratch[:0], c[:i]...)
 			cand = append(cand, c[i+1:]...)
+			ch.widenScratch = cand
 			if test(cand) {
-				c = cand
+				c = append(icpCube(nil), cand...)
 				i--
 				continue
 			}
 		}
 		l := c[i]
-		dom := domOf(l.Var)
+		dom, ok := ch.domByVar[l.Var]
+		if !ok {
+			dom = interval.Entire()
+		}
 		limit := dom.Hi
 		if l.Dir == tnf.DirGe {
 			limit = dom.Lo
@@ -478,8 +513,9 @@ func (ch *checker) widenCubeWith(c icpCube, test func(icpCube) bool) icpCube {
 		if l.B == limit || math.IsInf(limit, 0) {
 			continue
 		}
+		cand := append(ch.widenScratch[:0], c...)
+		ch.widenScratch = cand
 		try := func(b float64, strict bool) bool {
-			cand := append(icpCube{}, c...)
 			cand[i] = tnf.Lit{Var: l.Var, Dir: l.Dir, B: b, Strict: strict}
 			return test(cand)
 		}
@@ -535,6 +571,32 @@ func (ch *checker) widenCubeWith(c icpCube, test func(icpCube) bool) icpCube {
 	return c
 }
 
+// infRebuildSlack bounds how many retired per-query activation
+// variables the F_∞ probe solver may accumulate before it is re-cloned
+// from the pristine prototype.
+const infRebuildSlack = 256
+
+// infQuerySolver returns the dedicated F_∞ probe solver, building it on
+// first use and re-cloning it from the prototype once retired per-query
+// activation variables accumulate.  The prototype is compiled from
+// tnfMain, so it sees the transition relation and the run literal but no
+// frame clauses — which are guarded and therefore inactive in F_∞
+// queries anyway — making the probe solver semantically equivalent to
+// querying main while keeping main's variable count constant across
+// probes.
+func (ch *checker) infQuerySolver() *icp.Solver {
+	if ch.infProto == nil {
+		ch.infProto = icp.New(ch.tnfMain, ch.opts.Solver)
+	}
+	if ch.infSolver == nil || ch.infSolver.NumVars() > ch.infProto.NumVars()+infRebuildSlack {
+		ch.infSolver = ch.infProto.Clone()
+		for _, g := range ch.infCubes {
+			ch.infSolver.AddClause(ch.negCube(g))
+		}
+	}
+	return ch.infSolver
+}
+
 // selfInductive reports whether the cube's complement is closed under the
 // transition relation on its own: ¬c ∧ T ∧ c' is UNSAT without any frame
 // clauses.  Such a cube can be excluded permanently (the F_∞ frame of
@@ -544,13 +606,14 @@ func (ch *checker) selfInductive(c icpCube) bool {
 		return false
 	}
 	ch.stats["infQueries"]++
-	tmp := ch.main.AddBoolVar(fmt.Sprintf(".inf%d", ch.stats["infQueries"]))
+	s := ch.infQuerySolver()
+	tmp := s.AddBoolVar(fmt.Sprintf(".inf%d", ch.stats["infQueries"]))
 	cl := append(tnf.Clause{tnf.MkLe(tmp, 0)}, ch.negCube(c)...)
-	ch.main.AddClause(cl)
+	s.AddClause(cl)
 	assumps := []tnf.Lit{ch.runLit, tnf.MkGe(tmp, 1)}
 	assumps = append(assumps, ch.primed(c)...)
-	r := ch.main.Solve(assumps)
-	ch.main.AddClause(tnf.Clause{tnf.MkLe(tmp, 0)}) // retire
+	r := s.Solve(assumps)
+	s.AddClause(tnf.Clause{tnf.MkLe(tmp, 0)}) // retire
 	return r.Status == icp.StatusUnsat
 }
 
@@ -577,6 +640,9 @@ func (ch *checker) promoteInductive(c icpCube) bool {
 	}
 	ch.infCubes = append(ch.infCubes, g)
 	ch.main.AddClause(ch.negCube(g))
+	if ch.infSolver != nil {
+		ch.infSolver.AddClause(ch.negCube(g)) // keep the probe solver in step
+	}
 	ch.stats["infCubes"]++
 	if ch.opts.DebugTrace {
 		fmt.Printf("promote F_inf: %s\n", ch.exportCube(g))
@@ -661,30 +727,19 @@ func (ch *checker) boxPoint(box []interval.Interval, ids []tnf.VarID) ts.State {
 	return st
 }
 
-// primed maps cube literals onto the next-state variables.
+// primed maps cube literals onto the next-state variables.  The returned
+// slice is a scratch buffer valid until the next primed call; the
+// parallel pushing workers map into their own buffers instead.
 func (ch *checker) primed(c icpCube) []tnf.Lit {
-	idx := make(map[tnf.VarID]int, len(ch.curIDs))
-	for i, id := range ch.curIDs {
-		idx[id] = i
-	}
-	out := make([]tnf.Lit, len(c))
-	for i, l := range c {
-		out[i] = tnf.Lit{Var: ch.nextIDs[idx[l.Var]], Dir: l.Dir, B: l.B, Strict: l.Strict}
-	}
-	return out
+	ch.primedScratch = mapLits(ch.primedScratch[:0], c, ch.nextIDs, ch.curIdx)
+	return ch.primedScratch
 }
 
-// onInit maps cube literals onto the init solver's variables.
+// onInit maps cube literals onto the init solver's variables (scratch,
+// valid until the next onInit call).
 func (ch *checker) onInit(c icpCube) []tnf.Lit {
-	idx := make(map[tnf.VarID]int, len(ch.curIDs))
-	for i, id := range ch.curIDs {
-		idx[id] = i
-	}
-	out := make([]tnf.Lit, len(c))
-	for i, l := range c {
-		out[i] = tnf.Lit{Var: ch.initIDs[idx[l.Var]], Dir: l.Dir, B: l.B, Strict: l.Strict}
-	}
-	return out
+	ch.initScratch = mapLits(ch.initScratch[:0], c, ch.initIDs, ch.curIdx)
+	return ch.initScratch
 }
 
 // negCube returns the clause ¬cube over the main solver's current vars
@@ -742,8 +797,10 @@ func (ch *checker) blockQuery(c icpCube, frame int) (icp.Result, icpCube) {
 	return r, coreCube
 }
 
-// addBlockedCube installs ¬cube at the given frame level.
-func (ch *checker) addBlockedCube(c icpCube, level int) {
+// addBlockedCube installs ¬cube at the given frame level and returns the
+// guarded clause so that callers holding solver snapshots can mirror it
+// (AddClause copies literals, so the returned slice may be reused).
+func (ch *checker) addBlockedCube(c icpCube, level int) tnf.Clause {
 	ch.stats["blockedCubes"]++
 	if ch.opts.DebugTrace {
 		fmt.Printf("block@%d: %s\n", level, ch.exportCube(c))
@@ -751,6 +808,7 @@ func (ch *checker) addBlockedCube(c icpCube, level int) {
 	ch.frames[level] = append(ch.frames[level], c)
 	cl := append(tnf.Clause{tnf.MkLe(ch.frameAct[level], 0)}, ch.negCube(c)...)
 	ch.main.AddClause(cl)
+	return cl
 }
 
 // exportCube renders an icpCube with variable names.
@@ -856,37 +914,27 @@ func (ch *checker) run(info *Info) engine.Result {
 			}
 		}
 
-		// propagate clauses forward
+		// propagate clauses forward: per-clause consecution queries fan
+		// out over solver snapshots (see parallel.go) with a per-frame
+		// barrier merge in clause order, so the result is identical for
+		// every worker count.
 		ch.newFrame()
-		for i := 1; i <= k; i++ {
-			var kept []icpCube
-			for _, c := range ch.frames[i] {
-				r, _ := ch.blockQuery(c, i+1)
-				if r.Status == icp.StatusUnsat {
-					ch.addBlockedCube(c, i+1)
-					ch.stats["propagated"]++
-				} else {
-					kept = append(kept, c)
-				}
-			}
-			ch.frames[i] = kept
-			if len(kept) == 0 {
-				// F_i == F_{i+1}: inductive invariant.  The unguarded F_∞
-				// clauses take part in every query, so they are conjuncts of
-				// the invariant too — without them the exported clause set
-				// need not be inductive on its own.
-				for j := i + 1; j < len(ch.frames); j++ {
-					for _, c := range ch.frames[j] {
-						info.Invariant = append(info.Invariant, ch.exportCube(c))
-					}
-				}
-				for _, c := range ch.infCubes {
+		if i, fixed := ch.pushFrames(k); fixed {
+			// F_i == F_{i+1}: inductive invariant.  The unguarded F_∞
+			// clauses take part in every query, so they are conjuncts of
+			// the invariant too — without them the exported clause set
+			// need not be inductive on its own.
+			for j := i + 1; j < len(ch.frames); j++ {
+				for _, c := range ch.frames[j] {
 					info.Invariant = append(info.Invariant, ch.exportCube(c))
 				}
-				info.Frames = k
-				ch.stats["frames"] = int64(k)
-				return engine.Result{Verdict: engine.Safe, Depth: k}
 			}
+			for _, c := range ch.infCubes {
+				info.Invariant = append(info.Invariant, ch.exportCube(c))
+			}
+			info.Frames = k
+			ch.stats["frames"] = int64(k)
+			return engine.Result{Verdict: engine.Safe, Depth: k}
 		}
 		k++
 		ch.stats["frames"] = int64(k)

@@ -1,0 +1,158 @@
+package ic3icp
+
+import (
+	"sync"
+
+	"icpic3/internal/icp"
+	"icpic3/internal/tnf"
+)
+
+// Parallel clause pushing.
+//
+// The forward-propagation phase of IC3 asks, for every clause ¬c in
+// every frame F_i, one independent consecution query
+// SAT?(F_i ∧ ¬c ∧ T ∧ c') — exactly the shape that fans out over solver
+// snapshots (icp.Solver.Clone / icp.Pool).  Determinism across worker
+// counts is by construction, in two steps:
+//
+//  1. Within a frame the query results are order-independent: a clause
+//     pushed to F_{i+1} is guarded by act_{i+1}, which every F_i query
+//     already assumes, so installing it mid-frame (as the old
+//     sequential loop did) never changes a later answer in that frame.
+//     Results are merged at a per-frame barrier in clause order.
+//  2. Across queries, solver state could still matter (learned clauses
+//     may upgrade a candidate-SAT answer to UNSAT), so queries are
+//     statically sharded: query j always runs on shard j mod pushShards,
+//     and each shard's queries run in submission order on that shard's
+//     dedicated snapshot.  The per-query solver lineage is therefore a
+//     function of the frame contents alone — not of how many workers
+//     happen to drive the shards — and Workers=1 and Workers=8 produce
+//     bit-identical frames, verdicts, and certificates.
+//
+// Pushed clauses are mirrored onto every shard at the frame barrier so
+// later frames see exactly what the sequential loop would have seen.
+
+// pushShards is the fixed number of static query shards (and hence the
+// maximum useful Workers value for the pushing phase).  It must stay
+// constant: changing it changes per-shard solver lineages and therefore
+// which learned clauses each query sees.
+const pushShards = 8
+
+// pushFrames propagates blocked cubes forward through frames 1..k.
+// It returns (i, true) when F_i became equal to F_{i+1} — the inductive
+// invariant case — and (0, false) otherwise.
+func (ch *checker) pushFrames(k int) (int, bool) {
+	total := 0
+	for i := 1; i <= k; i++ {
+		total += len(ch.frames[i])
+	}
+	if total == 0 {
+		return 1, true // F_1 is already empty: trivially F_1 == F_2
+	}
+
+	nShards := pushShards
+	if total < nShards {
+		nShards = total
+	}
+	workers := ch.opts.Workers
+	if workers > nShards {
+		workers = nShards
+	}
+
+	// One snapshot per shard, taken after newFrame() so every clone
+	// already has the act variable of the frame being opened.
+	pool := icp.PoolOf(ch.main, ch.tnfMain)
+	shards := make([]*icp.Solver, nShards)
+	for s := range shards {
+		shards[s] = pool.Get()
+	}
+	defer func() {
+		for _, s := range shards {
+			pool.Put(s)
+		}
+	}()
+
+	for i := 1; i <= k; i++ {
+		cubes := ch.frames[i]
+		pushed := make([]bool, len(cubes))
+		ch.runPushQueries(shards, cubes, i+1, workers, pushed)
+		ch.stats["queries"] += int64(len(cubes))
+
+		// barrier merge in clause order
+		var kept []icpCube
+		for j, c := range cubes {
+			if pushed[j] {
+				cl := ch.addBlockedCube(c, i+1)
+				for _, s := range shards {
+					s.AddClause(cl)
+				}
+				ch.stats["propagated"]++
+			} else {
+				kept = append(kept, c)
+			}
+		}
+		ch.frames[i] = kept
+		if len(kept) == 0 {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// runPushQueries decides, for each cube of frame `frame-1`, whether its
+// negation holds at `frame` (consecution), writing results into pushed.
+// Cube j runs on shard j mod len(shards); shard s is driven by worker
+// s mod workers, and its queries run in increasing j order, so the
+// per-query solver state is independent of the worker count.
+func (ch *checker) runPushQueries(shards []*icp.Solver, cubes []icpCube, frame, workers int, pushed []bool) {
+	if len(cubes) == 0 {
+		return
+	}
+	if workers <= 1 {
+		var buf []tnf.Lit
+		for j, c := range cubes {
+			pushed[j] = ch.consecutionOn(shards[j%len(shards)], c, frame, &buf)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var buf []tnf.Lit
+			for s := w; s < len(shards); s += workers {
+				for j := s; j < len(cubes); j += len(shards) {
+					pushed[j] = ch.consecutionOn(shards[s], cubes[j], frame, &buf)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// consecutionOn runs one clause-pushing query on a snapshot solver:
+// SAT?(F_{frame-1} ∧ ¬c ∧ T ∧ c').  UNSAT means ¬c also holds at the
+// target frame.  It mutates only the given solver and the caller's
+// scratch buffer, so calls on distinct solvers may run concurrently;
+// the shared checker state it reads (frameAct, curIdx, nextIDs,
+// tnfMain's variable table) is frozen for the duration of the phase.
+func (ch *checker) consecutionOn(s *icp.Solver, c icpCube, frame int, buf *[]tnf.Lit) bool {
+	ch.tick()
+	// one-shot activation variable for the ¬cube clause, local to the shard
+	tmp := s.AddBoolVar(".push")
+	cl := append(tnf.Clause{tnf.MkLe(tmp, 0)}, ch.negCube(c)...)
+	s.AddClause(cl)
+
+	assumps := (*buf)[:0]
+	for j := frame - 1; j < len(ch.frameAct); j++ {
+		assumps = append(assumps, tnf.MkGe(ch.frameAct[j], 1))
+	}
+	assumps = append(assumps, ch.runLit, tnf.MkGe(tmp, 1))
+	assumps = mapLits(assumps, c, ch.nextIDs, ch.curIdx)
+	r := s.Solve(assumps)
+	*buf = assumps
+
+	s.AddClause(tnf.Clause{tnf.MkLe(tmp, 0)}) // retire
+	return r.Status == icp.StatusUnsat
+}

@@ -1,0 +1,181 @@
+package ic3icp
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"icpic3/internal/engine"
+	"icpic3/internal/tnf"
+	"icpic3/internal/ts"
+)
+
+// newTestChecker builds a checker the same way CheckFull does, stopping
+// before the main loop so tests can poke individual queries.
+func newTestChecker(t *testing.T, src string) *checker {
+	t.Helper()
+	sys := mustParse(t, src)
+	opts := Options{}.withDefaults()
+	ch := &checker{sys: sys, opts: opts, budget: opts.Budget.Start(), stats: map[string]int64{}}
+	if err := ch.build(); err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+const logisticSrc = `
+system logistic
+var x : real [0, 1]
+init x >= 0.1 and x <= 0.4
+trans x' = 2.5 * x * (1 - x)
+prop x <= 0.9
+`
+
+// TestSelfInductiveBoundedGrowth asserts that repeated F_∞ probes no
+// longer grow the main solver (each used to leak one .infN variable and
+// two clauses into it) and that the dedicated probe solver is itself
+// bounded by the periodic re-clone from its prototype.
+func TestSelfInductiveBoundedGrowth(t *testing.T) {
+	ch := newTestChecker(t, logisticSrc)
+	cube := icpCube{tnf.MkGe(ch.curIDs[0], 0.95)}
+
+	first := ch.selfInductive(cube)
+	mainVars := ch.main.NumVars()
+
+	// enough probes to trip the infRebuildSlack re-clone several times
+	for i := 0; i < 3*infRebuildSlack; i++ {
+		if got := ch.selfInductive(cube); got != first {
+			t.Fatalf("probe %d flipped from %v to %v", i, first, got)
+		}
+	}
+	if ch.main.NumVars() != mainVars {
+		t.Errorf("main solver grew from %d to %d vars across F_∞ probes", mainVars, ch.main.NumVars())
+	}
+	if cap := ch.infProto.NumVars() + infRebuildSlack + 1; ch.infSolver.NumVars() > cap {
+		t.Errorf("probe solver has %d vars, want <= %d", ch.infSolver.NumVars(), cap)
+	}
+}
+
+// parallelInstances are safe systems whose proofs require several
+// pushing phases, plus unsafe ones to pin verdict equality.
+var parallelInstances = []struct {
+	name string
+	src  string
+}{
+	{"decay", `
+system decay
+var x : real [0, 10]
+init x >= 0 and x <= 6
+trans x' = x / 2
+prop x <= 8
+`},
+	{"logistic", logisticSrc},
+	{"coupled", `
+system decay2
+var x : real [0, 16]
+var y : real [0, 16]
+init x >= 0 and x <= 2 and y >= 0 and y <= 2
+trans x' = x / 2 + 1 and y' = y / 4 + 0.5
+prop x <= 9 or y <= 9
+`},
+	{"counter", `
+system counter
+var x : real [0, 100]
+init x >= 0 and x <= 0
+trans x' = x + 1
+prop x <= 5
+`},
+}
+
+// TestPushDeterminismAcrossWorkers asserts that Workers=1 and Workers=8
+// produce identical verdicts, depths, and certificates: the pushing
+// phase shards queries statically, so the worker count must not leak
+// into any result.
+func TestPushDeterminismAcrossWorkers(t *testing.T) {
+	for _, inst := range parallelInstances {
+		t.Run(inst.name, func(t *testing.T) {
+			type outcome struct {
+				verdict engine.Verdict
+				depth   int
+				inv     []Cube
+				trace   []ts.State
+			}
+			runWith := func(workers int) outcome {
+				sys := mustParse(t, inst.src)
+				res, info := CheckFull(sys, Options{
+					Workers: workers,
+					Budget:  engine.Budget{Timeout: 30 * time.Second},
+				})
+				return outcome{res.Verdict, res.Depth, info.Invariant, res.Trace}
+			}
+			seq, par := runWith(1), runWith(8)
+			if seq.verdict != par.verdict || seq.depth != par.depth {
+				t.Fatalf("Workers=1 got %v@%d, Workers=8 got %v@%d",
+					seq.verdict, seq.depth, par.verdict, par.depth)
+			}
+			if !reflect.DeepEqual(seq.inv, par.inv) {
+				t.Errorf("invariants differ:\n  Workers=1: %v\n  Workers=8: %v", seq.inv, par.inv)
+			}
+			if !reflect.DeepEqual(seq.trace, par.trace) {
+				t.Errorf("traces differ:\n  Workers=1: %v\n  Workers=8: %v", seq.trace, par.trace)
+			}
+		})
+	}
+}
+
+// TestParallelPushingRace exercises the concurrent pushing path; its
+// value is under `go test -race` (see make test-race / CI bench-smoke).
+func TestParallelPushingRace(t *testing.T) {
+	for _, inst := range parallelInstances {
+		sys := mustParse(t, inst.src)
+		res := Check(sys, Options{
+			Workers: 4,
+			Budget:  engine.Budget{Timeout: 30 * time.Second},
+		})
+		if res.Verdict == engine.Unknown {
+			t.Errorf("%s: verdict Unknown (%s)", inst.name, res.Note)
+		}
+	}
+}
+
+// TestPropQueryAllocs pins the per-property-query allocation budget
+// after the hot-path purge (precomputed index/domain tables + scratch
+// buffers).  The remaining allocations are the solver's own search
+// structures, not per-query rebuilds of the literal-mapping tables.
+func TestPropQueryAllocs(t *testing.T) {
+	ch := newTestChecker(t, logisticSrc)
+	cube := icpCube{tnf.MkGe(ch.curIDs[0], 0.95), tnf.MkLe(ch.curIDs[0], 0.99)}
+	if !ch.entirelyBad(cube) {
+		t.Fatal("fixture cube should be entirely bad")
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		ch.entirelyBad(cube)
+	})
+	// Measured ~3 allocs/op post-purge (solver-internal); the pre-purge
+	// code paid an extra map + slice rebuild per query on top of that.
+	const budget = 12
+	if allocs > budget {
+		t.Errorf("entirelyBad allocates %.1f/op, budget %d", allocs, budget)
+	}
+}
+
+// BenchmarkPropQuery measures the zero-step property query that widening
+// hammers (entirelyBad): wall-clock and allocs/op.
+func BenchmarkPropQuery(b *testing.B) {
+	sys, err := ts.Parse(logisticSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := Options{}.withDefaults()
+	ch := &checker{sys: sys, opts: opts, budget: opts.Budget.Start(), stats: map[string]int64{}}
+	if err := ch.build(); err != nil {
+		b.Fatal(err)
+	}
+	cube := icpCube{tnf.MkGe(ch.curIDs[0], 0.95), tnf.MkLe(ch.curIDs[0], 0.99)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.entirelyBad(cube)
+	}
+}

@@ -1,0 +1,209 @@
+package icp
+
+import (
+	"sync"
+
+	"icpic3/internal/tnf"
+)
+
+// Clone returns a deep snapshot of the solver, safe to use from another
+// goroutine.  The snapshot invariant:
+//
+//   - Clone must be taken at decision level 0, i.e. between Solve calls
+//     (every Solve ends with a backtrack to level 0, so any quiescent
+//     solver qualifies).  Cloning mid-search panics.
+//   - Nothing mutable is shared: domains, trails, constraint queues,
+//     clause database, occurrence lists and activities are all copied,
+//     so the clone and the original may Solve concurrently.
+//   - Options are copied by value; the Stop callback (if any) is shared
+//     and must therefore be goroutine-safe (engine.Budget is).
+//   - Sync progress counters are carried over: a clone can keep pulling
+//     new content from the same tnf.System with Sync, provided the
+//     system itself is not being grown concurrently.
+//
+// Stats start at zero so that per-clone work can be aggregated by the
+// caller without double counting.
+func (s *Solver) Clone() *Solver {
+	if s.level() != 0 {
+		panic("icp: Clone requires decision level 0")
+	}
+	c := &Solver{
+		opts:   s.opts,
+		actInc: s.actInc,
+
+		vars:     append([]tnf.VarInfo(nil), s.vars...),
+		initial:  append(s.initial[:0:0], s.initial...),
+		lo:       append([]float64(nil), s.lo...),
+		hi:       append([]float64(nil), s.hi...),
+		loOpen:   append([]bool(nil), s.loOpen...),
+		hiOpen:   append([]bool(nil), s.hiOpen...),
+		activity: append([]float64(nil), s.activity...),
+
+		cons:    append([]tnf.Constraint(nil), s.cons...),
+		varCons: cloneInt32Lists(s.varCons),
+
+		occLe: cloneInt32Lists(s.occLe),
+		occGe: cloneInt32Lists(s.occGe),
+
+		trailLim:  nil, // level 0
+		lastLoEv:  append([]int32(nil), s.lastLoEv...),
+		lastHiEv:  append([]int32(nil), s.lastHiEv...),
+		propHead:  s.propHead,
+		conQueue:  append([]int32(nil), s.conQueue...),
+		inQueue:   append([]bool(nil), s.inQueue...),
+		newClause: append([]int32(nil), s.newClause...),
+
+		rootConflict: s.rootConflict,
+
+		nVarsSynced:    s.nVarsSynced,
+		nConsSynced:    s.nConsSynced,
+		nClausesSynced: s.nClausesSynced,
+		lastReduceSize: s.lastReduceSize,
+	}
+	// Clause literals go into one bulk backing array (full-slice-expr
+	// sub-slices, so a later append to any clause reallocates instead of
+	// clobbering its neighbour).  Clause bodies are immutable after
+	// construction, making this safe; it turns O(#clauses) allocations
+	// per snapshot into one.
+	totalLits := 0
+	for i := range s.clauses {
+		totalLits += len(s.clauses[i].lits)
+	}
+	litBacking := make([]tnf.Lit, 0, totalLits)
+	c.clauses = make([]clause, len(s.clauses))
+	for i := range s.clauses {
+		cl := s.clauses[i]
+		a := len(litBacking)
+		litBacking = append(litBacking, cl.lits...)
+		cl.lits = litBacking[a:len(litBacking):len(litBacking)]
+		c.clauses[i] = cl
+	}
+	// The trail still holds level-0 (formula-implied) events; copy them
+	// including their antecedent index slices so conflict analysis on the
+	// clone never aliases the original.  Antecedents are read-only once
+	// recorded, so they share a bulk backing array too.
+	totalAnte := 0
+	for i := range s.trail {
+		totalAnte += len(s.trail[i].ante)
+	}
+	anteBacking := make([]int32, 0, totalAnte)
+	c.trail = make([]event, len(s.trail))
+	for i, e := range s.trail {
+		a := len(anteBacking)
+		anteBacking = append(anteBacking, e.ante...)
+		e.ante = anteBacking[a:len(anteBacking):len(anteBacking)]
+		c.trail[i] = e
+	}
+	return c
+}
+
+// cloneInt32Lists deep-copies a slice of int32 slices (occurrence,
+// watch, and var-constraint lists) into one bulk backing array.  The
+// inner slices are full-slice-expression sub-slices (cap == len): the
+// solver's in-place rewrites during clause-database reduction stay
+// inside each list's own region, and any growth reallocates.
+func cloneInt32Lists(xs [][]int32) [][]int32 {
+	total := 0
+	for _, x := range xs {
+		total += len(x)
+	}
+	backing := make([]int32, 0, total)
+	out := make([][]int32, len(xs))
+	for i, x := range xs {
+		if len(x) == 0 {
+			continue
+		}
+		a := len(backing)
+		backing = append(backing, x...)
+		out[i] = backing[a:len(backing):len(backing)]
+	}
+	return out
+}
+
+// Pool hands out per-goroutine solver clones over a shared tnf.System.
+//
+// The pool keeps one private base snapshot; Get clones it (or reuses a
+// previously returned clone) and lazily re-Syncs it against the shared
+// system, so content compiled into the system after the pool was built
+// is still picked up.  The system must only grow between parallel
+// phases: callers must not append to it while any Get/Put/Broadcast is
+// in flight (Sync reads the system's slices without locking).
+//
+// Typical use — fan independent queries out over W workers:
+//
+//	pool := icp.PoolOf(main, sys) // or icp.NewPool(sys, opts)
+//	for w := 0; w < W; w++ {
+//	    go func() {
+//	        s := pool.Get()
+//	        defer pool.Put(s)
+//	        ... s.Solve(...) ...
+//	    }()
+//	}
+type Pool struct {
+	mu   sync.Mutex
+	sys  *tnf.System
+	base *Solver
+	free []*Solver
+	all  []*Solver // every solver ever handed out, for Broadcast
+}
+
+// NewPool builds a pool whose base solver is freshly compiled from sys.
+func NewPool(sys *tnf.System, opts Options) *Pool {
+	return &Pool{sys: sys, base: New(sys, opts)}
+}
+
+// PoolOf builds a pool whose base is a snapshot of an existing solver,
+// carrying all of its state — including clauses and variables added
+// directly with AddClause/AddBoolVar that sys has never seen (e.g. IC3
+// frame clauses).  base must be at decision level 0; the pool takes a
+// private clone, so the caller is free to keep using base afterwards.
+func PoolOf(base *Solver, sys *tnf.System) *Pool {
+	return &Pool{sys: sys, base: base.Clone()}
+}
+
+// Get returns a solver for exclusive use by the calling goroutine,
+// re-synced against the shared system.  Return it with Put.
+func (p *Pool) Get() *Solver {
+	p.mu.Lock()
+	var s *Solver
+	if n := len(p.free); n > 0 {
+		s = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		s = p.base.Clone()
+		p.all = append(p.all, s)
+	}
+	p.mu.Unlock()
+	s.Sync(p.sys)
+	return s
+}
+
+// Put returns a solver obtained from Get for reuse.
+func (p *Pool) Put(s *Solver) {
+	p.mu.Lock()
+	p.free = append(p.free, s)
+	p.mu.Unlock()
+}
+
+// Broadcast installs a clause on the base and every solver the pool has
+// handed out, so clones stay consistent across phases without being
+// re-cloned.  All solvers must be idle (returned with Put): Broadcast is
+// a barrier-time operation, not a concurrent one.
+func (p *Pool) Broadcast(c tnf.Clause) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) != len(p.all) {
+		panic("icp: Pool.Broadcast with solvers still checked out")
+	}
+	p.base.AddClause(c)
+	for _, s := range p.all {
+		s.AddClause(c)
+	}
+}
+
+// Size reports how many solvers the pool has materialized (for tests).
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.all)
+}

@@ -1,0 +1,184 @@
+package icp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"icpic3/internal/expr"
+	"icpic3/internal/interval"
+	"icpic3/internal/tnf"
+)
+
+// cloneFixture compiles a small nonlinear system and pre-warms the solver
+// with a few solves so that learned clauses and level-0 trail events
+// exist before the snapshot is taken.
+func cloneFixture(t *testing.T) (*Solver, *tnf.System) {
+	t.Helper()
+	sys := tnf.NewSystem()
+	for _, n := range []string{"x", "y"} {
+		if _, err := sys.AddVar(n, false, interval.New(-4, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Assert(expr.MustParse("x*x + y*y <= 4 and x + y >= 1")); err != nil {
+		t.Fatal(err)
+	}
+	s := New(sys, Options{Eps: 1e-4})
+	x, _ := sys.Lookup("x")
+	if r := s.Solve(nil); r.Status != StatusSat {
+		t.Fatalf("warmup status = %v", r.Status)
+	}
+	if r := s.Solve([]tnf.Lit{tnf.MkGe(x, 3)}); r.Status != StatusUnsat {
+		t.Fatalf("warmup assumption status = %v", r.Status)
+	}
+	return s, sys
+}
+
+func TestCloneIndependentResults(t *testing.T) {
+	s, sys := cloneFixture(t)
+	c := s.Clone()
+
+	x, _ := sys.Lookup("x")
+	y, _ := sys.Lookup("y")
+
+	// identical queries agree between original and clone
+	for _, as := range [][]tnf.Lit{
+		nil,
+		{tnf.MkGe(x, 1)},
+		{tnf.MkGe(x, 3)},
+		{tnf.MkLe(y, -2), tnf.MkLe(x, 0)},
+	} {
+		r1 := s.Solve(as)
+		r2 := c.Solve(as)
+		if r1.Status != r2.Status {
+			t.Fatalf("assumptions %v: original %v, clone %v", as, r1.Status, r2.Status)
+		}
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	s, sys := cloneFixture(t)
+	c := s.Clone()
+	x, _ := sys.Lookup("x")
+
+	// growing the clone (extra var + pinning clause) must not leak back
+	nv := s.NumVars()
+	act := c.AddBoolVar(".act")
+	c.AddClause(tnf.Clause{tnf.MkLe(act, 0), tnf.MkGe(x, 100)}) // act -> x >= 100 (impossible)
+	if r := c.Solve([]tnf.Lit{tnf.MkGe(act, 1)}); r.Status != StatusUnsat {
+		t.Fatalf("clone guarded query = %v", r.Status)
+	}
+	if s.NumVars() != nv {
+		t.Fatalf("original grew from %d to %d vars", nv, s.NumVars())
+	}
+	if r := s.Solve(nil); r.Status != StatusSat {
+		t.Fatalf("original after clone mutation = %v", r.Status)
+	}
+
+	// and the original pinning x does not constrain the clone
+	s.AddClause(tnf.Clause{tnf.MkGe(x, 100)})
+	if r := s.Solve(nil); r.Status != StatusUnsat {
+		t.Fatalf("original pinned = %v", r.Status)
+	}
+	if r := c.Solve(nil); r.Status != StatusSat {
+		t.Fatalf("clone after original mutation = %v", r.Status)
+	}
+}
+
+func TestCloneSyncLazily(t *testing.T) {
+	sys := tnf.NewSystem()
+	if _, err := sys.AddVar("x", false, interval.New(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Assert(expr.MustParse("x >= 2")); err != nil {
+		t.Fatal(err)
+	}
+	s := New(sys, Options{})
+	c := s.Clone()
+
+	// grow the shared system after the snapshot; only the re-synced
+	// clone sees the new clause
+	if err := sys.Assert(expr.MustParse("x <= 1")); err != nil {
+		t.Fatal(err)
+	}
+	c.Sync(sys)
+	if r := c.Solve(nil); r.Status != StatusUnsat {
+		t.Fatalf("synced clone = %v", r.Status)
+	}
+	if r := s.Solve(nil); r.Status != StatusSat {
+		t.Fatalf("stale original = %v", r.Status)
+	}
+}
+
+func TestPoolConcurrentSolves(t *testing.T) {
+	s, sys := cloneFixture(t)
+	pool := PoolOf(s, sys)
+	x, _ := sys.Lookup("x")
+
+	const workers = 8
+	const rounds = 16
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				sol := pool.Get()
+				r := sol.Solve([]tnf.Lit{tnf.MkGe(x, 3)})
+				if r.Status != StatusUnsat {
+					errc <- fmt.Errorf("worker %d round %d: status %v", w, i, r.Status)
+				}
+				r = sol.Solve(nil)
+				if r.Status != StatusSat {
+					errc <- fmt.Errorf("worker %d round %d: sat status %v", w, i, r.Status)
+				}
+				pool.Put(sol)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if pool.Size() > workers {
+		t.Errorf("pool materialized %d solvers for %d workers", pool.Size(), workers)
+	}
+}
+
+func TestPoolBroadcast(t *testing.T) {
+	s, sys := cloneFixture(t)
+	pool := PoolOf(s, sys)
+	x, _ := sys.Lookup("x")
+
+	a, b := pool.Get(), pool.Get()
+	pool.Put(a)
+	pool.Put(b)
+	pool.Broadcast(tnf.Clause{tnf.MkGe(x, 100)}) // unsatisfiable pin
+
+	for i := 0; i < 3; i++ { // reused clones and a fresh one
+		sol := pool.Get()
+		if r := sol.Solve(nil); r.Status != StatusUnsat {
+			t.Fatalf("solver %d after broadcast = %v", i, r.Status)
+		}
+		defer pool.Put(sol)
+	}
+	// the source solver is unaffected (PoolOf snapshots)
+	if r := s.Solve(nil); r.Status != StatusSat {
+		t.Fatalf("source solver = %v", r.Status)
+	}
+}
+
+func TestCloneRequiresLevelZero(t *testing.T) {
+	s, _ := cloneFixture(t)
+	s.pushLevel()
+	defer s.cancelUntil(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Clone mid-search did not panic")
+		}
+	}()
+	s.Clone()
+}

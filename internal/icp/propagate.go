@@ -74,20 +74,23 @@ func (s *Solver) checkClause(ci int32) *conflict {
 	}
 	if unitIdx < 0 {
 		// all false: conflict, antecedents are the falsifying events
+		// (owned allocation: the conflict outlives this call)
 		ante := make([]int32, 0, len(c.lits))
 		for _, l := range c.lits {
 			ante = append(ante, s.falsifyingEvent(l))
 		}
 		return &conflict{ante: ante}
 	}
-	// unit: assert lits[unitIdx]
-	ante := make([]int32, 0, len(c.lits)-1)
+	// unit: assert lits[unitIdx].  Scratch buffer: assertLit/setBound
+	// copies it if (and only if) a trail event is recorded.
+	ante := s.anteScratch[:0]
 	for i, l := range c.lits {
 		if i == unitIdx {
 			continue
 		}
 		ante = append(ante, s.falsifyingEvent(l))
 	}
+	s.anteScratch = ante
 	cf, _ := s.assertLit(c.lits[unitIdx], reasonClause, ci, -1, ante)
 	return cf
 }
@@ -101,9 +104,17 @@ func (s *Solver) dom(v tnf.VarID) interval.Interval {
 // backward projections onto the arguments, applying any tightenings.
 func (s *Solver) revise(ci int32) *conflict {
 	c := s.cons[ci]
-	// snapshot antecedents: latest events of all involved variables
-	vars := s.conVarList(c)
-	ante := make([]int32, 0, 2*len(vars))
+	// snapshot antecedents: latest events of all involved variables.
+	// The buffer is solver-owned scratch — setBound copies it when an
+	// event is actually recorded — so the frequent no-progress revise
+	// calls allocate nothing.
+	var vbuf [3]tnf.VarID
+	vars := append(vbuf[:0], c.Z, c.X)
+	switch c.Op {
+	case tnf.ConAdd, tnf.ConMul, tnf.ConMin, tnf.ConMax:
+		vars = append(vars, c.Y)
+	}
+	ante := s.anteScratch[:0]
 	for _, v := range vars {
 		if e := s.lastLoEv[v]; e >= 0 {
 			ante = append(ante, e)
@@ -112,6 +123,7 @@ func (s *Solver) revise(ci int32) *conflict {
 			ante = append(ante, e)
 		}
 	}
+	s.anteScratch = ante
 
 	z, x := s.dom(c.Z), s.dom(c.X)
 	var y interval.Interval

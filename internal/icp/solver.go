@@ -186,6 +186,17 @@ type Solver struct {
 	nAssump     int       // number of assumption levels in current Solve
 	assumptions []tnf.Lit // current assumptions (indexed by level-1)
 
+	// anteScratch is the shared antecedent-snapshot buffer for
+	// propagation (see revise/checkClause): setBound copies it into the
+	// trail when an event is actually recorded, so the frequent
+	// no-progress calls allocate nothing.
+	anteScratch []int32
+	// anteArena is the chunked arena those per-event copies come from;
+	// each event gets a cap==len sub-slice, so recording an event costs
+	// amortized zero allocations.  Never reset: exhausted blocks are
+	// garbage-collected once the events referencing them are popped.
+	anteArena []int32
+
 	rootConflict bool // system is UNSAT at level 0
 
 	// Sync progress over the source tnf.System
@@ -514,9 +525,11 @@ func (s *Solver) setBound(v tnf.VarID, side int8, b float64, strict bool, thresh
 	} else {
 		nbOpen = s.hiOpen[v]
 	}
+	// ante may be the caller's scratch buffer; the event owns a copy
 	s.trail = append(s.trail, event{
 		v: v, side: side, old: old, oldOpen: oldOpen, nb: b, nbOpen: nbOpen,
-		level: s.level(), kind: kind, cl: cl, con: con, ante: ante,
+		level: s.level(), kind: kind, cl: cl, con: con,
+		ante: s.copyAnte(ante),
 	})
 	if side == sideLo {
 		s.lastLoEv[v] = idx
@@ -529,6 +542,25 @@ func (s *Solver) setBound(v tnf.VarID, side int8, b float64, strict bool, thresh
 		s.enqueueCon(ci)
 	}
 	return nil, true
+}
+
+// copyAnte copies an antecedent snapshot into the solver's chunked
+// arena.  The returned sub-slice has cap == len, so appends by a future
+// reader would reallocate rather than clobber a neighbouring event.
+func (s *Solver) copyAnte(x []int32) []int32 {
+	if len(x) == 0 {
+		return nil
+	}
+	if cap(s.anteArena)-len(s.anteArena) < len(x) {
+		n := 4096
+		if len(x) > n {
+			n = len(x)
+		}
+		s.anteArena = make([]int32, 0, n)
+	}
+	a := len(s.anteArena)
+	s.anteArena = append(s.anteArena, x...)
+	return s.anteArena[a : a+len(x) : a+len(x)]
 }
 
 // assertLit applies the bound of l with the given reason.

@@ -132,6 +132,10 @@ type Request struct {
 	// Generalize is the IC3 generalization mode: none | core | core+widen
 	// ("" = core+widen).
 	Generalize string `json:"generalize,omitempty"`
+	// QueryWorkers is the goroutine count for IC3's parallel clause
+	// pushing within this job (0 = 1, i.e. sequential; clamped to 64).
+	// Verdicts do not depend on it, so it is excluded from the cache key.
+	QueryWorkers int `json:"workers,omitempty"`
 }
 
 // normalize applies the request defaults so that equivalent requests
@@ -160,6 +164,12 @@ func (r Request) normalize(cfg Config) (Request, error) {
 	if r.MaxK <= 0 {
 		r.MaxK = 24
 	}
+	if r.QueryWorkers <= 0 {
+		r.QueryWorkers = 1
+	}
+	if r.QueryWorkers > 64 {
+		r.QueryWorkers = 64
+	}
 	if r.Timeout <= 0 {
 		r.Timeout = cfg.DefaultTimeout
 	}
@@ -172,7 +182,10 @@ func (r Request) normalize(cfg Config) (Request, error) {
 // cacheKey is the canonical identity of a job's answer: the system hash
 // plus every option that can change the verdict.  The timeout is
 // deliberately excluded — only decisive results are cached and those do
-// not depend on the budget that found them.
+// not depend on the budget that found them.  QueryWorkers is likewise
+// excluded: IC3's parallel clause pushing is deterministic across worker
+// counts (shard-by-query-index, see internal/ic3icp/parallel.go), so a
+// sequential and a parallel run of the same job share one answer.
 func (r Request) cacheKey(sys *ts.System) string {
 	return fmt.Sprintf("%s|engine=%s|eps=%g|depth=%d|k=%d|gen=%s",
 		sys.Hash(), r.Engine, r.Eps, r.MaxDepth, r.MaxK, r.Generalize)
@@ -234,26 +247,26 @@ type job struct {
 
 // Status is an immutable snapshot of a job, safe to serialize.
 type Status struct {
-	ID        string        `json:"id"`
-	Engine    string        `json:"engine"`
-	State     string        `json:"state"`
-	System    string        `json:"system"`
-	Key       string        `json:"key"`
-	CacheHit  bool          `json:"cache_hit"`
-	Coalesced bool          `json:"coalesced,omitempty"`
+	ID        string `json:"id"`
+	Engine    string `json:"engine"`
+	State     string `json:"state"`
+	System    string `json:"system"`
+	Key       string `json:"key"`
+	CacheHit  bool   `json:"cache_hit"`
+	Coalesced bool   `json:"coalesced,omitempty"`
 	// Attempts counts engine attempts (> 1 after panic/stall retries);
 	// EngineUsed is the engine of the final attempt, which differs from
 	// Engine after degradation; Certified reports that the decisive
 	// result passed independent re-checking.
-	Attempts   int    `json:"attempts,omitempty"`
-	EngineUsed string `json:"engine_used,omitempty"`
-	Certified  bool   `json:"certified,omitempty"`
-	Verdict    string `json:"verdict,omitempty"`
-	Depth     int           `json:"depth,omitempty"`
-	Note      string        `json:"note,omitempty"`
-	Trace     []ts.State    `json:"trace,omitempty"`
-	Runtime   time.Duration `json:"-"`
-	RuntimeMS int64         `json:"runtime_ms"`
+	Attempts   int           `json:"attempts,omitempty"`
+	EngineUsed string        `json:"engine_used,omitempty"`
+	Certified  bool          `json:"certified,omitempty"`
+	Verdict    string        `json:"verdict,omitempty"`
+	Depth      int           `json:"depth,omitempty"`
+	Note       string        `json:"note,omitempty"`
+	Trace      []ts.State    `json:"trace,omitempty"`
+	Runtime    time.Duration `json:"-"`
+	RuntimeMS  int64         `json:"runtime_ms"`
 }
 
 // Service is the concurrent verification service.
@@ -659,7 +672,8 @@ func runEngine(sys *ts.System, req Request, budget engine.Budget, prog *engine.P
 	switch req.Engine {
 	case "ic3":
 		return ic3icp.Check(sys, ic3icp.Options{
-			Solver: solver, Generalize: gen, GeneralizeSet: genSet, Budget: budget, Progress: prog,
+			Solver: solver, Generalize: gen, GeneralizeSet: genSet,
+			Workers: req.QueryWorkers, Budget: budget, Progress: prog,
 		})
 	case "bmc":
 		return bmc.Check(sys, bmc.Options{MaxDepth: req.MaxDepth, Solver: solver, Budget: budget, Progress: prog})
@@ -667,7 +681,10 @@ func runEngine(sys *ts.System, req Request, budget engine.Budget, prog *engine.P
 		return kind.Check(sys, kind.Options{MaxK: req.MaxK, Solver: solver, Budget: budget, Progress: prog})
 	default: // portfolio
 		return portfolio.Check(sys, portfolio.Options{
-			IC3:        ic3icp.Options{Solver: solver, Generalize: gen, GeneralizeSet: genSet},
+			IC3: ic3icp.Options{
+				Solver: solver, Generalize: gen, GeneralizeSet: genSet,
+				Workers: req.QueryWorkers,
+			},
 			BMC:        bmc.Options{MaxDepth: req.MaxDepth, Solver: solver},
 			KInduction: kind.Options{MaxK: req.MaxK, Solver: solver},
 			Budget:     budget,

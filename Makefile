@@ -1,10 +1,10 @@
 # Standard checks for the icpic3 repo.  `make check` is what CI should
-# run: build, vet, the full test suite, and the race detector over the
-# concurrency-heavy packages.
+# run: build, vet, icplint, the full test suite, and the race detector
+# over the concurrency-heavy packages.
 
 GO ?= go
 
-.PHONY: all build test test-race vet check fuzz-short bench-json clean
+.PHONY: all build test test-race vet lint lint-json check fuzz-short bench-json clean
 
 all: check
 
@@ -31,6 +31,16 @@ bench-json:
 vet:
 	$(GO) vet ./...
 
+# Project-specific analyzers (soundness, determinism, supervision
+# invariants — see DESIGN.md §11).  Exits nonzero on any finding.
+lint:
+	$(GO) run ./cmd/icplint ./...
+
+# Machine-readable findings, mirroring bench-json: one JSON object with
+# per-finding file/line/analyzer/message plus per-analyzer counts.
+lint-json:
+	$(GO) run ./cmd/icplint -json ./...
+
 # Short native-fuzzing smoke: each target gets a few seconds.  `go test`
 # allows one -fuzz pattern per invocation, hence one line per target.
 fuzz-short:
@@ -38,7 +48,7 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=5s ./internal/ts/
 	$(GO) test -run='^$$' -fuzz=FuzzSystem -fuzztime=5s ./internal/ts/
 
-check: build vet test test-race
+check: build vet lint test test-race
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,114 @@
+// icplint is the repo's invariant linter: a multichecker driving the
+// internal/analysis suite over any set of package patterns.  It exits
+// nonzero on any finding not suppressed by a //lint:allow pragma, so
+// `make lint` (and CI) turn soundness, determinism, and supervision
+// violations into build failures.
+//
+// Usage:
+//
+//	icplint [-json] [-analyzers a,b,...] [packages]
+//
+// With no packages, ./... is linted.  -json emits a machine-readable
+// report (file, line, col, analyzer, message) mirroring bench-json, so
+// finding counts can be diffed across PRs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"icpic3/internal/analysis"
+	"icpic3/internal/analysis/budgetloop"
+	"icpic3/internal/analysis/detrange"
+	"icpic3/internal/analysis/guardgo"
+	"icpic3/internal/analysis/resulterr"
+	"icpic3/internal/analysis/roundcheck"
+)
+
+// suite is the full analyzer set, in report order.
+var suite = []*analysis.Analyzer{
+	roundcheck.Analyzer,
+	detrange.Analyzer,
+	budgetloop.Analyzer,
+	guardgo.Analyzer,
+	resulterr.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("icplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := selectAnalyzers(*names)
+	if err != nil {
+		fmt.Fprintf(stderr, "icplint: %v\n", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "icplint: %v\n", err)
+		return 2
+	}
+	pkgs, err := analysis.LoadPackages(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "icplint: %v\n", err)
+		return 2
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "icplint: %v\n", err)
+		return 2
+	}
+	if *jsonOut {
+		if err := analysis.WriteJSON(stdout, dir, findings); err != nil {
+			fmt.Fprintf(stderr, "icplint: %v\n", err)
+			return 2
+		}
+	} else {
+		analysis.WriteText(stdout, dir, findings)
+	}
+	if analysis.Failing(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
+	if names == "" {
+		return suite, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(suite))
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"icpic3/internal/analysis"
+)
+
+// TestViolationFailsRun is the fixture-backed proof behind the CI
+// wiring: introducing a violation makes icplint (and hence `make
+// lint` / `make check`) exit nonzero.
+func TestViolationFailsRun(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"./testdata/src/bad/internal/icp"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "[detrange]") {
+		t.Fatalf("output missing detrange finding:\n%s", out.String())
+	}
+}
+
+func TestCleanRunExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"./testdata/src/clean/internal/icp"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if strings.Contains(out.String(), "finding") {
+		t.Fatalf("clean run reported findings:\n%s", out.String())
+	}
+}
+
+// TestPragmaAllowsFinding checks the //lint:allow escape: the finding
+// is suppressed, summarized, and does not fail the run.
+func TestPragmaAllowsFinding(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"./testdata/src/allowed/internal/icp"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "pragma-allowed findings: detrange=1") {
+		t.Fatalf("output missing pragma summary:\n%s", out.String())
+	}
+}
+
+// TestStalePragmaFailsRun checks pragma hygiene: a pragma suppressing
+// nothing is itself a finding.
+func TestStalePragmaFailsRun(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"./testdata/src/stale/internal/icp"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "[pragma]") || !strings.Contains(out.String(), "unused //lint:allow") {
+		t.Fatalf("output missing stale-pragma finding:\n%s", out.String())
+	}
+}
+
+// TestJSONOutput checks the machine-readable shape: file, line, col,
+// analyzer, message, and per-analyzer counts.
+func TestJSONOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "./testdata/src/bad/internal/icp"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	var rep analysis.JSONReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Findings) != 1 {
+		t.Fatalf("findings = %d, want 1: %+v", len(rep.Findings), rep.Findings)
+	}
+	f := rep.Findings[0]
+	if f.Analyzer != "detrange" || f.Line == 0 || f.Col == 0 || f.File == "" || f.Message == "" {
+		t.Fatalf("incomplete finding: %+v", f)
+	}
+	if rep.Counts["detrange"] != 1 {
+		t.Fatalf("counts = %v, want detrange=1", rep.Counts)
+	}
+}
+
+func TestAnalyzerSelection(t *testing.T) {
+	var out, errb bytes.Buffer
+	// only roundcheck selected: the detrange violation must pass through
+	code := run([]string{"-analyzers", "roundcheck", "./testdata/src/bad/internal/icp"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if code := run([]string{"-analyzers", "nosuch"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown analyzer: exit = %d, want 2", code)
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"roundcheck", "detrange", "budgetloop", "guardgo", "resulterr"} {
+		if !strings.Contains(out.String(), name) {
+			t.Fatalf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}

@@ -1,0 +1,14 @@
+// Driver fixture whose violation carries a justified pragma: icplint
+// reports it in the summary but exits 0.
+package icp
+
+// Count only accumulates a commutative total, so iteration order is
+// irrelevant.
+func Count(m map[string]int) int {
+	total := 0
+	//lint:allow detrange commutative accumulation; order cannot affect the result
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,12 @@
+// Driver fixture with a genuine detrange violation: proves the
+// icplint exit path fails the build when a violation is introduced.
+package icp
+
+// Sum iterates a map in nondeterministic order.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

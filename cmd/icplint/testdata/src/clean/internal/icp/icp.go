@@ -1,0 +1,11 @@
+// Driver fixture with no violations.
+package icp
+
+// Sum iterates a slice; nothing here is icplint's business.
+func Sum(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,13 @@
+// Driver fixture with a stale pragma suppressing nothing: pragma
+// hygiene failures must fail the run like real findings.
+package icp
+
+// Sum iterates a slice.
+func Sum(xs []int) int {
+	total := 0
+	//lint:allow detrange this loop ranges a slice, so the pragma is dead
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

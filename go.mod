@@ -1,3 +1,10 @@
+// icpic3 is deliberately dependency-free: the static-analysis suite
+// (internal/analysis, cmd/icplint) reimplements the needed slice of
+// golang.org/x/tools/go/analysis on the standard library — targets are
+// type-checked from source, dependency types come from `go list
+// -export` export data — so a clean checkout builds, tests, and lints
+// fully offline with no module downloads.  Before adding a require
+// here, check internal/analysis for the pattern that avoided it.
 module icpic3
 
 go 1.22

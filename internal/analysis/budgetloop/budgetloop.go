@@ -1,0 +1,89 @@
+// Package budgetloop flags unbounded `for {}` loops in the engine
+// packages that neither publish progress nor poll their budget.  The
+// stall watchdog (internal/service) distinguishes slow-but-alive runs
+// from wedged ones purely by sampling engine.Progress, and cooperative
+// cancellation only works if long loops poll engine.Budget or the
+// solver Stop hook — an unbounded loop doing neither is invisible to
+// supervision and unkillable without process death.  A loop whose
+// iteration count is structurally bounded (conflict analysis over a
+// shrinking trail, a parser loop over finite input) may carry a
+// //lint:allow budgetloop <why bounded> pragma.
+package budgetloop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"icpic3/internal/analysis"
+)
+
+// Scope lists the engine package suffixes whose loops must stay
+// supervisable.
+var Scope = []string{
+	"internal/icp",
+	"internal/sat",
+	"internal/ic3icp",
+	"internal/ic3bool",
+	"internal/bmc",
+	"internal/kind",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "budgetloop",
+	Doc:  "flags unbounded engine loops that neither tick Progress nor poll Budget/Stop",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathMatches(pass.Pkg.Path(), Scope...) {
+		return nil
+	}
+	idx := analysis.BuildFuncIndex(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Cond != nil {
+				return true
+			}
+			if !idx.ContainsCall(pass.TypesInfo, loop.Body, func(call *ast.CallExpr) bool {
+				return isSupervisionPoll(pass.TypesInfo, call)
+			}) {
+				pass.Reportf(loop.Pos(), "unbounded for loop without Progress.Tick, Budget.Expired/Cancelled, or a Stop-hook poll is invisible to the stall watchdog")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSupervisionPoll recognizes the calls that make a loop supervisable:
+// (*engine.Progress).Tick, engine.Budget.Expired / Cancelled, or
+// invoking a func-typed value named Stop (the solver stop hook shared
+// by internal/icp and internal/sat options).
+func isSupervisionPoll(info *types.Info, call *ast.CallExpr) bool {
+	if obj := analysis.CalleeObject(info, call); obj != nil {
+		if analysis.IsPkgFunc(obj, "internal/engine", "Tick") ||
+			analysis.IsPkgFunc(obj, "internal/engine", "Expired") ||
+			analysis.IsPkgFunc(obj, "internal/engine", "Cancelled") {
+			return true
+		}
+	}
+	// Indirect call of a stop hook: s.opts.Stop() or stop().
+	fun := ast.Unparen(call.Fun)
+	var name string
+	switch fun := fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	}
+	if name != "Stop" && name != "stop" {
+		return false
+	}
+	t := info.TypeOf(fun)
+	if t == nil {
+		return false
+	}
+	_, isFunc := t.Underlying().(*types.Signature)
+	return isFunc
+}

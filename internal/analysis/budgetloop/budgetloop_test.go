@@ -1,0 +1,14 @@
+package budgetloop_test
+
+import (
+	"testing"
+
+	"icpic3/internal/analysis/analysistest"
+	"icpic3/internal/analysis/budgetloop"
+)
+
+func TestBudgetloop(t *testing.T) {
+	analysistest.Run(t, "testdata", budgetloop.Analyzer,
+		"a/internal/ic3icp",
+	)
+}

@@ -1,0 +1,72 @@
+// Fixture for budgetloop: unbounded engine loops must tick Progress,
+// poll Budget, or poll a Stop hook; anything else is invisible to the
+// stall watchdog.
+package ic3icp
+
+import "icpic3/internal/engine"
+
+type options struct {
+	Stop func() bool
+}
+
+type checker struct {
+	prog   *engine.Progress
+	budget engine.Budget
+	opts   options
+	n      int
+}
+
+func (ch *checker) tick() { ch.prog.Tick() }
+
+func (ch *checker) blind() {
+	for { // want `unbounded for loop without Progress\.Tick`
+		ch.n++
+		if ch.n > 100 {
+			return
+		}
+	}
+}
+
+func (ch *checker) ticking() {
+	for {
+		ch.prog.Tick()
+		if ch.n > 100 {
+			return
+		}
+	}
+}
+
+func (ch *checker) viaHelper() {
+	for {
+		ch.tick() // transitively reaches Progress.Tick
+		if ch.n > 100 {
+			return
+		}
+	}
+}
+
+func (ch *checker) polling() {
+	for {
+		if ch.budget.Expired() {
+			return
+		}
+		ch.n++
+	}
+}
+
+func (ch *checker) stopHook() {
+	for {
+		if ch.opts.Stop != nil && ch.opts.Stop() {
+			return
+		}
+		ch.n++
+	}
+}
+
+func (ch *checker) bounded() {
+	// loops with a condition are structurally bounded by it and out of
+	// scope for the analyzer
+	for ch.n < 100 {
+		ch.n++
+	}
+}

@@ -1,0 +1,16 @@
+// Stub of the real icpic3/internal/engine package for the budgetloop
+// fixtures.
+package engine
+
+type Progress struct{ n int64 }
+
+func (p *Progress) Tick() {
+	if p != nil {
+		p.n++
+	}
+}
+
+type Budget struct{ used bool }
+
+func (b Budget) Expired() bool   { return b.used }
+func (b Budget) Cancelled() bool { return b.used }

@@ -1,0 +1,15 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"icpic3/internal/analysis/analysistest"
+	"icpic3/internal/analysis/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, "testdata", detrange.Analyzer,
+		"a/internal/icp",
+		"a/internal/other",
+	)
+}

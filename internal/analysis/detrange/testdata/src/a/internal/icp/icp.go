@@ -1,0 +1,46 @@
+// Positive fixture: map iteration in a verdict-affecting package must
+// be flagged; slice/array/channel/string iteration must not.
+package icp
+
+func sums(m map[string]int, s []int, ch chan int) int {
+	total := 0
+	for _, v := range m { // want `range over map m iterates in nondeterministic order`
+		total += v
+	}
+	for k := range m { // want `range over map m`
+		total += len(k)
+	}
+	for _, v := range s {
+		total += v
+	}
+	for v := range ch {
+		total += v
+	}
+	for _, r := range "abc" {
+		total += int(r)
+	}
+	return total
+}
+
+type wrapper struct {
+	byName map[string]int
+}
+
+func (w *wrapper) flatten() []int {
+	var out []int
+	for _, v := range w.byName { // want `range over map w.byName`
+		out = append(out, v)
+	}
+	return out
+}
+
+// namedMap checks that named map types are still recognized.
+type namedMap map[int]bool
+
+func count(m namedMap) int {
+	n := 0
+	for range m { // want `range over map m`
+		n++
+	}
+	return n
+}

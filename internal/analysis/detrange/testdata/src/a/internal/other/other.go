@@ -1,0 +1,11 @@
+// Negative fixture: the same map iteration outside the scoped packages
+// is not detrange's business.
+package other
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

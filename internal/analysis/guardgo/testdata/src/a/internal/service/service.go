@@ -1,0 +1,48 @@
+// Fixture for guardgo: every goroutine spawned in a supervised package
+// must run under engine.Guard or engine.GuardGo, directly or through a
+// same-package callee.
+package service
+
+import "icpic3/internal/engine"
+
+type service struct {
+	out chan engine.Result
+}
+
+func (s *service) unguarded() {
+	go func() { // want `goroutine does not run under engine\.Guard/GuardGo`
+		s.out <- engine.Result{Note: "bare"}
+	}()
+	go s.drainNoGuard() // want `goroutine does not run under engine\.Guard/GuardGo`
+}
+
+func (s *service) guardedLiteral() {
+	go func() {
+		s.out <- engine.Guard("job", nil, func() engine.Result {
+			return engine.Result{Note: "ok"}
+		})
+	}()
+	go func() {
+		engine.GuardGo("plumbing", nil, func() { close(s.out) })
+	}()
+}
+
+// guardedTransitive spawns a named worker whose body reaches
+// engine.Guard through a same-package call chain.
+func (s *service) guardedTransitive() {
+	go s.worker()
+}
+
+func (s *service) worker() { s.runJob() }
+
+func (s *service) runJob() {
+	s.out <- engine.Guard("job", nil, func() engine.Result {
+		return engine.Result{}
+	})
+}
+
+func (s *service) drainNoGuard() {
+	for r := range s.out {
+		_ = r
+	}
+}

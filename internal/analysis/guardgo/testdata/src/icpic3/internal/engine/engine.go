@@ -1,0 +1,13 @@
+// Stub of the real icpic3/internal/engine package for the guardgo
+// fixtures.
+package engine
+
+type Result struct{ Note string }
+
+func Guard(name string, logf func(string, ...interface{}), fn func() Result) Result {
+	return fn()
+}
+
+func GuardGo(name string, logf func(string, ...interface{}), fn func()) {
+	fn()
+}

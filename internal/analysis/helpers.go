@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Shared analyzer plumbing: package scoping, callee resolution, and a
+// bounded same-package transitive call search.  Analyzers identify the
+// repo's own packages and types by import-path *suffix* so that
+// analysistest fixtures can stand in minimal stub packages under
+// testdata/src (mirroring how x/tools analyzers test themselves).
+
+// PathMatches reports whether pkgPath equals one of the suffixes or
+// ends with "/"+suffix (suffix matching on path-segment boundaries).
+func PathMatches(pkgPath string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// CalleeObject resolves the object called by a call expression: the
+// function or method for direct calls, nil for indirect calls through
+// function values or for type conversions.
+func CalleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[fn].(*types.Func); ok {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := info.Uses[fn.Sel].(*types.Func); ok {
+			return obj
+		}
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether obj is a function or method named name
+// whose defining package path matches pkgSuffix.
+func IsPkgFunc(obj types.Object, pkgSuffix, name string) bool {
+	if obj == nil || obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return PathMatches(obj.Pkg().Path(), pkgSuffix)
+}
+
+// NamedTypeOrigin unwraps pointers and returns the defining package
+// path and name of t's named type, or ("", "") for unnamed types.
+func NamedTypeOrigin(t types.Type) (pkgPath, name string) {
+	if t == nil {
+		return "", ""
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name()
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// FuncIndex maps the package's own function and method objects to
+// their declaration bodies, enabling bounded transitive searches.
+type FuncIndex map[types.Object]*ast.FuncDecl
+
+// BuildFuncIndex indexes every function declaration of the pass's
+// package.
+func BuildFuncIndex(pass *Pass) FuncIndex {
+	idx := make(FuncIndex)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+				idx[obj] = fd
+			}
+		}
+	}
+	return idx
+}
+
+// maxCallDepth bounds the transitive search through same-package
+// helpers: deep enough for worker → runJob → supervise → Guard chains,
+// shallow enough to stay fast and predictable.
+const maxCallDepth = 5
+
+// ContainsCall reports whether node, or any same-package function it
+// calls (transitively, up to maxCallDepth), contains a call satisfying
+// pred.  Function literals encountered inside node are searched too;
+// calls into other packages are not followed.
+func (idx FuncIndex) ContainsCall(info *types.Info, node ast.Node, pred func(*ast.CallExpr) bool) bool {
+	visited := make(map[types.Object]bool)
+	var search func(n ast.Node, depth int) bool
+	search = func(n ast.Node, depth int) bool {
+		found := false
+		ast.Inspect(n, func(child ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := child.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pred(call) {
+				found = true
+				return false
+			}
+			if depth <= 0 {
+				return true
+			}
+			obj := CalleeObject(info, call)
+			if obj == nil || visited[obj] {
+				return true
+			}
+			if decl, ok := idx[obj]; ok {
+				visited[obj] = true
+				if search(decl.Body, depth-1) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+	return search(node, maxCallDepth)
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Pragma is one //lint:allow comment.  The form is
+//
+//	//lint:allow <analyzer> <reason>
+//
+// and it suppresses findings of the named analyzer on the same line or
+// the line directly below (so it can trail the offending statement or
+// sit on its own line above it).  The reason is mandatory: a pragma
+// without one is itself reported, as is a pragma that suppresses
+// nothing — stale escapes must not accumulate.
+type Pragma struct {
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
+	Used     bool
+}
+
+const pragmaPrefix = "//lint:allow"
+
+// filePragmas extracts the //lint:allow pragmas of one parsed file.
+func filePragmas(fset *token.FileSet, f *ast.File) []*Pragma {
+	var out []*Pragma
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, pragmaPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, pragmaPrefix)
+			pos := fset.Position(c.Pos())
+			p := &Pragma{File: pos.Filename, Line: pos.Line}
+			fields := strings.Fields(rest)
+			if len(fields) > 0 {
+				p.Analyzer = fields[0]
+			}
+			if len(fields) > 1 {
+				p.Reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,14 @@
+package resulterr_test
+
+import (
+	"testing"
+
+	"icpic3/internal/analysis/analysistest"
+	"icpic3/internal/analysis/resulterr"
+)
+
+func TestResulterr(t *testing.T) {
+	analysistest.Run(t, "testdata", resulterr.Analyzer,
+		"a/caller",
+	)
+}

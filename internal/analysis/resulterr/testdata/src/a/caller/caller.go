@@ -1,0 +1,27 @@
+// Fixture for resulterr: errors from the tnf constructor layer must
+// never be discarded, in any package of the repo.
+package caller
+
+import "icpic3/internal/tnf"
+
+func build() (*tnf.System, error) {
+	s := tnf.NewSystem()
+	s.Assert("x > 0")        // want `result of Assert discarded`
+	_, _ = s.AddVar("x")     // want `error of AddVar assigned to _`
+	v, _ := s.AddVar("y")    // want `error of AddVar assigned to _`
+	_ = v
+	go s.Assert("spawned")    // want `result of Assert discarded by go statement`
+	defer s.Assert("closing") // want `result of Assert discarded by defer statement`
+
+	// handled errors are fine
+	if err := s.Assert("ok"); err != nil {
+		return nil, err
+	}
+	w, err := s.AddVar("z")
+	if err != nil {
+		return nil, err
+	}
+	_ = w
+	_ = s.Describe() // no error result: not flagged
+	return s, nil
+}

@@ -1,0 +1,29 @@
+// Stub of the real icpic3/internal/tnf constructor surface for the
+// resulterr fixtures.
+package tnf
+
+type VarID int32
+
+type System struct{ vars int }
+
+type tnfError string
+
+func (e tnfError) Error() string { return string(e) }
+
+func NewSystem() *System { return &System{} }
+
+func (s *System) AddVar(name string) (VarID, error) {
+	s.vars++
+	return VarID(s.vars), nil
+}
+
+func (s *System) Assert(name string) error {
+	if name == "" {
+		return tnfError("empty")
+	}
+	return nil
+}
+
+// Describe has no error result: calls to it are never resulterr's
+// business.
+func (s *System) Describe() string { return "system" }

@@ -1,0 +1,14 @@
+package roundcheck_test
+
+import (
+	"testing"
+
+	"icpic3/internal/analysis/analysistest"
+	"icpic3/internal/analysis/roundcheck"
+)
+
+func TestRoundcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", roundcheck.Analyzer,
+		"a/internal/icp",
+	)
+}

@@ -1,0 +1,33 @@
+// Positive fixture for roundcheck: raw float arithmetic on endpoint-
+// shaped operands must be flagged; approved-helper calls, non-endpoint
+// float math, and integer arithmetic must not.
+package icp
+
+import (
+	"icpic3/internal/interval"
+	"icpic3/internal/tnf"
+)
+
+type solver struct {
+	lo, hi   []float64
+	activity []float64
+}
+
+func bad(v, w interval.Interval, l tnf.Lit, s *solver) float64 {
+	x := v.Lo + w.Lo          // want `raw float \+ on interval endpoint v\.Lo`
+	y := v.Hi * 2             // want `raw float \* on interval endpoint v\.Hi`
+	z := l.B - 0.5            // want `raw float - on interval endpoint l\.B`
+	q := s.lo[0] / 2          // want `raw float / on interval endpoint s\.lo\[0\]`
+	r := 1 + (2 * s.hi[1])    // want `raw float \+ on interval endpoint s\.hi\[1\]`
+	nested := -(v.Lo) + w.Hi  // want `raw float \+ on interval endpoint v\.Lo`
+	s.lo[2] += 0.1            // want `raw float \+= on interval endpoint s\.lo\[2\]`
+	return x + y + z + q + r + nested
+}
+
+func good(v, w interval.Interval, s *solver) float64 {
+	sum := v.Add(w)                  // approved helper does the rounding
+	mid := interval.New(v.Lo, v.Hi).Mid() // endpoint used as argument, not operand
+	a := s.activity[0] * 0.95        // heuristic state, not an endpoint
+	n := len(s.lo) + 1               // integer arithmetic
+	return sum.Lo + float64(n)*0 + mid + a // want `raw float \+ on interval endpoint sum\.Lo`
+}

@@ -1,0 +1,9 @@
+// Negative fixture: openbounds.go is the approved exactness-tracking
+// endpoint kernel, so raw endpoint arithmetic here is exempt.
+package icp
+
+import "icpic3/internal/interval"
+
+func kernel(v interval.Interval) float64 {
+	return v.Lo + v.Hi
+}

@@ -1,0 +1,11 @@
+// Stub of the real icpic3/internal/interval package: just enough
+// surface for the roundcheck fixtures to type-check.
+package interval
+
+type Interval struct {
+	Lo, Hi float64
+}
+
+func New(lo, hi float64) Interval       { return Interval{lo, hi} }
+func (v Interval) Add(w Interval) Interval { return New(v.Lo+w.Lo, v.Hi+w.Hi) }
+func (v Interval) Mid() float64         { return v.Lo }

@@ -1,0 +1,14 @@
+// Stub of the real icpic3/internal/tnf package for the roundcheck
+// fixtures.
+package tnf
+
+type VarID int32
+
+type Dir int
+
+type Lit struct {
+	Var    VarID
+	Dir    Dir
+	B      float64
+	Strict bool
+}

@@ -1,0 +1,21 @@
+// Package det holds tiny determinism helpers: the canonical fixes for
+// findings of the detrange analyzer.  Iterating a Go map directly is
+// order-randomized; iterating det.SortedKeys(m) is reproducible across
+// runs and worker counts, which the parallel clause-pushing verdict
+// contract depends on.
+package det
+
+import (
+	"cmp"
+	"sort"
+)
+
+// SortedKeys returns the keys of m in ascending order.
+func SortedKeys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

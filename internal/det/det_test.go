@@ -1,0 +1,19 @@
+package det
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"c": 3, "a": 1, "b": 2}
+	for i := 0; i < 16; i++ {
+		got := SortedKeys(m)
+		if want := []string{"a", "b", "c"}; !reflect.DeepEqual(got, want) {
+			t.Fatalf("SortedKeys = %v, want %v", got, want)
+		}
+	}
+	if got := SortedKeys(map[int]bool{}); len(got) != 0 {
+		t.Fatalf("SortedKeys(empty) = %v, want empty", got)
+	}
+}

@@ -37,6 +37,31 @@ func Panicked(r Result) bool {
 	return r.Stats != nil && r.Stats["panics"] > 0
 }
 
+// guardedPanics counts panics recovered by GuardGo, for tests and
+// metrics.
+var guardedPanics atomic.Int64
+
+// GuardGo is Guard for infrastructure goroutines that produce no
+// Result: watchdogs, waiter/closer plumbing, worker drivers.  It runs
+// fn and converts a panic into a logged, counted no-op, so supervision
+// machinery can never take down the process it supervises.  The
+// goroutine simply ends early; callers must tolerate that (e.g. via
+// budget expiry), which every current use does.
+func GuardGo(name string, logf func(format string, args ...interface{}), fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			guardedPanics.Add(1)
+			if logf != nil {
+				logf("engine: %s: recovered goroutine panic: %v\n%s", name, r, debug.Stack())
+			}
+		}
+	}()
+	fn()
+}
+
+// GuardedPanics returns the number of panics GuardGo has recovered.
+func GuardedPanics() int64 { return guardedPanics.Load() }
+
 // Progress is a monotonic heartbeat an engine publishes while it works:
 // every discharged obligation, solver query, frame, or unrolling depth
 // bumps the counter.  A supervisor (the service watchdog) samples Ticks

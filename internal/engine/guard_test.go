@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -129,5 +130,54 @@ func TestCorruptResult(t *testing.T) {
 	CorruptResult("sysC", &res2)
 	if res2.Certificate == nil || len(res2.Certificate.Cubes) != 1 {
 		t.Fatalf("nil certificate not corrupted: %+v", res2.Certificate)
+	}
+}
+
+// TestGuardGoRecoversPanic covers the void-returning variant used to
+// wrap infrastructure goroutines (watchdogs, WaitGroup waiters): a
+// panic is swallowed, logged, and counted rather than killing the
+// process.
+func TestGuardGoRecoversPanic(t *testing.T) {
+	before := GuardedPanics()
+	var mu sync.Mutex
+	var logged []string
+	logf := func(format string, args ...interface{}) {
+		mu.Lock()
+		logged = append(logged, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		GuardGo("guardgo-test", logf, func() { panic("watchdog boom") })
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("GuardGo goroutine did not return after panic")
+	}
+
+	if got := GuardedPanics() - before; got != 1 {
+		t.Errorf("GuardedPanics delta = %d, want 1", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(logged) == 0 || !strings.Contains(logged[0], "watchdog boom") || !strings.Contains(logged[0], "guardgo-test") {
+		t.Errorf("panic not logged with name and value: %q", logged)
+	}
+}
+
+// TestGuardGoCleanRun asserts a non-panicking fn runs exactly once and
+// leaves the panic counter alone.
+func TestGuardGoCleanRun(t *testing.T) {
+	before := GuardedPanics()
+	ran := 0
+	GuardGo("guardgo-clean", nil, func() { ran++ })
+	if ran != 1 {
+		t.Errorf("fn ran %d times, want 1", ran)
+	}
+	if got := GuardedPanics() - before; got != 0 {
+		t.Errorf("GuardedPanics delta = %d, want 0", got)
 	}
 }

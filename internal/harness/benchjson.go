@@ -43,10 +43,22 @@ type BenchReport struct {
 	Baseline   BenchRun `json:"baseline"` // workers = 1
 	Parallel   BenchRun `json:"parallel"`
 	SpeedupX   float64  `json:"speedup_x"` // baseline wall / parallel wall
+
+	// Per-leg records, index-aligned across legs (RunSuiteWorkers gives
+	// every run an index-owned slot).  Unexported so the JSON document
+	// stays an aggregate; tests use them to check that the two legs
+	// never contradict each other on a verdict.
+	baselineRecords []RunRecord
+	parallelRecords []RunRecord
+}
+
+// Records exposes the index-aligned baseline and parallel legs.
+func (r *BenchReport) Records() (baseline, parallel []RunRecord) {
+	return r.baselineRecords, r.parallelRecords
 }
 
 // benchRun executes the suite once and aggregates.
-func benchRun(suite []benchmarks.Instance, perRun time.Duration, workers int) BenchRun {
+func benchRun(suite []benchmarks.Instance, perRun time.Duration, workers int) (BenchRun, []RunRecord) {
 	engines, names := Engines(), EngineNames()
 	t0 := time.Now()
 	records := RunSuiteWorkers(suite, engines, names, perRun, workers)
@@ -71,7 +83,7 @@ func benchRun(suite []benchmarks.Instance, perRun time.Duration, workers int) Be
 		run.Wrong += s.Wrong
 		run.Engines = append(run.Engines, be)
 	}
-	return run
+	return run, records
 }
 
 // BenchJSON builds the baseline-vs-parallel comparison over the suite.
@@ -91,9 +103,9 @@ func BenchJSON(suiteSize int, perRun time.Duration, workers int, date string) (*
 		Instances:  len(suite),
 		PerRunSec:  perRun.Seconds(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Baseline:   benchRun(suite, perRun, 1),
-		Parallel:   benchRun(suite, perRun, workers),
 	}
+	rep.Baseline, rep.baselineRecords = benchRun(suite, perRun, 1)
+	rep.Parallel, rep.parallelRecords = benchRun(suite, perRun, workers)
 	if rep.Parallel.WallSec > 0 {
 		rep.SpeedupX = rep.Baseline.WallSec / rep.Parallel.WallSec
 	}

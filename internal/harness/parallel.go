@@ -27,9 +27,13 @@ func forEachParallel(n, workers int, f func(int)) {
 	if workers > n {
 		workers = n
 	}
+	// Each cell runs under engine.GuardGo in both the serial and the
+	// parallel path: a panicking engine run costs its own grid cell (the
+	// slot keeps its zero record), never the whole evaluation.
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			f(i)
+			i := i
+			engine.GuardGo("harness.forEachParallel", nil, func() { f(i) })
 		}
 		return
 	}
@@ -44,7 +48,7 @@ func forEachParallel(n, workers int, f func(int)) {
 				if i >= n {
 					return
 				}
-				f(i)
+				engine.GuardGo("harness.forEachParallel", nil, func() { f(i) })
 			}
 		}()
 	}

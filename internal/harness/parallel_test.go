@@ -106,8 +106,29 @@ func TestBenchJSON(t *testing.T) {
 	if rep.Baseline.Wrong != 0 || rep.Parallel.Wrong != 0 {
 		t.Errorf("wrong verdicts: %d/%d", rep.Baseline.Wrong, rep.Parallel.Wrong)
 	}
-	if rep.Baseline.Solved != rep.Parallel.Solved {
-		t.Errorf("solved differs between legs: %d vs %d", rep.Baseline.Solved, rep.Parallel.Solved)
+	if rep.Baseline.Solved == 0 || rep.Parallel.Solved == 0 {
+		t.Errorf("a leg solved nothing: %d/%d", rep.Baseline.Solved, rep.Parallel.Solved)
+	}
+	// The legs run under a wall-clock budget, so an instance whose solve
+	// time is near the budget may finish in one leg and time out in the
+	// other — solved counts are load-sensitive, not a determinism
+	// invariant (that is pinned by the *DeterminismAcross* tests with
+	// generous budgets).  What the legs must never do is contradict each
+	// other: the same (instance, engine) run deciding Safe in one leg
+	// and Unsafe in the other would be a real worker-count leak.
+	base, par := rep.Records()
+	if len(base) != len(par) {
+		t.Fatalf("record counts differ: %d vs %d", len(base), len(par))
+	}
+	for i := range base {
+		b, p := base[i], par[i]
+		if b.Instance != p.Instance || b.Engine != p.Engine {
+			t.Fatalf("record %d misaligned: %s/%s vs %s/%s", i, b.Instance, b.Engine, p.Instance, p.Engine)
+		}
+		bv, pv := b.Result.Verdict, p.Result.Verdict
+		if bv != engine.Unknown && pv != engine.Unknown && bv != pv {
+			t.Errorf("%s/%s: legs contradict: %v vs %v", b.Instance, b.Engine, bv, pv)
+		}
 	}
 	if rep.SpeedupX <= 0 {
 		t.Errorf("speedup = %v", rep.SpeedupX)

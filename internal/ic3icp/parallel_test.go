@@ -179,3 +179,44 @@ func BenchmarkPropQuery(b *testing.B) {
 		ch.entirelyBad(cube)
 	}
 }
+
+// TestLearnedClauseDeterminismAcrossRuns is the IC3-level regression
+// test for the nondeterministic map iteration fixed in
+// icp/analyze.go: learned-clause literal order used to follow map
+// iteration, so repeated runs — and 1-worker versus 8-worker runs —
+// could walk different proof obligations and disagree on depth or
+// certificate. Every repetition at every worker count must agree.
+func TestLearnedClauseDeterminismAcrossRuns(t *testing.T) {
+	for _, inst := range parallelInstances {
+		t.Run(inst.name, func(t *testing.T) {
+			type outcome struct {
+				verdict engine.Verdict
+				depth   int
+				inv     []Cube
+			}
+			var ref *outcome
+			for _, workers := range []int{1, 8} {
+				for rep := 0; rep < 2; rep++ {
+					sys := mustParse(t, inst.src)
+					res, info := CheckFull(sys, Options{
+						Workers: workers,
+						Budget:  engine.Budget{Timeout: 30 * time.Second},
+					})
+					got := outcome{res.Verdict, res.Depth, info.Invariant}
+					if ref == nil {
+						ref = &got
+						continue
+					}
+					if got.verdict != ref.verdict || got.depth != ref.depth {
+						t.Fatalf("Workers=%d rep %d: got %v@%d, first run %v@%d",
+							workers, rep, got.verdict, got.depth, ref.verdict, ref.depth)
+					}
+					if !reflect.DeepEqual(got.inv, ref.inv) {
+						t.Errorf("Workers=%d rep %d: invariant differs\n  got   %v\n  first %v",
+							workers, rep, got.inv, ref.inv)
+					}
+				}
+			}
+		})
+	}
+}

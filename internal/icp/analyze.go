@@ -41,6 +41,7 @@ func (s *Solver) analyze(cf *conflict, clevel int32) (tnf.Clause, tnf.Lit, int32
 	var uip int32 = -1
 	if counter > 0 {
 		idx := int32(len(s.trail)) - 1
+		//lint:allow budgetloop bounded: idx strictly decreases over the finite trail
 		for {
 			for idx >= 0 && (!seen[idx] || s.trail[idx].level != clevel) {
 				idx--
@@ -84,7 +85,13 @@ func (s *Solver) analyze(cf *conflict, clevel int32) (tnf.Clause, tnf.Lit, int32
 		v tnf.VarID
 		d tnf.Dir
 	}
-	litMap := map[key]tnf.Lit{{assertLit.Var, assertLit.Dir}: assertLit}
+	assertKey := key{assertLit.Var, assertLit.Dir}
+	litMap := map[key]tnf.Lit{assertKey: assertLit}
+	// order records first appearance so the learned clause is built in
+	// deterministic trail order, never map-iteration order: literal order
+	// steers watch selection and propagation, so a randomized order would
+	// make verdict paths diverge between identical runs.
+	order := []key{assertKey}
 	btLevel := int32(0)
 	for _, a := range lower {
 		e := &s.trail[a]
@@ -105,17 +112,14 @@ func (s *Solver) analyze(cf *conflict, clevel int32) (tnf.Clause, tnf.Lit, int32
 			}
 		} else {
 			litMap[k] = l
+			order = append(order, k)
 		}
 	}
 	learnt := make(tnf.Clause, 0, len(litMap))
-	learnt = append(learnt, litMap[key{assertLit.Var, assertLit.Dir}])
-	assertLit = learnt[0]
-	for k, l := range litMap {
-		if k.v == assertLit.Var && k.d == assertLit.Dir {
-			continue
-		}
-		learnt = append(learnt, l)
+	for _, k := range order {
+		learnt = append(learnt, litMap[k])
 	}
+	assertLit = learnt[0]
 	return learnt, assertLit, btLevel, true
 }
 

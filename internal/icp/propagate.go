@@ -21,7 +21,23 @@ func (s *Solver) propagate() *conflict {
 			}
 		}
 	}
+	// A single fixpoint can run long on hard contractions; poll the Stop
+	// hook so the budget/watchdog can abort mid-propagation instead of
+	// waiting for the search loop's per-iteration poll.  On stop the
+	// partial (sound) contraction is abandoned via s.stopped and the
+	// caller reports Unknown.
+	sincePoll := 0
 	for {
+		if s.opts.Stop != nil {
+			sincePoll++
+			if sincePoll >= 256 {
+				sincePoll = 0
+				if s.opts.Stop() {
+					s.stopped = true
+					return nil
+				}
+			}
+		}
 		progress := false
 		// scan new trail events for clause propagation
 		for s.propHead < int32(len(s.trail)) {

@@ -198,6 +198,7 @@ type Solver struct {
 	anteArena []int32
 
 	rootConflict bool // system is UNSAT at level 0
+	stopped      bool // propagate observed the Stop hook firing mid-fixpoint
 
 	// Sync progress over the source tnf.System
 	nVarsSynced, nConsSynced, nClausesSynced int
@@ -388,13 +389,13 @@ func (s *Solver) negLit(l tnf.Lit) tnf.Lit {
 		if l.Dir == tnf.DirLe {
 			b := math.Floor(l.B)
 			if l.Strict {
-				b = math.Ceil(l.B) - 1
+				b = math.Ceil(l.B) - 1 //lint:allow roundcheck integral bound shift is exact for |b| < 2^53
 			}
 			return tnf.MkGe(l.Var, b+1)
 		}
 		b := math.Ceil(l.B)
 		if l.Strict {
-			b = math.Floor(l.B) + 1
+			b = math.Floor(l.B) + 1 //lint:allow roundcheck integral bound shift is exact for |b| < 2^53
 		}
 		return tnf.MkLe(l.Var, b-1)
 	}
@@ -613,7 +614,7 @@ func (s *Solver) pickBranchTier(aux bool) (tnf.VarID, bool) {
 		if !s.decidable(v) {
 			continue
 		}
-		w := s.hi[v] - s.lo[v]
+		w := s.hi[v] - s.lo[v] //lint:allow roundcheck branching score heuristic; never becomes an enclosure bound
 		score := w
 		if math.IsInf(w, 1) || math.IsNaN(w) {
 			score = math.MaxFloat64
@@ -645,7 +646,9 @@ func (s *Solver) decide(v tnf.VarID) *conflict {
 	if s.vars[v].Integer {
 		mid = math.Floor(mid)
 		if mid >= s.hi[v] {
-			mid = s.hi[v] - 1
+			// both split halves cover the box for any split point, and the
+			// integral step is exact
+			mid = s.hi[v] - 1 //lint:allow roundcheck split-point choice; both halves cover the box
 		}
 		if mid < s.lo[v] {
 			mid = s.lo[v]
@@ -692,6 +695,14 @@ func (s *Solver) Solve(assumptions []tnf.Lit) Result {
 			}
 		}
 		cf := s.propagate()
+		if s.stopped {
+			// the fixpoint was truncated by the Stop hook: the partial
+			// contraction is sound but incomplete, so no Sat verdict may
+			// be derived from it — abort as Unknown immediately.
+			s.stopped = false
+			s.cancelUntil(0)
+			return Result{Status: StatusUnknown}
+		}
 		if cf != nil {
 			s.Stats.Conflicts++
 			s.decayActivities()

@@ -87,8 +87,8 @@ func Check(sys *ts.System, opts Options) engine.Result {
 	launch("kind-icp", func() engine.Result { return kind.Check(sys, kindOpts) })
 
 	go func() {
-		wg.Wait()
-		close(results)
+		defer close(results)
+		engine.GuardGo("portfolio.wait", nil, wg.Wait)
 	}()
 
 	var unknowns []string

@@ -197,6 +197,7 @@ func rupConflict(db [][]Lit, lits []Lit) bool {
 			return true // assumptions already conflicting
 		}
 	}
+	//lint:allow budgetloop bounded: unit-propagation fixpoint over a finite assignment
 	for {
 		progress := false
 		for _, cl := range db {

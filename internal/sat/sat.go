@@ -332,6 +332,7 @@ func (s *Solver) analyze(confl int32) ([]Lit, int32) {
 	idx := len(s.trail) - 1
 	btLevel := int32(0)
 
+	//lint:allow budgetloop bounded: 1-UIP resolution consumes the finite trail
 	for {
 		c := &s.clauses[confl]
 		s.bumpClause(confl)
@@ -689,6 +690,7 @@ func (s *Solver) coreFromFailedAssumption(a Lit) []Lit {
 }
 
 func (s *Solver) pickBranchVar() int {
+	//lint:allow budgetloop bounded: each pop shrinks the finite order heap
 	for {
 		v, ok := s.order.pop()
 		if !ok {
@@ -775,6 +777,7 @@ func (h *varHeap) up(i int) {
 
 func (h *varHeap) down(i int) {
 	n := len(h.heap)
+	//lint:allow budgetloop bounded: heap sift descends a finite heap
 	for {
 		l, r := 2*i+1, 2*i+2
 		m := i

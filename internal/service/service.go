@@ -485,8 +485,8 @@ func (s *Service) Shutdown(ctx context.Context) error {
 
 	idle := make(chan struct{})
 	go func() {
-		s.workers.Wait()
-		close(idle)
+		defer close(idle)
+		engine.GuardGo("service.shutdown-wait", s.cfg.Logf, s.workers.Wait)
 	}()
 	select {
 	case <-idle:

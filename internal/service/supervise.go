@@ -89,9 +89,13 @@ func (s *Service) runAttempt(jb *job, engineName string) engine.Result {
 	if s.cfg.StallTimeout > 0 {
 		go func() {
 			defer close(watchDone)
-			s.watchProgress(prog, jb.cancel, watchStop, func() {
-				stallFlag.Store(true)
-				close(stalled)
+			// the watchdog itself runs guarded: supervision machinery must
+			// never be the thing that takes the process down
+			engine.GuardGo(jb.id+" watchdog", s.cfg.Logf, func() {
+				s.watchProgress(prog, jb.cancel, watchStop, func() {
+					stallFlag.Store(true)
+					close(stalled)
+				})
 			})
 		}()
 	} else {

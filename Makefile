@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint lint-json check fuzz-short bench-json clean
+.PHONY: all build test test-race vet lint lint-json check fuzz-short bench-json bench-diff bench-smoke clean
 
 all: check
 
@@ -27,6 +27,21 @@ test-race:
 # workers=GOMAXPROCS and writes BENCH_<date>.json (see EXPERIMENTS.md).
 bench-json:
 	$(GO) run ./cmd/benchtab -json -size 2 -budget 10s
+
+# Compare two BENCH_<date>.json snapshots; exits 1 on a regression
+# (fewer solved, new wrong verdicts, or a per-engine solved/sec drop
+# beyond the tolerance).  Usage: make bench-diff OLD=BENCH_a.json NEW=BENCH_b.json
+bench-diff:
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
+
+# Fast perf/soundness smoke for CI: single-iteration benchmarks of the
+# two hot paths plus the reduceDB invariance leg (verdicts must match
+# with clause deletion off vs forced aggressive — see reduce_test.go).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'SolverICP' -benchtime=1x -benchmem .
+	$(GO) test -run '^$$' -bench 'PropagateWatched' -benchtime=1x -benchmem ./internal/icp/
+	$(GO) test -run '^$$' -bench 'PropQuery' -benchtime=1x -benchmem ./internal/ic3icp/
+	$(GO) test -run 'TestReduceDBVerdictInvariance' -count=1 -v ./internal/ic3icp/
 
 vet:
 	$(GO) vet ./...

@@ -174,6 +174,26 @@ func BenchmarkSolverICP(b *testing.B) {
 	}
 }
 
+// TestSolverICPAllocs pins the allocation budget of the representative
+// CDCL(ICP) run that BenchmarkSolverICP times.  The watched-bound core
+// landed at ~1590 allocs/op (scratch conflict carriers removed the
+// per-conflict slice+struct churn); the guard sits at the pre-watch
+// baseline of 1654 so any hot-path allocation regression fails loudly
+// without flaking on minor drift below it.
+func TestSolverICPAllocs(t *testing.T) {
+	in := benchmarks.Must(benchmarks.Logistic(true, 0))
+	allocs := testing.AllocsPerRun(5, func() {
+		res := ic3icp.Check(in.Sys, ic3icp.Options{Budget: engine.Budget{Timeout: benchBudget}})
+		if res.Verdict != engine.Safe {
+			t.Fatalf("verdict = %v", res.Verdict)
+		}
+	})
+	const budget = 1654
+	if allocs > budget {
+		t.Errorf("solver ICP run allocates %.0f/op, budget %d", allocs, budget)
+	}
+}
+
 // BenchmarkIC3BoolSafeCounter measures the Boolean PDR baseline on a safe
 // counter (invariant discovery path).
 func BenchmarkIC3BoolSafeCounter(b *testing.B) {

@@ -1,0 +1,123 @@
+// benchdiff compares two BENCH_<date>.json snapshots (see make
+// bench-json) and prints per-run and per-engine deltas: solved counts,
+// wall-clock, and solved/sec.  It exits 1 when the new snapshot regresses
+// — fewer instances solved, any wrong verdict appearing, or a per-engine
+// solved/sec drop beyond the tolerance — so CI and PR workflows can gate
+// on `make bench-diff OLD=... NEW=...`.
+//
+// Usage:
+//
+//	benchdiff [-tolerance 0.10] OLD.json NEW.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"icpic3/internal/harness"
+)
+
+func load(path string) (*harness.BenchReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep harness.BenchReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// engineMap indexes a run's engine slices by name.
+func engineMap(r harness.BenchRun) map[string]harness.BenchEngine {
+	m := make(map[string]harness.BenchEngine, len(r.Engines))
+	for _, e := range r.Engines {
+		m[e.Engine] = e
+	}
+	return m
+}
+
+// diffRun prints the leg-level comparison and reports regressions.
+func diffRun(label string, old, new harness.BenchRun, tol float64) (regressed bool) {
+	fmt.Printf("%s: solved %d -> %d (%+d), unknown %d -> %d, wrong %d -> %d, wall %.2fs -> %.2fs (%+.1f%%)\n",
+		label, old.Solved, new.Solved, new.Solved-old.Solved,
+		old.Unknown, new.Unknown, old.Wrong, new.Wrong,
+		old.WallSec, new.WallSec, pct(new.WallSec, old.WallSec))
+	if new.Solved < old.Solved {
+		fmt.Printf("  REGRESSION: %s solves fewer instances\n", label)
+		regressed = true
+	}
+	if new.Wrong > old.Wrong {
+		fmt.Printf("  REGRESSION: %s has new wrong verdicts\n", label)
+		regressed = true
+	}
+	oldByName := engineMap(old)
+	// iterate in the new run's slice order (stable across runs), not map order
+	for _, ne := range new.Engines {
+		oe, ok := oldByName[ne.Engine]
+		if !ok {
+			fmt.Printf("  %-12s new engine: solved %d, %.2f solved/sec\n",
+				ne.Engine, ne.SolvedSafe+ne.SolvedUnsaf, ne.SolvedPerSec)
+			continue
+		}
+		oldSolved := oe.SolvedSafe + oe.SolvedUnsaf
+		newSolved := ne.SolvedSafe + ne.SolvedUnsaf
+		fmt.Printf("  %-12s solved %d -> %d, solved/sec %.2f -> %.2f (%+.1f%%), wrong %d -> %d\n",
+			ne.Engine, oldSolved, newSolved,
+			oe.SolvedPerSec, ne.SolvedPerSec, pct(ne.SolvedPerSec, oe.SolvedPerSec),
+			oe.Wrong, ne.Wrong)
+		if ne.Wrong > oe.Wrong {
+			fmt.Printf("  REGRESSION: %s wrong verdicts increased\n", ne.Engine)
+			regressed = true
+		}
+		if newSolved < oldSolved {
+			fmt.Printf("  REGRESSION: %s solves fewer instances\n", ne.Engine)
+			regressed = true
+		}
+		if oe.SolvedPerSec > 0 && ne.SolvedPerSec < oe.SolvedPerSec*(1-tol) {
+			fmt.Printf("  REGRESSION: %s solved/sec dropped more than %.0f%%\n", ne.Engine, tol*100)
+			regressed = true
+		}
+	}
+	return regressed
+}
+
+// pct is the relative change of b vs a in percent (0 when a is 0).
+func pct(b, a float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (b - a) / a * 100
+}
+
+func main() {
+	tol := flag.Float64("tolerance", 0.10, "allowed relative solved/sec drop per engine before flagging a regression")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance 0.10] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("benchdiff %s (%s) -> %s (%s), %d -> %d instances\n",
+		flag.Arg(0), old.Date, flag.Arg(1), cur.Date, old.Instances, cur.Instances)
+	regressed := diffRun("baseline", old.Baseline, cur.Baseline, *tol)
+	if diffRun("parallel", old.Parallel, cur.Parallel, *tol) {
+		regressed = true
+	}
+	fmt.Printf("speedup %.2fx -> %.2fx\n", old.SpeedupX, cur.SpeedupX)
+	if regressed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import "icpic3/internal/harness"
+
+import "testing"
+
+func run(solved, wrong int, engines ...harness.BenchEngine) harness.BenchRun {
+	return harness.BenchRun{Solved: solved, Wrong: wrong, WallSec: 1, Engines: engines}
+}
+
+func eng(name string, solved int, sps float64, wrong int) harness.BenchEngine {
+	return harness.BenchEngine{Engine: name, SolvedSafe: solved, SolvedPerSec: sps, Wrong: wrong}
+}
+
+func TestDiffRunNoRegression(t *testing.T) {
+	old := run(10, 0, eng("ic3-icp", 5, 1.0, 0))
+	cur := run(11, 0, eng("ic3-icp", 6, 1.2, 0))
+	if diffRun("baseline", old, cur, 0.10) {
+		t.Fatal("improvement flagged as regression")
+	}
+}
+
+func TestDiffRunFlagsFewerSolved(t *testing.T) {
+	old := run(10, 0, eng("ic3-icp", 5, 1.0, 0))
+	cur := run(9, 0, eng("ic3-icp", 4, 1.0, 0))
+	if !diffRun("baseline", old, cur, 0.10) {
+		t.Fatal("solved drop not flagged")
+	}
+}
+
+func TestDiffRunFlagsWrongVerdicts(t *testing.T) {
+	old := run(10, 0, eng("ic3-icp", 5, 1.0, 0))
+	cur := run(10, 1, eng("ic3-icp", 5, 1.0, 1))
+	if !diffRun("baseline", old, cur, 0.10) {
+		t.Fatal("new wrong verdict not flagged")
+	}
+}
+
+func TestDiffRunFlagsThroughputDrop(t *testing.T) {
+	old := run(10, 0, eng("ic3-icp", 5, 1.0, 0))
+	cur := run(10, 0, eng("ic3-icp", 5, 0.5, 0))
+	if !diffRun("baseline", old, cur, 0.10) {
+		t.Fatal("solved/sec collapse not flagged")
+	}
+	// within tolerance: not a regression
+	cur = run(10, 0, eng("ic3-icp", 5, 0.95, 0))
+	if diffRun("baseline", old, cur, 0.10) {
+		t.Fatal("within-tolerance jitter flagged")
+	}
+}

@@ -298,6 +298,10 @@ func CheckFull(sys *ts.System, opts Options) (engine.Result, *Info) {
 	}
 	res := ch.run(info)
 	res.Runtime = budget.Elapsed()
+	// surface the main solver's hot-path counters next to the IC3 ones
+	ch.stats["watchVisits"] = ch.main.Stats.WatchVisits
+	ch.stats["clausesDeleted"] = ch.main.Stats.ClausesDeleted
+	ch.stats["litsMinimized"] = ch.main.Stats.LitsMinimized
 	res.Stats = ch.stats
 	if res.Verdict == engine.Safe {
 		res.Certificate = CertificateOf(info.Invariant)
@@ -643,6 +647,8 @@ func (ch *checker) promoteInductive(c icpCube) bool {
 	if ch.infSolver != nil {
 		ch.infSolver.AddClause(ch.negCube(g)) // keep the probe solver in step
 	}
+	// an F_∞ cube is active everywhere: retire every frame cube it covers
+	ch.subsumeFrames(g, -1)
 	ch.stats["infCubes"]++
 	if ch.opts.DebugTrace {
 		fmt.Printf("promote F_inf: %s\n", ch.exportCube(g))
@@ -805,6 +811,9 @@ func (ch *checker) addBlockedCube(c icpCube, level int) tnf.Clause {
 	if ch.opts.DebugTrace {
 		fmt.Printf("block@%d: %s\n", level, ch.exportCube(c))
 	}
+	// the new cube dominates anything it subsumes at its own level or
+	// below (its clause is active wherever theirs are)
+	ch.subsumeFrames(c, level)
 	ch.frames[level] = append(ch.frames[level], c)
 	cl := append(tnf.Clause{tnf.MkLe(ch.frameAct[level], 0)}, ch.negCube(c)...)
 	ch.main.AddClause(cl)

@@ -78,8 +78,17 @@ func (ch *checker) pushFrames(k int) (int, bool) {
 		ch.runPushQueries(shards, cubes, i+1, workers, pushed)
 		ch.stats["queries"] += int64(len(cubes))
 
-		// barrier merge in clause order
+		// Barrier merge in clause order.  Survivors are installed before
+		// the pushed cubes are re-added: addBlockedCube's subsumption
+		// sweep edits ch.frames[i] in place and must see the post-push
+		// frame, not the pre-push slice still being iterated.
 		var kept []icpCube
+		for j, c := range cubes {
+			if !pushed[j] {
+				kept = append(kept, c)
+			}
+		}
+		ch.frames[i] = kept
 		for j, c := range cubes {
 			if pushed[j] {
 				cl := ch.addBlockedCube(c, i+1)
@@ -87,12 +96,11 @@ func (ch *checker) pushFrames(k int) (int, bool) {
 					s.AddClause(cl)
 				}
 				ch.stats["propagated"]++
-			} else {
-				kept = append(kept, c)
 			}
 		}
-		ch.frames[i] = kept
-		if len(kept) == 0 {
+		// subsumption during the pushed-adds can empty the frame even when
+		// some cubes failed their consecution query this round
+		if len(ch.frames[i]) == 0 {
 			return i, true
 		}
 	}

@@ -6,24 +6,38 @@ import (
 
 // analyze performs 1-UIP conflict analysis at conflict level clevel
 // (> nAssump).  It returns the learned clause, the asserting literal
-// (negation of the UIP bound), and the backjump level.
+// (negation of the UIP bound), the backjump level, and the clause's LBD
+// (distinct decision levels among its literals).
 //
 // The learned clause is the negation of a set of trail bounds whose
 // conjunction was shown contradictory; negation is relaxed for real
 // variables (closed bounds), which keeps the clause implied by the system
-// over the reals.
-func (s *Solver) analyze(cf *conflict, clevel int32) (tnf.Clause, tnf.Lit, int32, bool) {
-	seen := make(map[int32]bool, len(cf.ante)*2)
+// over the reals.  Literals implied by the rest of the clause through the
+// implication graph are dropped (recursive clause minimization).
+//
+// Marks over trail indices use epoch-stamped arrays instead of a
+// per-conflict map: bumping seenEpoch invalidates every stale stamp at
+// once, so analysis allocates only when the trail outgrows the buffers.
+func (s *Solver) analyze(cf *conflict, clevel int32) (tnf.Clause, tnf.Lit, int32, int32, bool) {
+	if n := len(s.trail); len(s.seenStamp) < n {
+		grow := n - len(s.seenStamp)
+		s.seenStamp = append(s.seenStamp, make([]int64, grow)...)
+		s.redStamp = append(s.redStamp, make([]int64, grow)...)
+		s.redVal = append(s.redVal, make([]bool, grow)...)
+	}
+	s.seenEpoch++
 	counter := 0
-	var lower []int32
+	lower := s.lowerBuf[:0]
 
-	var mark func(a int32)
-	mark = func(a int32) {
-		if a < 0 || seen[a] {
+	mark := func(a int32) {
+		if a < 0 || s.seenStamp[a] == s.seenEpoch {
 			return
 		}
-		seen[a] = true
+		s.seenStamp[a] = s.seenEpoch
 		s.bumpActivity(s.trail[a].v)
+		if e := &s.trail[a]; e.kind == reasonClause && e.cl >= 0 {
+			s.bumpClauseAct(e.cl)
+		}
 		lv := s.trail[a].level
 		switch {
 		case lv == 0:
@@ -43,18 +57,19 @@ func (s *Solver) analyze(cf *conflict, clevel int32) (tnf.Clause, tnf.Lit, int32
 		idx := int32(len(s.trail)) - 1
 		//lint:allow budgetloop bounded: idx strictly decreases over the finite trail
 		for {
-			for idx >= 0 && (!seen[idx] || s.trail[idx].level != clevel) {
+			for idx >= 0 && (s.seenStamp[idx] != s.seenEpoch || s.trail[idx].level != clevel) {
 				idx--
 			}
 			if idx < 0 {
-				return nil, tnf.Lit{}, 0, false // should not happen
+				s.lowerBuf = lower[:0]
+				return nil, tnf.Lit{}, 0, 0, false // should not happen
 			}
 			if counter == 1 {
 				uip = idx
 				break
 			}
 			e := &s.trail[idx]
-			seen[idx] = false
+			s.seenStamp[idx] = 0
 			counter--
 			for _, a := range e.ante {
 				mark(a)
@@ -73,10 +88,48 @@ func (s *Solver) analyze(cf *conflict, clevel int32) (tnf.Clause, tnf.Lit, int32
 			}
 		}
 		if deepest < 0 {
-			return nil, tnf.Lit{}, 0, false // conflict at level 0
+			s.lowerBuf = lower[:0]
+			return nil, tnf.Lit{}, 0, 0, false // conflict at level 0
 		}
 		uip = lower[deepest]
 		lower = append(lower[:deepest], lower[deepest+1:]...)
+	}
+
+	// Recursive clause minimization: drop events whose antecedent DAG
+	// bottoms out in other marked events or root-level facts — their
+	// negations are implied by the rest of the learned clause, so the
+	// shorter clause is still implied by the system.  The marked set
+	// ({uip} ∪ lower) only shrinks, which keeps every redundancy proof
+	// valid: the implication DAG is acyclic toward smaller trail indices.
+	if len(lower) > 0 {
+		keep := lower[:0]
+		for _, a := range lower {
+			if s.litRedundant(a, 0) {
+				s.seenStamp[a] = 0
+				s.Stats.LitsMinimized++
+				continue
+			}
+			keep = append(keep, a)
+		}
+		lower = keep
+	}
+
+	// LBD: distinct decision levels among the clause's literals (the
+	// UIP's clevel plus the lower events').  O(n²) dedup on a short
+	// slice beats allocating a set.
+	lbd := int32(1)
+	for i, a := range lower {
+		lv := s.trail[a].level
+		dup := lv == clevel
+		for _, b := range lower[:i] {
+			if s.trail[b].level == lv {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			lbd++
+		}
 	}
 
 	assertLit := s.negLit(s.trail[uip].lit())
@@ -120,7 +173,44 @@ func (s *Solver) analyze(cf *conflict, clevel int32) (tnf.Clause, tnf.Lit, int32
 		learnt = append(learnt, litMap[k])
 	}
 	assertLit = learnt[0]
-	return learnt, assertLit, btLevel, true
+	s.lowerBuf = lower[:0]
+	return learnt, assertLit, btLevel, lbd, true
+}
+
+// litRedundant reports whether trail event a is implied by the marked
+// events and root facts: every antecedent path reaches a marked event,
+// level 0, or the initial domain.  Decisions are never redundant.
+// Memoized per conflict through redStamp/redVal (seenEpoch discipline);
+// the depth cap bounds recursion on pathological antecedent chains.
+func (s *Solver) litRedundant(a int32, depth int) bool {
+	if depth > 64 {
+		return false
+	}
+	e := &s.trail[a]
+	if e.kind == reasonDecision {
+		return false
+	}
+	for _, b := range e.ante {
+		if b < 0 {
+			continue
+		}
+		if s.trail[b].level == 0 || s.seenStamp[b] == s.seenEpoch {
+			continue
+		}
+		if s.redStamp[b] == s.seenEpoch {
+			if s.redVal[b] {
+				continue
+			}
+			return false
+		}
+		ok := s.litRedundant(b, depth+1)
+		s.redStamp[b] = s.seenEpoch
+		s.redVal[b] = ok
+		if !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // finalCore computes a subset of the current assumptions sufficient for

@@ -13,8 +13,9 @@ import (
 //     (every Solve ends with a backtrack to level 0, so any quiescent
 //     solver qualifies).  Cloning mid-search panics.
 //   - Nothing mutable is shared: domains, trails, constraint queues,
-//     clause database, occurrence lists and activities are all copied,
-//     so the clone and the original may Solve concurrently.
+//     clause database, watch lists, saved phases and activities are all
+//     copied, so the clone and the original may Solve concurrently — in
+//     particular a reduceDB in either cannot corrupt the other.
 //   - Options are copied by value; the Stop callback (if any) is shared
 //     and must therefore be goroutine-safe (engine.Budget is).
 //   - Sync progress counters are carried over: a clone can keep pulling
@@ -30,6 +31,7 @@ func (s *Solver) Clone() *Solver {
 	c := &Solver{
 		opts:   s.opts,
 		actInc: s.actInc,
+		claInc: s.claInc,
 
 		vars:     append([]tnf.VarInfo(nil), s.vars...),
 		initial:  append(s.initial[:0:0], s.initial...),
@@ -39,11 +41,15 @@ func (s *Solver) Clone() *Solver {
 		hiOpen:   append([]bool(nil), s.hiOpen...),
 		activity: append([]float64(nil), s.activity...),
 
+		phase:      append([]int8(nil), s.phase...),
+		phaseStamp: append([]int64(nil), s.phaseStamp...),
+		phaseEpoch: s.phaseEpoch,
+
 		cons:    append([]tnf.Constraint(nil), s.cons...),
 		varCons: cloneInt32Lists(s.varCons),
 
-		occLe: cloneInt32Lists(s.occLe),
-		occGe: cloneInt32Lists(s.occGe),
+		watchLe: cloneInt32Lists(s.watchLe),
+		watchGe: cloneInt32Lists(s.watchGe),
 
 		trailLim:  nil, // level 0
 		lastLoEv:  append([]int32(nil), s.lastLoEv...),
@@ -59,6 +65,9 @@ func (s *Solver) Clone() *Solver {
 		nConsSynced:    s.nConsSynced,
 		nClausesSynced: s.nClausesSynced,
 		lastReduceSize: s.lastReduceSize,
+
+		branchMain: append([]tnf.VarID(nil), s.branchMain...),
+		branchAux:  append([]tnf.VarID(nil), s.branchAux...),
 	}
 	// Clause literals go into one bulk backing array (full-slice-expr
 	// sub-slices, so a later append to any clause reallocates instead of

@@ -86,6 +86,72 @@ func TestCloneIsolation(t *testing.T) {
 	}
 }
 
+// TestCloneSurvivesReduceDB takes a snapshot, then drives the original
+// through a clause-database reduction (aggressive ReduceInterval plus a
+// pile of root-satisfied retire-style clauses, the kind IC3 queries
+// leave behind).  The clone owns copies of the clause slice and watch
+// lists, so deletions and watch rebuilds in the original must not
+// change a single answer on the snapshot — this is what lets icp.Pool
+// shards keep serving queries while the main solver reduces.
+func TestCloneSurvivesReduceDB(t *testing.T) {
+	sys := tnf.NewSystem()
+	for _, n := range []string{"x", "y"} {
+		if _, err := sys.AddVar(n, false, interval.New(-4, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Assert(expr.MustParse("x*x + y*y <= 4 and x + y >= 1")); err != nil {
+		t.Fatal(err)
+	}
+	s := New(sys, Options{ReduceInterval: 64})
+	x, _ := sys.Lookup("x")
+	y, _ := sys.Lookup("y")
+	if r := s.Solve(nil); r.Status != StatusSat {
+		t.Fatalf("warmup status = %v", r.Status)
+	}
+
+	c := s.Clone()
+
+	// Two batches of root-satisfied deletable fodder, each followed by a
+	// Solve.  A batch is reduce-exempt while pending at its own Solve's
+	// entry (and that reduction resets the growth counter), so the first
+	// batch only becomes deletable at the reduction the second batch
+	// triggers.
+	for batch := 0; batch < 2; batch++ {
+		for i := 0; i < 100; i++ {
+			s.AddClause(tnf.Clause{tnf.MkGe(x, -100), tnf.MkGe(y, -100), tnf.MkLe(x, 100)})
+		}
+		if r := s.Solve(nil); r.Status != StatusSat {
+			t.Fatalf("original after fodder batch %d = %v", batch, r.Status)
+		}
+	}
+	if s.Stats.ClausesDeleted == 0 {
+		t.Fatalf("reduceDB deleted nothing (%d reductions, %d clauses); fixture exercises nothing",
+			s.Stats.Reductions, len(s.clauses))
+	}
+	if c.Stats.ClausesDeleted != 0 {
+		t.Fatalf("clone counted %d deletions it never performed", c.Stats.ClausesDeleted)
+	}
+
+	// the snapshot answers every query exactly like a fresh solver would
+	for _, q := range []struct {
+		as   []tnf.Lit
+		want Status
+	}{
+		{nil, StatusSat},
+		{[]tnf.Lit{tnf.MkGe(x, 1)}, StatusSat},
+		{[]tnf.Lit{tnf.MkGe(x, 3)}, StatusUnsat},
+		{[]tnf.Lit{tnf.MkLe(y, -2), tnf.MkLe(x, 0)}, StatusUnsat},
+	} {
+		if r := c.Solve(q.as); r.Status != q.want {
+			t.Errorf("clone assumptions %v: got %v, want %v", q.as, r.Status, q.want)
+		}
+		if r := s.Solve(q.as); r.Status != q.want {
+			t.Errorf("original assumptions %v: got %v, want %v", q.as, r.Status, q.want)
+		}
+	}
+}
+
 func TestCloneSyncLazily(t *testing.T) {
 	sys := tnf.NewSystem()
 	if _, err := sys.AddVar("x", false, interval.New(0, 10)); err != nil {

@@ -49,6 +49,15 @@ func TestLearnedClauseRunToRunDeterminism(t *testing.T) {
 	if refStats.Learned == 0 {
 		t.Fatalf("instance learned no clauses (stats %+v); test exercises nothing", refStats)
 	}
+	// The watched-core counters are part of the compared Stats struct, so
+	// the loop below also pins them run-to-run; make sure they are live
+	// on this instance rather than trivially-deterministic zeros.
+	if refStats.WatchVisits == 0 {
+		t.Fatalf("no watch visits recorded (stats %+v); watched propagation not exercised", refStats)
+	}
+	if refStats.LitsMinimized == 0 {
+		t.Fatalf("no literals minimized (stats %+v); conflict minimization not exercised", refStats)
+	}
 	if ref.Status != StatusUnsat {
 		t.Fatalf("status = %v, want unsat", ref.Status)
 	}

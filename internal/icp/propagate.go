@@ -10,6 +10,12 @@ import (
 // propagate runs clause unit propagation and constraint contraction to a
 // fixed point, returning a conflict if one arises.
 func (s *Solver) propagate() *conflict {
+	// a conflict stashed by the pre-SAT exhaustive check re-enters the
+	// normal analysis path here
+	if cf := s.pendingCf; cf != nil {
+		s.pendingCf = nil
+		return cf
+	}
 	// seed clauses added since the last call (they may be unit or false
 	// already under the current level-0 state)
 	if len(s.newClause) > 0 {
@@ -41,19 +47,11 @@ func (s *Solver) propagate() *conflict {
 		progress := false
 		// scan new trail events for clause propagation
 		for s.propHead < int32(len(s.trail)) {
-			e := &s.trail[s.propHead]
+			ei := s.propHead
 			s.propHead++
 			progress = true
-			var occ []int32
-			if e.side == sideLo {
-				occ = s.occLe[e.v] // raising lo can falsify (x <= c)
-			} else {
-				occ = s.occGe[e.v] // lowering hi can falsify (x >= c)
-			}
-			for _, ci := range occ {
-				if cf := s.checkClause(ci); cf != nil {
-					return cf
-				}
+			if cf := s.propagateWatch(ei); cf != nil {
+				return cf
 			}
 		}
 		// contract one constraint from the queue
@@ -70,6 +68,127 @@ func (s *Solver) propagate() *conflict {
 			return nil
 		}
 	}
+}
+
+// propagateWatch visits the clauses watching the falsifiable side of the
+// trail event at ei: a lo-raising event can only falsify (x <= c)
+// watches, a hi-lowering event only (x >= c) watches.  Clauses whose
+// watched literal survives the bound move cost one comparison; a fallen
+// watch tries to relocate to another non-false literal, and only when
+// none exists does the clause go through full unit/conflict handling.
+func (s *Solver) propagateWatch(ei int32) *conflict {
+	e := &s.trail[ei]
+	var ws *[]int32
+	if e.side == sideLo {
+		ws = &s.watchLe[e.v]
+	} else {
+		ws = &s.watchGe[e.v]
+	}
+	// The list is compacted in place while iterating: entries whose
+	// clause moved every watch off this (var, dir) list are dropped.
+	// Relocations append only to *other* lists (a same-list replacement
+	// keeps the existing entry), so the iteration bound stays valid.
+	list := *ws
+	out := 0
+	for k := 0; k < len(list); k++ {
+		ci := list[k]
+		s.Stats.WatchVisits++
+		keepEntry, cf := s.visitWatched(ci, e.v, e.side)
+		if keepEntry {
+			list[out] = ci
+			out++
+		}
+		if cf != nil {
+			out += copy(list[out:], list[k+1:])
+			*ws = list[:out]
+			return cf
+		}
+	}
+	*ws = list[:out]
+	return nil
+}
+
+// visitWatched handles clause ci after an event on (v, side) touched its
+// watch list.  Returns whether the clause should remain on this list and
+// a conflict if the clause is fully falsified.
+func (s *Solver) visitWatched(ci int32, v tnf.VarID, side int8) (bool, *conflict) {
+	c := &s.clauses[ci]
+	dir := tnf.DirLe
+	if side == sideHi {
+		dir = tnf.DirGe
+	}
+	if c.w1 < 0 {
+		// single-literal clause: re-check directly (conflict or re-assert)
+		return true, s.checkClause(ci)
+	}
+	for slot := 0; slot < 2; slot++ {
+		wi := c.w0
+		oi := c.w1
+		if slot == 1 {
+			wi, oi = c.w1, c.w0
+		}
+		wl := c.lits[wi]
+		if wl.Var != v || wl.Dir != dir || !s.litFalse(wl) {
+			continue
+		}
+		ol := c.lits[oi]
+		if s.litTrue(ol) {
+			// blocker: the clause is satisfied; the false watch stays.
+			// Sound lazily: ol became true no later than wl fell, so any
+			// backtrack keeping wl false keeps ol true.
+			continue
+		}
+		// relocate this watch to a non-false, non-watched literal
+		found := int32(-1)
+		for i := range c.lits {
+			ii := int32(i)
+			if ii == c.w0 || ii == c.w1 {
+				continue
+			}
+			if !s.litFalse(c.lits[i]) {
+				found = ii
+				break
+			}
+		}
+		if found >= 0 {
+			if slot == 0 {
+				c.w0 = found
+			} else {
+				c.w1 = found
+			}
+			nl := c.lits[found]
+			// append to the new list unless an entry already exists
+			// there: same list as the one being iterated (this entry
+			// stays if any watch remains here) or the other watch's list.
+			if (nl.Var != v || nl.Dir != dir) && (nl.Var != ol.Var || nl.Dir != ol.Dir) {
+				s.addWatch(nl, ci)
+			}
+			continue
+		}
+		// no replacement: the clause is unit on the other watch (assert
+		// it) or fully false (conflict); checkClause handles both.  The
+		// false watch stays listed — its falsifying event is the current
+		// one, so any backtrack past it restores the watch invariant.
+		if cf := s.checkClause(ci); cf != nil {
+			return true, cf
+		}
+	}
+	l0, l1 := c.lits[c.w0], c.lits[c.w1]
+	keep := (l0.Var == v && l0.Dir == dir) || (l1.Var == v && l1.Dir == dir)
+	return keep, nil
+}
+
+// checkAllClauses runs the exhaustive per-clause check over the whole
+// database — the pre-SAT safety net for lazily watched propagation.  It
+// reports whether any bound was asserted and the first conflict found.
+func (s *Solver) checkAllClauses() (bool, *conflict) {
+	mark := len(s.trail)
+	for ci := range s.clauses {
+		if cf := s.checkClause(int32(ci)); cf != nil {
+			return true, cf
+		}
+	}
+	return len(s.trail) > mark, nil
 }
 
 // checkClause examines clause ci: skips satisfied clauses, reports a
@@ -90,12 +209,13 @@ func (s *Solver) checkClause(ci int32) *conflict {
 	}
 	if unitIdx < 0 {
 		// all false: conflict, antecedents are the falsifying events
-		// (owned allocation: the conflict outlives this call)
-		ante := make([]int32, 0, len(c.lits))
+		buf := s.cfAnteBuf[:0]
 		for _, l := range c.lits {
-			ante = append(ante, s.falsifyingEvent(l))
+			buf = append(buf, s.falsifyingEvent(l))
 		}
-		return &conflict{ante: ante}
+		s.cfAnteBuf = buf
+		s.cfScratch.ante = buf
+		return &s.cfScratch
 	}
 	// unit: assert lits[unitIdx].  Scratch buffer: assertLit/setBound
 	// copies it if (and only if) a trail event is recorded.
@@ -273,7 +393,7 @@ func (s *Solver) applyContractionE(v tnf.VarID, lo, hi ept, ci int32, ante []int
 	cur := s.dom(v)
 	if interval.New(lo.v, hi.v).IsEmpty() && !(math.IsNaN(lo.v) || math.IsNaN(hi.v)) {
 		// the projection itself is empty: conflict regardless of progress
-		return &conflict{ante: append([]int32{}, ante...)}
+		return s.scratchConflict(ante)
 	}
 	threshold := s.contractionThreshold(cur)
 	if cf, applied := s.setBound(v, sideLo, lo.v, lo.open, threshold, reasonConstraint, -1, ci, ante); cf != nil {
@@ -296,8 +416,7 @@ func (s *Solver) applyContraction(v tnf.VarID, nd interval.Interval, ci int32, a
 	nd = cur.Intersect(nd)
 	if nd.IsEmpty() {
 		// empty intersection: conflict regardless of progress thresholds
-		cf := &conflict{ante: append([]int32{}, ante...)}
-		return cf
+		return s.scratchConflict(ante)
 	}
 	threshold := s.contractionThreshold(cur)
 	if nd.Lo > cur.Lo {

@@ -12,6 +12,7 @@ package icp
 
 import (
 	"math"
+	"sort"
 
 	"icpic3/internal/interval"
 	"icpic3/internal/tnf"
@@ -77,6 +78,18 @@ type Options struct {
 	// of the width-first heuristic.  Off by default: the IC3 engines rely
 	// on deterministic width-first splits for box quality.
 	UseActivity bool
+	// NoReduce disables learned-clause database reduction entirely (the
+	// solver then keeps every clause it ever learns).  Used by the
+	// bench-smoke invariance leg to prove clause deletion never changes
+	// a verdict, and available as an escape hatch.
+	NoReduce bool
+	// ReduceInterval is the learned-clause growth (clauses added since the
+	// last reduction) that triggers a database reduction.  0 means the
+	// default of 2048; tests use small values to force frequent reductions.
+	ReduceInterval int
+	// NoPhaseSave disables bound/phase saving: decisions then always
+	// split into the lower half first (the pre-watched-core behaviour).
+	NoPhaseSave bool
 }
 
 func (o Options) withDefaults() Options {
@@ -95,18 +108,29 @@ func (o Options) withDefaults() Options {
 	if o.MaxDecisions <= 0 {
 		o.MaxDecisions = 2_000_000
 	}
+	if o.ReduceInterval <= 0 {
+		o.ReduceInterval = 2048
+	}
 	return o
 }
 
 // Stats counts solver work across all Solve calls.
 type Stats struct {
-	Decisions    int64
-	Conflicts    int64
-	Propagations int64 // bound events
-	Contractions int64 // successful constraint tightenings
-	Learned      int64 // learned clauses
-	Solves       int64
-	Reductions   int64 // clause database reductions
+	Decisions      int64
+	Conflicts      int64
+	Propagations   int64 // bound events
+	Contractions   int64 // successful constraint tightenings
+	Learned        int64 // learned clauses
+	Solves         int64
+	Reductions     int64 // clause database reductions
+	WatchVisits    int64 // watched-clause inspections during propagation
+	ClausesDeleted int64 // clauses deleted by reduceDB (learned and root-satisfied)
+	LitsMinimized  int64 // literals dropped by conflict-clause minimization
+	// SubsumedFrameClauses counts frame clauses retired by syntactic
+	// subsumption.  It is maintained by the IC3 layer (the solver only
+	// hosts the counter so one Stats struct carries the whole
+	// deterministic work profile of a run).
+	SubsumedFrameClauses int64
 }
 
 const (
@@ -135,6 +159,11 @@ type event struct {
 	cl      int32   // clause index for reasonClause
 	con     int32   // constraint index for reasonConstraint
 	ante    []int32 // antecedent trail indices (-1 entries are skipped)
+	// prev is the trail index of the previous event on the same
+	// (v, side), -1 if none — the pushdown that lets cancelUntil restore
+	// lastLoEv/lastHiEv in O(1) per popped event instead of rescanning
+	// the trail.
+	prev int32
 }
 
 // lit returns the bound literal established by the event.
@@ -148,6 +177,18 @@ func (e *event) lit() tnf.Lit {
 type clause struct {
 	lits    []tnf.Lit
 	learned bool
+	// w0, w1 are the indices of the two watched literals (-1 for
+	// single-literal clauses, which need no watches: they are asserted
+	// once at seeding and their bound survives every backtrack to the
+	// level it was set at).
+	w0, w1 int32
+	// lbd is the literal block distance at learning time (distinct
+	// decision levels among the clause's literals); problem clauses
+	// carry 0.  Low-LBD ("glue") clauses are exempt from reduction.
+	lbd int32
+	// act is the conflict-participation activity used to rank learned
+	// clauses for deletion.
+	act float64
 }
 
 // conflict describes a dead end: the trail events that jointly imply false.
@@ -171,8 +212,16 @@ type Solver struct {
 	varCons [][]int32 // var -> constraint indices
 
 	clauses []clause
-	occLe   [][]int32 // var -> clauses containing an (x <= c) literal
-	occGe   [][]int32 // var -> clauses containing an (x >= c) literal
+	// Two-watched bound literals: watchLe[v] lists clauses currently
+	// watching an (x <= c) literal of v — the only clauses a lo-raising
+	// event on v can falsify — and watchGe[v] the (x >= c) watchers
+	// visited when v's hi drops.  A clause appears at most once per
+	// (var, direction) list even when both its watches share one.
+	// Unlike the occurrence lists this replaces, a trail event visits
+	// only the clauses whose watch it might falsify, and each visit is
+	// a constant-time bound comparison unless the watch actually fell.
+	watchLe [][]int32
+	watchGe [][]int32
 
 	trail     []event
 	trailLim  []int32 // trail length at the start of each level
@@ -200,6 +249,58 @@ type Solver struct {
 	rootConflict bool // system is UNSAT at level 0
 	stopped      bool // propagate observed the Stop hook firing mid-fixpoint
 
+	// pendingCf carries a conflict discovered by the pre-SAT exhaustive
+	// clause check back into the normal conflict-handling path: propagate
+	// returns it on its next call.
+	pendingCf *conflict
+
+	// cfScratch/cfAnteBuf form the solver-owned conflict carrier: every
+	// conflict is consumed (analyzed or traced into a core) before the
+	// next propagation step can construct another, so the hot conflict
+	// paths reuse one buffer instead of allocating per conflict.
+	cfScratch conflict
+	cfAnteBuf []int32
+
+	// Phase (bound) saving: phase[v] is the side of the most recent
+	// trail event on v undone by backtracking — sideHi when the search
+	// last explored v's lower half, sideLo for the upper half.  decide
+	// re-splits toward the saved side so backjumps and restarts revisit
+	// the subtree they were thrown out of instead of re-deriving it.
+	// phaseStamp[v] records the cancelUntil generation that saved the
+	// phase (newest-event-wins within one backtrack, 0 = no phase yet).
+	// phaseBase scopes saving to the current Solve call: stamps at or
+	// below it are stale — phases from a previous query's backtracks are
+	// noise for the next one and would perturb the width-first box
+	// trajectory IC3's widening depends on.
+	phase      []int8
+	phaseStamp []int64
+	phaseEpoch int64
+	phaseBase  int64
+
+	// Conflict-analysis scratch (analyze.go): epoch-stamped marks over
+	// trail indices replace per-conflict maps, so analysis and clause
+	// minimization allocate only when the trail outgrows the buffers.
+	seenStamp []int64 // seenStamp[i] == seenEpoch: trail event i is marked
+	seenEpoch int64
+	redStamp  []int64 // memo for litRedundant, same epoch discipline
+	redVal    []bool  // valid when redStamp matches; true = redundant
+	lowerBuf  []int32 // reusable `lower` slice for analyze
+
+	// branchMain/branchAux are the branching candidate lists, split by
+	// tier and kept in ascending var order (ties in the pick loop go to
+	// the earlier var, so order is part of the verdict).  Vars join on
+	// creation and are compacted away during reduceDB once root-level
+	// propagation has pinned them: a var undecidable at a level-0 state
+	// can never become decidable again (domains only tighten at the
+	// root, and search levels only tighten further), so dropping it
+	// there is exact.  In IC3 workloads the main solver accumulates
+	// thousands of retired one-shot query booleans; scanning them on
+	// every decision dominated the branching cost.
+	branchMain []tnf.VarID
+	branchAux  []tnf.VarID
+
+	claInc float64 // clause-activity increment (bumped clauses, decayed per conflict)
+
 	// Sync progress over the source tnf.System
 	nVarsSynced, nConsSynced, nClausesSynced int
 
@@ -213,7 +314,7 @@ type Solver struct {
 // call Sync between Solve calls to pull in newly compiled variables,
 // constraints and clauses.
 func New(sys *tnf.System, opts Options) *Solver {
-	s := &Solver{opts: opts.withDefaults(), actInc: 1}
+	s := &Solver{opts: opts.withDefaults(), actInc: 1, claInc: 1}
 	s.Sync(sys)
 	return s
 }
@@ -250,11 +351,20 @@ func (s *Solver) addVarInfo(vi tnf.VarInfo) tnf.VarID {
 	s.loOpen = append(s.loOpen, false)
 	s.hiOpen = append(s.hiOpen, false)
 	s.varCons = append(s.varCons, nil)
-	s.occLe = append(s.occLe, nil)
-	s.occGe = append(s.occGe, nil)
+	s.watchLe = append(s.watchLe, nil)
+	s.watchGe = append(s.watchGe, nil)
 	s.lastLoEv = append(s.lastLoEv, -1)
 	s.lastHiEv = append(s.lastHiEv, -1)
 	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, 0)
+	s.phaseStamp = append(s.phaseStamp, 0)
+	// ids grow monotonically, so appending keeps the candidate lists in
+	// the ascending order the branching tie-break relies on
+	if vi.Aux && !vi.Integer {
+		s.branchAux = append(s.branchAux, id)
+	} else {
+		s.branchMain = append(s.branchMain, id)
+	}
 	return id
 }
 
@@ -272,6 +382,27 @@ func (s *Solver) bumpActivity(v tnf.VarID) {
 // decayActivities makes future bumps weigh more than past ones.
 func (s *Solver) decayActivities() {
 	s.actInc /= 0.95
+}
+
+// bumpClauseAct raises the deletion-ranking activity of a learned clause
+// that participated in conflict analysis.
+func (s *Solver) bumpClauseAct(ci int32) {
+	c := &s.clauses[ci]
+	if !c.learned {
+		return
+	}
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for i := range s.clauses {
+			s.clauses[i].act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// decayClauseActs makes future clause bumps weigh more than past ones.
+func (s *Solver) decayClauseActs() {
+	s.claInc /= 0.999
 }
 
 // AddBoolVar introduces a fresh Boolean variable (used for activation
@@ -317,24 +448,71 @@ func (s *Solver) addClauseInternal(c tnf.Clause, learned bool) int32 {
 	lits := make([]tnf.Lit, len(c))
 	copy(lits, c)
 	id := int32(len(s.clauses))
-	s.clauses = append(s.clauses, clause{lits: lits, learned: learned})
-	seenLe := map[tnf.VarID]bool{}
-	seenGe := map[tnf.VarID]bool{}
-	for _, l := range lits {
-		if l.Dir == tnf.DirLe {
-			if !seenLe[l.Var] {
-				seenLe[l.Var] = true
-				s.occLe[l.Var] = append(s.occLe[l.Var], id)
-			}
-		} else {
-			if !seenGe[l.Var] {
-				seenGe[l.Var] = true
-				s.occGe[l.Var] = append(s.occGe[l.Var], id)
-			}
-		}
+	cl := clause{lits: lits, learned: learned, w0: -1, w1: -1}
+	if len(lits) == 1 {
+		// single-literal clauses watch their only literal so falsifying
+		// events keep re-checking them (they are also asserted at seeding)
+		cl.w0 = 0
+	} else {
+		cl.w0, cl.w1 = s.pickWatches(lits)
 	}
+	s.clauses = append(s.clauses, cl)
+	s.attachWatches(id)
 	s.newClause = append(s.newClause, id)
 	return id
+}
+
+// pickWatches chooses the two initial watch indices: non-false literals
+// first, then literals whose falsifying event is deepest on the trail.
+// For a learned clause added at the conflict level this selects the UIP
+// literal and the literal un-falsified first by the backjump — the
+// MiniSat choice.  Deterministic: ties keep the earliest literal.
+func (s *Solver) pickWatches(lits []tnf.Lit) (int32, int32) {
+	best0, best1 := int32(-1), int32(-1)
+	var score0, score1 int64 = -2, -2
+	for i, l := range lits {
+		var sc int64
+		if !s.litFalse(l) {
+			sc = int64(1) << 62
+		} else {
+			sc = int64(s.falsifyingEvent(l)) // -1: refuted by the initial domain
+		}
+		if sc > score0 {
+			best1, score1 = best0, score0
+			best0, score0 = int32(i), sc
+		} else if sc > score1 {
+			best1, score1 = int32(i), sc
+		}
+	}
+	return best0, best1
+}
+
+// attachWatches registers clause id on the watch lists of its watched
+// literals, collapsing to one entry when both watches share a
+// (var, direction) list.
+func (s *Solver) attachWatches(id int32) {
+	c := &s.clauses[id]
+	if c.w0 < 0 {
+		return
+	}
+	l0 := c.lits[c.w0]
+	s.addWatch(l0, id)
+	if c.w1 >= 0 {
+		l1 := c.lits[c.w1]
+		if l1.Var != l0.Var || l1.Dir != l0.Dir {
+			s.addWatch(l1, id)
+		}
+	}
+}
+
+// addWatch appends id to the watch list scanned by events that can
+// falsify l: lo-raising events for (x <= c), hi-lowering for (x >= c).
+func (s *Solver) addWatch(l tnf.Lit, id int32) {
+	if l.Dir == tnf.DirLe {
+		s.watchLe[l.Var] = append(s.watchLe[l.Var], id)
+	} else {
+		s.watchGe[l.Var] = append(s.watchGe[l.Var], id)
+	}
 }
 
 // NumVars returns the number of variables.
@@ -419,22 +597,28 @@ func (s *Solver) pushLevel() {
 	s.trailLim = append(s.trailLim, int32(len(s.trail)))
 }
 
-// cancelUntil undoes all trail events above the given level.
+// cancelUntil undoes all trail events above the given level, saving the
+// phase (side) of each variable's newest undone event for decide.
 func (s *Solver) cancelUntil(lvl int32) {
 	if lvl >= s.level() {
 		return
 	}
+	s.phaseEpoch++
 	limit := s.trailLim[lvl]
 	for i := int32(len(s.trail)) - 1; i >= limit; i-- {
 		e := &s.trail[i]
+		if s.phaseStamp[e.v] != s.phaseEpoch {
+			s.phaseStamp[e.v] = s.phaseEpoch
+			s.phase[e.v] = e.side
+		}
 		if e.side == sideLo {
 			s.lo[e.v] = e.old
 			s.loOpen[e.v] = e.oldOpen
-			s.lastLoEv[e.v] = prevEvent(s.trail[:i], e.v, sideLo)
+			s.lastLoEv[e.v] = e.prev
 		} else {
 			s.hi[e.v] = e.old
 			s.hiOpen[e.v] = e.oldOpen
-			s.lastHiEv[e.v] = prevEvent(s.trail[:i], e.v, sideHi)
+			s.lastHiEv[e.v] = e.prev
 		}
 	}
 	s.trail = s.trail[:limit]
@@ -442,17 +626,6 @@ func (s *Solver) cancelUntil(lvl int32) {
 	if s.propHead > limit {
 		s.propHead = limit
 	}
-}
-
-// prevEvent finds the latest event for (v, side) in the truncated trail.
-// Linear scan; called only during backtracking.
-func prevEvent(trail []event, v tnf.VarID, side int8) int32 {
-	for i := len(trail) - 1; i >= 0; i-- {
-		if trail[i].v == v && trail[i].side == side {
-			return int32(i)
-		}
-	}
-	return -1
 }
 
 // setBound applies a bound tightening.  Returns:
@@ -495,8 +668,7 @@ func (s *Solver) setBound(v tnf.VarID, side int8, b float64, strict bool, thresh
 		hi, hiOpen := s.hi[v], s.hiOpen[v]
 		if b > hi || (b == hi && (strict || hiOpen)) {
 			// conflict: antecedents plus the event that set hi
-			cf := &conflict{ante: append(append([]int32{}, ante...), s.lastHiEv[v])}
-			return cf, false
+			return s.scratchConflict(ante, s.lastHiEv[v]), false
 		}
 		if threshold > 0 && b-old < threshold && b != old && !s.vars[v].Integer {
 			return nil, false
@@ -510,8 +682,7 @@ func (s *Solver) setBound(v tnf.VarID, side int8, b float64, strict bool, thresh
 		}
 		lo, loOpen := s.lo[v], s.loOpen[v]
 		if b < lo || (b == lo && (strict || loOpen)) {
-			cf := &conflict{ante: append(append([]int32{}, ante...), s.lastLoEv[v])}
-			return cf, false
+			return s.scratchConflict(ante, s.lastLoEv[v]), false
 		}
 		if threshold > 0 && old-b < threshold && b != old && !s.vars[v].Integer {
 			return nil, false
@@ -527,22 +698,33 @@ func (s *Solver) setBound(v tnf.VarID, side int8, b float64, strict bool, thresh
 		nbOpen = s.hiOpen[v]
 	}
 	// ante may be the caller's scratch buffer; the event owns a copy
-	s.trail = append(s.trail, event{
+	ev := event{
 		v: v, side: side, old: old, oldOpen: oldOpen, nb: b, nbOpen: nbOpen,
 		level: s.level(), kind: kind, cl: cl, con: con,
 		ante: s.copyAnte(ante),
-	})
+	}
 	if side == sideLo {
+		ev.prev = s.lastLoEv[v]
 		s.lastLoEv[v] = idx
 	} else {
+		ev.prev = s.lastHiEv[v]
 		s.lastHiEv[v] = idx
 	}
+	s.trail = append(s.trail, ev)
 	s.Stats.Propagations++
 	// wake constraints watching v
 	for _, ci := range s.varCons[v] {
 		s.enqueueCon(ci)
 	}
 	return nil, true
+}
+
+// scratchConflict builds a conflict over the reusable carrier from the
+// given antecedents plus optional extra trail indices.
+func (s *Solver) scratchConflict(ante []int32, extra ...int32) *conflict {
+	s.cfAnteBuf = append(append(s.cfAnteBuf[:0], ante...), extra...)
+	s.cfScratch.ante = s.cfAnteBuf
+	return &s.cfScratch
 }
 
 // copyAnte copies an antecedent snapshot into the solver's chunked
@@ -591,26 +773,42 @@ func (s *Solver) decidable(v tnf.VarID) bool {
 	return hi-lo > s.opts.Eps
 }
 
+// compactBranchCands drops root-undecidable vars from the branching
+// candidate lists.  Must run at level 0 (reduceDB time): dropping is
+// then exact, since root domains only tighten and search levels tighten
+// further, so such a var can never become decidable again.  In-place
+// filtering preserves the ascending var order the pick loop's
+// tie-breaking depends on.
+func (s *Solver) compactBranchCands() {
+	keepDecidable := func(cands []tnf.VarID) []tnf.VarID {
+		kept := cands[:0]
+		for _, v := range cands {
+			if s.decidable(v) {
+				kept = append(kept, v)
+			}
+		}
+		return kept
+	}
+	s.branchMain = keepDecidable(s.branchMain)
+	s.branchAux = keepDecidable(s.branchAux)
+}
+
 // pickBranchVar selects the variable with the widest relative domain.
 // Primary (user-declared) and integral variables are preferred; auxiliary
 // real variables introduced by the TNF compiler are split only when no
 // primary choice remains, because they normally contract by propagation
 // once the primaries are fixed.
 func (s *Solver) pickBranchVar() (tnf.VarID, bool) {
-	if v, ok := s.pickBranchTier(false); ok {
+	if v, ok := s.pickBranchTier(s.branchMain); ok {
 		return v, true
 	}
-	return s.pickBranchTier(true)
+	return s.pickBranchTier(s.branchAux)
 }
 
-func (s *Solver) pickBranchTier(aux bool) (tnf.VarID, bool) {
+func (s *Solver) pickBranchTier(cands []tnf.VarID) (tnf.VarID, bool) {
 	best := tnf.VarID(-1)
 	bestScore := -1.0
-	for i := range s.vars {
-		v := tnf.VarID(i)
-		if (s.vars[v].Aux && !s.vars[v].Integer) != aux {
-			continue
-		}
+	for _, v := range cands {
 		if !s.decidable(v) {
 			continue
 		}
@@ -638,10 +836,13 @@ func (s *Solver) pickBranchTier(aux bool) (tnf.VarID, bool) {
 	return best, best >= 0
 }
 
-// decide splits the domain of v: lower half first.
+// decide splits the domain of v.  With a saved phase the split re-enters
+// the half the search last explored (an undone sideLo event means the
+// upper half was being tightened); otherwise lower half first.
 func (s *Solver) decide(v tnf.VarID) *conflict {
 	s.pushLevel()
 	s.Stats.Decisions++
+	upper := !s.opts.NoPhaseSave && s.phaseStamp[v] > s.phaseBase && s.phase[v] == sideLo
 	mid := interval.New(s.lo[v], s.hi[v]).Mid()
 	if s.vars[v].Integer {
 		mid = math.Floor(mid)
@@ -653,6 +854,11 @@ func (s *Solver) decide(v tnf.VarID) *conflict {
 		if mid < s.lo[v] {
 			mid = s.lo[v]
 		}
+		if upper {
+			// integral step is exact; the complement branch is x <= mid
+			cf, _ := s.setBound(v, sideLo, mid+1, false, 0, reasonDecision, -1, -1, nil)
+			return cf
+		}
 	} else {
 		// keep the split strictly inside the interval
 		if mid <= s.lo[v] {
@@ -660,6 +866,10 @@ func (s *Solver) decide(v tnf.VarID) *conflict {
 		}
 		if mid >= s.hi[v] {
 			mid = math.Nextafter(s.hi[v], math.Inf(-1))
+		}
+		if upper {
+			cf, _ := s.setBound(v, sideLo, mid, false, 0, reasonDecision, -1, -1, nil)
+			return cf
 		}
 	}
 	cf, _ := s.setBound(v, sideHi, mid, false, 0, reasonDecision, -1, -1, nil)
@@ -673,6 +883,8 @@ func (s *Solver) Solve(assumptions []tnf.Lit) Result {
 		return Result{Status: StatusUnsat}
 	}
 	s.cancelUntil(0)
+	s.pendingCf = nil
+	s.phaseBase = s.phaseEpoch // phases saved before this Solve are stale
 	s.maybeReduceDB()
 	s.nAssump = len(assumptions)
 	s.assumptions = assumptions
@@ -706,6 +918,7 @@ func (s *Solver) Solve(assumptions []tnf.Lit) Result {
 		if cf != nil {
 			s.Stats.Conflicts++
 			s.decayActivities()
+			s.decayClauseActs()
 			conflicts++
 			lvl := s.maxAnteLevel(cf.ante)
 			if lvl <= int32(s.nAssump) {
@@ -720,7 +933,7 @@ func (s *Solver) Solve(assumptions []tnf.Lit) Result {
 				s.cancelUntil(0)
 				return Result{Status: StatusUnknown}
 			}
-			learnt, assertLit, btLevel, ok := s.analyze(cf, lvl)
+			learnt, assertLit, btLevel, lbd, ok := s.analyze(cf, lvl)
 			if !ok {
 				// degenerate conflict (no resolvable structure): give up
 				s.cancelUntil(0)
@@ -731,6 +944,10 @@ func (s *Solver) Solve(assumptions []tnf.Lit) Result {
 			}
 			cid := s.addClauseInternal(learnt, true)
 			s.Stats.Learned++
+			if cid >= 0 {
+				s.clauses[cid].lbd = lbd
+				s.clauses[cid].act = s.claInc
+			}
 			s.cancelUntil(btLevel)
 			// Assert the UIP negation; antecedents are the falsifying
 			// events of the other learned literals.
@@ -793,6 +1010,18 @@ func (s *Solver) Solve(assumptions []tnf.Lit) Result {
 
 		v, ok := s.pickBranchVar()
 		if !ok {
+			// Watched propagation is lazy after backtracks: a clause whose
+			// watch fell at a lower level may have become unit or false
+			// without a fresh event on its watch lists.  Before trusting
+			// the box, re-check every clause exhaustively; a conflict is
+			// routed through pendingCf into the normal analysis path, and
+			// any asserted unit restarts propagation.
+			if prog, cfAll := s.checkAllClauses(); cfAll != nil {
+				s.pendingCf = cfAll
+				continue
+			} else if prog {
+				continue
+			}
 			// candidate box
 			box := make([]interval.Interval, len(s.vars))
 			for i := range s.vars {
@@ -830,17 +1059,21 @@ func (s *Solver) clampAssumptionLevel(btLevel int32) int32 {
 	return btLevel
 }
 
-// maybeReduceDB garbage-collects the clause database between Solve calls:
-// clauses permanently satisfied at the root level (e.g. retired one-shot
-// query clauses from IC3) are dropped, and only the most recent half of
-// the learned clauses is kept.  Trail events keep their (now stale) clause
-// indices, which is harmless: conflict analysis works on antecedent event
-// indices only.
+// maybeReduceDB garbage-collects the clause database between Solve calls.
+// Clauses permanently satisfied at the root level (e.g. retired one-shot
+// query clauses from IC3) are dropped whether learned or not; beyond
+// that, the lowest-activity half of the deletable learned clauses goes.
+// Exempt from deletion: clauses pending in newClause (not yet seeded),
+// problem clauses, clauses locked as the reason of a surviving level-0
+// trail event, binary clauses, and low-LBD ("glue") clauses.  Trail
+// clause references are remapped (deleted reasons become -1, harmless:
+// conflict analysis works on antecedent event indices only) and the
+// watch lists are rebuilt from scratch.
 func (s *Solver) maybeReduceDB() {
-	if s.level() != 0 {
+	if s.opts.NoReduce || s.level() != 0 {
 		return
 	}
-	if len(s.clauses)-s.lastReduceSize < 2048 {
+	if len(s.clauses)-s.lastReduceSize < s.opts.ReduceInterval {
 		return
 	}
 	satisfiedAtRoot := func(c *clause) bool {
@@ -851,68 +1084,80 @@ func (s *Solver) maybeReduceDB() {
 		}
 		return false
 	}
-	// clauses not yet propagated (pending in newClause) must survive and
-	// keep valid indices
 	pending := make(map[int32]bool, len(s.newClause))
 	for _, ci := range s.newClause {
 		pending[ci] = true
 	}
-	learnedTotal := 0
-	for i := range s.clauses {
-		if s.clauses[i].learned {
-			learnedTotal++
+	locked := make(map[int32]bool)
+	for i := range s.trail {
+		e := &s.trail[i]
+		if e.kind == reasonClause && e.cl >= 0 {
+			locked[e.cl] = true
 		}
 	}
-	learnedSeen := 0
-	kept := s.clauses[:0:0]
-	remap := make(map[int32]int32, len(pending))
+	keep := make([]bool, len(s.clauses))
+	var cand []int32 // deletable learned clauses
 	for i := range s.clauses {
 		c := &s.clauses[i]
-		if !pending[int32(i)] {
-			if satisfiedAtRoot(c) {
-				if c.learned {
-					learnedSeen++
-				}
-				continue
-			}
-			if c.learned {
-				learnedSeen++
-				if learnedSeen <= learnedTotal/2 {
-					continue // drop the older half of the learned clauses
-				}
-			}
+		id := int32(i)
+		switch {
+		case pending[id]:
+			keep[i] = true
+		case satisfiedAtRoot(c):
+			// dead weight whether learned or not
+		case !c.learned, locked[id], len(c.lits) <= 2, c.lbd <= 2:
+			keep[i] = true
+		default:
+			cand = append(cand, id)
 		}
-		remap[int32(i)] = int32(len(kept))
-		kept = append(kept, *c)
+	}
+	// keep the highest-activity half of the candidates (ties break toward
+	// keeping the younger clause, deterministically)
+	sort.Slice(cand, func(a, b int) bool {
+		ca, cb := &s.clauses[cand[a]], &s.clauses[cand[b]]
+		if ca.act != cb.act {
+			return ca.act < cb.act
+		}
+		return cand[a] < cand[b]
+	})
+	for _, id := range cand[len(cand)/2:] {
+		keep[id] = true
+	}
+	remap := make([]int32, len(s.clauses))
+	kept := s.clauses[:0:0]
+	for i := range s.clauses {
+		if !keep[i] {
+			remap[i] = -1
+			s.Stats.ClausesDeleted++
+			continue
+		}
+		remap[i] = int32(len(kept))
+		kept = append(kept, s.clauses[i])
 	}
 	s.clauses = kept
 	for i, ci := range s.newClause {
 		s.newClause[i] = remap[ci]
 	}
+	for i := range s.trail {
+		e := &s.trail[i]
+		if e.kind == reasonClause && e.cl >= 0 {
+			e.cl = remap[e.cl]
+		}
+	}
 	s.lastReduceSize = len(kept)
 	s.Stats.Reductions++
-	// rebuild occurrence lists
-	for v := range s.occLe {
-		s.occLe[v] = s.occLe[v][:0]
-		s.occGe[v] = s.occGe[v][:0]
+	s.compactBranchCands()
+	// rebuild watch lists from scratch (level 0: falsifyingEvent is valid)
+	for v := range s.watchLe {
+		s.watchLe[v] = s.watchLe[v][:0]
+		s.watchGe[v] = s.watchGe[v][:0]
 	}
 	for i := range s.clauses {
-		id := int32(i)
-		seenLe := map[tnf.VarID]bool{}
-		seenGe := map[tnf.VarID]bool{}
-		for _, l := range s.clauses[i].lits {
-			if l.Dir == tnf.DirLe {
-				if !seenLe[l.Var] {
-					seenLe[l.Var] = true
-					s.occLe[l.Var] = append(s.occLe[l.Var], id)
-				}
-			} else {
-				if !seenGe[l.Var] {
-					seenGe[l.Var] = true
-					s.occGe[l.Var] = append(s.occGe[l.Var], id)
-				}
-			}
+		c := &s.clauses[i]
+		if len(c.lits) >= 2 {
+			c.w0, c.w1 = s.pickWatches(c.lits)
 		}
+		s.attachWatches(int32(i))
 	}
 }
 

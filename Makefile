@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint lint-json check fuzz-short bench-json bench-diff bench-smoke clean
+.PHONY: all build test test-race vet lint lint-json check fuzz-short bench-json bench-diff bench-smoke reuse-smoke clean
 
 all: check
 
@@ -25,6 +25,8 @@ test-race:
 
 # Machine-readable perf snapshot: runs the suite at workers=1 and
 # workers=GOMAXPROCS and writes BENCH_<date>.json (see EXPERIMENTS.md).
+# benchtab pins GOMAXPROCS=NumCPU itself (-procs 0), overriding whatever
+# the environment exports, and records procs+workers in the JSON.
 bench-json:
 	$(GO) run ./cmd/benchtab -json -size 2 -budget 10s
 
@@ -42,6 +44,15 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'PropagateWatched' -benchtime=1x -benchmem ./internal/icp/
 	$(GO) test -run '^$$' -bench 'PropQuery' -benchtime=1x -benchmem ./internal/ic3icp/
 	$(GO) test -run 'TestReduceDBVerdictInvariance' -count=1 -v ./internal/ic3icp/
+
+# Certificate-reuse smoke (DESIGN.md §13): prove a tiny corpus, mutate
+# one bound per instance, re-verify seeded from the stored certificate —
+# benchtab exits 1 unless every lookup hits and every seeded verdict
+# matches the cold run.  The service tests drive the same path through
+# icpserve's -reuse wiring (store, metrics, persistence).
+reuse-smoke:
+	$(GO) run ./cmd/benchtab -reuse -size 1 -budget 5s
+	$(GO) test -run 'TestReuse' -count=1 ./internal/service/
 
 vet:
 	$(GO) vet ./...

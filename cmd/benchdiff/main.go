@@ -1,9 +1,10 @@
 // benchdiff compares two BENCH_<date>.json snapshots (see make
 // bench-json) and prints per-run and per-engine deltas: solved counts,
-// wall-clock, and solved/sec.  It exits 1 when the new snapshot regresses
-// — fewer instances solved, any wrong verdict appearing, or a per-engine
-// solved/sec drop beyond the tolerance — so CI and PR workflows can gate
-// on `make bench-diff OLD=... NEW=...`.
+// wall-clock, solved/sec, and worker scaling (speedup_x).  It exits 1
+// when the new snapshot regresses — fewer instances solved, any wrong
+// verdict appearing, a per-engine solved/sec drop beyond the tolerance,
+// or a same-config speedup_x drop beyond the tolerance — so CI and PR
+// workflows can gate on `make bench-diff OLD=... NEW=...`.
 //
 // Usage:
 //
@@ -85,6 +86,26 @@ func diffRun(label string, old, new harness.BenchRun, tol float64) (regressed bo
 	return regressed
 }
 
+// diffScaling tracks worker scaling (speedup_x = baseline wall /
+// parallel wall) across snapshots.  A drop beyond the tolerance is a
+// regression, but only when both snapshots ran at the same gomaxprocs
+// and worker count — across different machines or pool sizes the ratio
+// measures the config change, not the code.
+func diffScaling(old, cur *harness.BenchReport, tol float64) (regressed bool) {
+	fmt.Printf("scaling: speedup %.2fx -> %.2fx (gomaxprocs %d -> %d, workers %d -> %d)\n",
+		old.SpeedupX, cur.SpeedupX, old.GoMaxProcs, cur.GoMaxProcs,
+		old.Parallel.Workers, cur.Parallel.Workers)
+	if old.GoMaxProcs != cur.GoMaxProcs || old.Parallel.Workers != cur.Parallel.Workers {
+		fmt.Println("  (run configs differ; speedup tracked but not gated)")
+		return false
+	}
+	if old.SpeedupX > 0 && cur.SpeedupX < old.SpeedupX*(1-tol) {
+		fmt.Printf("  REGRESSION: worker scaling dropped more than %.0f%%\n", tol*100)
+		return true
+	}
+	return false
+}
+
 // pct is the relative change of b vs a in percent (0 when a is 0).
 func pct(b, a float64) float64 {
 	if a == 0 {
@@ -116,7 +137,9 @@ func main() {
 	if diffRun("parallel", old.Parallel, cur.Parallel, *tol) {
 		regressed = true
 	}
-	fmt.Printf("speedup %.2fx -> %.2fx\n", old.SpeedupX, cur.SpeedupX)
+	if diffScaling(old, cur, *tol) {
+		regressed = true
+	}
 	if regressed {
 		os.Exit(1)
 	}

@@ -36,6 +36,37 @@ func TestDiffRunFlagsWrongVerdicts(t *testing.T) {
 	}
 }
 
+func report(speedup float64, procs, workers int) *harness.BenchReport {
+	return &harness.BenchReport{
+		GoMaxProcs: procs,
+		SpeedupX:   speedup,
+		Parallel:   harness.BenchRun{Workers: workers},
+	}
+}
+
+func TestDiffScalingFlagsDrop(t *testing.T) {
+	if !diffScaling(report(3.0, 8, 8), report(1.5, 8, 8), 0.10) {
+		t.Fatal("halved speedup at identical config not flagged")
+	}
+	if diffScaling(report(3.0, 8, 8), report(2.9, 8, 8), 0.10) {
+		t.Fatal("within-tolerance speedup jitter flagged")
+	}
+	if diffScaling(report(3.0, 8, 8), report(3.4, 8, 8), 0.10) {
+		t.Fatal("improvement flagged as regression")
+	}
+}
+
+func TestDiffScalingSkipsConfigChanges(t *testing.T) {
+	// the seed-era snapshots ran at gomaxprocs 1 (speedup ~1x); the jump
+	// to NumCPU changes the config, so the ratio is tracked, not gated
+	if diffScaling(report(1.0, 1, 1), report(0.8, 8, 8), 0.10) {
+		t.Fatal("cross-config speedup change gated")
+	}
+	if diffScaling(report(3.0, 8, 8), report(1.0, 8, 4), 0.10) {
+		t.Fatal("worker-count change gated")
+	}
+}
+
 func TestDiffRunFlagsThroughputDrop(t *testing.T) {
 	old := run(10, 0, eng("ic3-icp", 5, 1.0, 0))
 	cur := run(10, 0, eng("ic3-icp", 5, 0.5, 0))

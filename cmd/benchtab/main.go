@@ -7,9 +7,14 @@
 //	benchtab -table 2 -budget 10s # just Table II with a 10s per-run budget
 //	benchtab -fig 1               # just the cactus plot series
 //	benchtab -json                # baseline-vs-parallel BENCH_<date>.json
+//	benchtab -reuse               # certificate-reuse resubmission workload
 //
 // -workers bounds the suite-level worker pool (0 = GOMAXPROCS); record
 // order and verdicts do not depend on it, only wall-clock does.
+// -procs pins GOMAXPROCS for the whole run (0 = NumCPU), overriding the
+// environment, so perf snapshots measure the machine and not whatever
+// GOMAXPROCS the invoking shell happened to export; every text report
+// and BENCH_<date>.json records the value in force.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"icpic3/internal/benchmarks"
@@ -35,10 +41,36 @@ func main() {
 		jsonOut = flag.Bool("json", false, "run the suite at workers=1 and workers=N and write BENCH_<date>.json")
 		outFile = flag.String("o", "", "output file for -json (default BENCH_<date>.json)")
 		workers = flag.Int("workers", 0, "suite-level worker pool (0 = GOMAXPROCS, 1 = sequential)")
+		procs   = flag.Int("procs", 0, "GOMAXPROCS for the run (0 = NumCPU; overrides the environment)")
+		reuseWL = flag.Bool("reuse", false, "run the certificate-reuse resubmission workload; exit 1 on a verdict mismatch or a missed lookup")
 	)
 	flag.Parse()
 
+	if *procs <= 0 {
+		*procs = runtime.NumCPU()
+	}
+	runtime.GOMAXPROCS(*procs)
+
 	w := os.Stdout
+	if *reuseWL {
+		suite, err := benchmarks.Suite(*size)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep, err := harness.ReuseBench(suite, *budget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w, harness.RunConfigLine(*workers))
+		harness.WriteReuseReport(w, rep)
+		if rep.Mismatches > 0 || rep.Hits < rep.Proved {
+			fmt.Fprintln(os.Stderr, "benchtab: reuse workload failed (verdict mismatch or missed lookup)")
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut {
 		date := time.Now().Format("2006-01-02")
 		rep, err := harness.BenchJSON(*size, *budget, *workers, date)
@@ -62,8 +94,8 @@ func main() {
 			os.Exit(1)
 		}
 		f.Close()
-		fmt.Printf("wrote %s (baseline %.2fs, parallel %.2fs @ %d workers, speedup %.2fx)\n",
-			path, rep.Baseline.WallSec, rep.Parallel.WallSec, rep.Parallel.Workers, rep.SpeedupX)
+		fmt.Printf("wrote %s (gomaxprocs %d, baseline %.2fs, parallel %.2fs @ %d workers, speedup %.2fx)\n",
+			path, rep.GoMaxProcs, rep.Baseline.WallSec, rep.Parallel.WallSec, rep.Parallel.Workers, rep.SpeedupX)
 		return
 	}
 	if *all {
@@ -81,6 +113,9 @@ func main() {
 	engines := harness.Engines()
 	names := harness.EngineNames()
 
+	if (*table != 0 || *fig != 0) && !*csvOut {
+		fmt.Fprintln(w, harness.RunConfigLine(*workers))
+	}
 	switch {
 	case *table == 1:
 		harness.Table1(w, suite)

@@ -6,11 +6,24 @@
 package harness
 
 import (
+	"fmt"
 	"runtime"
 	"time"
 
 	"icpic3/internal/benchmarks"
 )
+
+// RunConfigLine renders the execution environment of a text report —
+// the GOMAXPROCS in force and the resolved suite worker count — so a
+// saved table or figure records what parallelism produced it.  workers
+// <= 0 resolves to GOMAXPROCS, mirroring parallel.go.
+func RunConfigLine(workers int) string {
+	procs := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = procs
+	}
+	return fmt.Sprintf("config: gomaxprocs %d, suite workers %d", procs, workers)
+}
 
 // BenchEngine is the per-engine slice of one suite run.
 type BenchEngine struct {

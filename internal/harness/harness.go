@@ -425,6 +425,9 @@ func ReportWorkers(w io.Writer, suiteSize int, perRun time.Duration, workers int
 	engines := Engines()
 	names := EngineNames()
 
+	fmt.Fprintln(w, RunConfigLine(workers))
+	fmt.Fprintln(w)
+
 	Table1(w, suite)
 	fmt.Fprintln(w)
 

@@ -81,6 +81,13 @@ type Options struct {
 	WidenRounds int
 	// MaxObligations bounds the total proof obligations (0 = 200_000).
 	MaxObligations int64
+	// SeedClauses are invariant clauses of a prior proof (typically a
+	// box-invariant certificate of a near-identical system, see
+	// internal/reuse).  Each cube is re-checked against this system's
+	// Init/Trans with fresh solvers before its negation is installed at
+	// F_1; clauses that are no longer inductive are dropped, so a stale
+	// or corrupted seed can slow a run but never change its verdict.
+	SeedClauses []Cube
 	// Workers is the number of goroutines the forward clause-pushing
 	// phase fans its per-clause consecution queries across (<= 1 =
 	// sequential).  Every worker runs on its own solver snapshot (see
@@ -875,6 +882,13 @@ func (ch *checker) run(info *Info) engine.Result {
 	ch.newFrame() // level 0
 	ch.main.AddClause(tnf.Clause{tnf.MkLe(ch.frameAct[0], 0), initLit})
 	ch.newFrame() // level 1
+
+	// Certificate reuse: install still-inductive prior-proof clauses at
+	// F_1 before the search starts (see seed.go for the soundness
+	// argument; a failed re-check only drops clauses).
+	if err := ch.seedFrames(); err != nil {
+		return engine.Result{Verdict: engine.Unknown, Note: "seed: " + err.Error()}
+	}
 
 	k := 1
 	for k < ch.opts.MaxFrames {

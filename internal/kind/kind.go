@@ -28,6 +28,13 @@ type Options struct {
 	// ValidateTol is the counterexample validation tolerance
 	// (0 = 1000 * Eps).
 	ValidateTol float64
+	// SeedK, when > 0, is a prior proof's induction depth (see
+	// internal/reuse): step-case queries below it are skipped, since a
+	// near-identical system already failed them.  Base cases still run
+	// at every depth, so counterexamples are never missed and a Safe
+	// verdict keeps its full base-case coverage — a wrong hint costs
+	// only the skipped early-exit chance, never the verdict.
+	SeedK int
 	// Budget bounds the run.
 	Budget engine.Budget
 	// Progress, when non-nil, receives a heartbeat tick per base/step
@@ -195,7 +202,10 @@ func Check(sys *ts.System, opts Options) engine.Result {
 		// step case: (∧_{i<=k-1} Prop@i ∧ Trans@i) ∧ !Prop@k over any start.
 		// For k = 0 this asks whether !Prop is satisfiable inside the
 		// variable ranges at all - usually SAT, so start stepping at k >= 1.
-		if k >= 1 {
+		// A SeedK hint additionally skips the step queries a prior proof
+		// already saw fail (the unrolling is still extended, so the query
+		// at SeedK sees the full induction hypothesis).
+		if k >= 1 && k >= opts.SeedK {
 			_, badS, err := step.bad(k)
 			if err != nil {
 				return finish(engine.Result{Verdict: engine.Unknown, Depth: k, Note: err.Error(), Stats: stats})

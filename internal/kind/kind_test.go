@@ -190,6 +190,65 @@ func TestInvalidSystem(t *testing.T) {
 	}
 }
 
+func TestSeedKSkipsStepQueries(t *testing.T) {
+	// toggle needs k = 2; a SeedK = 2 hint must skip the doomed k = 1
+	// step query and still land on the same verdict.
+	src := `
+system toggle
+var x : real [0, 10]
+var b : bool
+init x >= 0 and x <= 0 and !b
+trans (b -> x' = x + 1) and (!b -> x' = x - 1) and (b' <-> !b) and x' >= 0 and x' <= 10
+prop x <= 7
+`
+	cold := Check(mustParse(t, src), Options{MaxK: 8})
+	seeded := Check(mustParse(t, src), Options{MaxK: 8, SeedK: 2})
+	if cold.Verdict != engine.Safe || seeded.Verdict != engine.Safe {
+		t.Fatalf("cold = %v, seeded = %v", cold.Verdict, seeded.Verdict)
+	}
+	if seeded.Depth != cold.Depth {
+		t.Errorf("seeded depth = %d, cold depth = %d", seeded.Depth, cold.Depth)
+	}
+	if seeded.Stats["stepSolves"] >= cold.Stats["stepSolves"] {
+		t.Errorf("seeded stepSolves = %d, cold = %d: hint skipped nothing",
+			seeded.Stats["stepSolves"], cold.Stats["stepSolves"])
+	}
+}
+
+func TestSeedKKeepsBaseCases(t *testing.T) {
+	// a wildly wrong SeedK must not delay or mask a counterexample:
+	// base cases run at every depth regardless.
+	sys := mustParse(t, `
+system counter
+var x : real [0, 100]
+init x >= 0 and x <= 0
+trans x' = x + 2
+prop x <= 5
+`)
+	res := Check(sys, Options{MaxK: 10, SeedK: 9})
+	if res.Verdict != engine.Unsafe || res.Depth != 3 {
+		t.Fatalf("verdict = %v depth %d, want Unsafe at 3", res.Verdict, res.Depth)
+	}
+	if res.Stats["stepSolves"] != 0 {
+		t.Errorf("stepSolves = %d before SeedK, want 0", res.Stats["stepSolves"])
+	}
+}
+
+func TestSeedKAtProofDepth(t *testing.T) {
+	// SeedK equal to the real induction depth keeps the verdict and depth.
+	sys := mustParse(t, `
+system decay
+var x : real [0, 10]
+init x >= 0 and x <= 6
+trans x' = x / 2
+prop x <= 8
+`)
+	res := Check(sys, Options{MaxK: 8, SeedK: 1})
+	if res.Verdict != engine.Safe || res.Depth != 1 {
+		t.Fatalf("verdict = %v depth %d, want Safe at 1", res.Verdict, res.Depth)
+	}
+}
+
 func TestStats(t *testing.T) {
 	sys := mustParse(t, `
 system d

@@ -1,0 +1,148 @@
+package reuse
+
+import (
+	"testing"
+
+	"icpic3/internal/ts"
+)
+
+func mustParse(t *testing.T, src string) *ts.System {
+	t.Helper()
+	s, err := ts.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+const decaySrc = `
+system decay
+var x : real [0, 10]
+init x >= 0 and x <= 6
+trans x' = x / 2
+prop x <= 8
+`
+
+func TestDiffIdentical(t *testing.T) {
+	a := mustParse(t, decaySrc)
+	b := mustParse(t, decaySrc)
+	d := Diff(a, b)
+	if !d.Identical() || d.Distance != 0 {
+		t.Fatalf("identical systems diff = %+v", d)
+	}
+	if d.String() != "identical" {
+		t.Errorf("String() = %q", d.String())
+	}
+}
+
+func TestDiffIgnoresSpellingNoise(t *testing.T) {
+	// same system written with redundant parens and reordered conjuncts
+	// that canonical simplification normalizes away
+	a := mustParse(t, decaySrc)
+	b := mustParse(t, `
+system decay
+var x : real [0, 10]
+init ((x >= 0)) and (x <= 6)
+trans (x' = x / 2)
+prop (x <= 8)
+`)
+	d := Diff(a, b)
+	if d.Distance != 0 {
+		t.Fatalf("paren noise scored %+v", d)
+	}
+}
+
+func TestDiffBoundEdit(t *testing.T) {
+	a := mustParse(t, decaySrc)
+	b := mustParse(t, `
+system decay
+var x : real [0, 10]
+init x >= 0 and x <= 6
+trans x' = x / 2
+prop x <= 7.5
+`)
+	d := Diff(a, b)
+	if d.Identical() {
+		t.Fatal("bound edit scored identical")
+	}
+	if d.PropDist <= 0 || d.InitDist != 0 || d.TransDist != 0 || d.VarsAdded+d.VarsRemoved+d.VarsChanged != 0 {
+		t.Fatalf("bound edit = %+v", d)
+	}
+	// a one-token edit in a short formula is still a small distance
+	if d.Distance >= 0.25 {
+		t.Errorf("one-bound edit distance = %g, want < 0.25", d.Distance)
+	}
+	if d.String() != "prop" {
+		t.Errorf("String() = %q", d.String())
+	}
+}
+
+func TestDiffVarChanges(t *testing.T) {
+	a := mustParse(t, decaySrc)
+	b := mustParse(t, `
+system decay
+var x : real [0, 12]
+var y : real [0, 1]
+init x >= 0 and x <= 6
+trans x' = x / 2 and y' = y
+prop x <= 8
+`)
+	d := Diff(a, b)
+	if d.VarsAdded != 1 || d.VarsChanged != 1 || d.VarsRemoved != 0 {
+		t.Fatalf("vars = %+v", d)
+	}
+	dd := Diff(b, a)
+	if dd.VarsRemoved != 1 || dd.VarsAdded != 0 {
+		t.Fatalf("reverse vars = %+v", dd)
+	}
+	if d.Distance != dd.Distance {
+		t.Errorf("asymmetric distance: %g vs %g", d.Distance, dd.Distance)
+	}
+}
+
+func TestDiffUnrelatedSystemsFar(t *testing.T) {
+	a := mustParse(t, decaySrc)
+	b := mustParse(t, `
+system other
+var a : real [0, 1]
+var b : real [0, 1]
+init a <= 0.5 and b <= 0.5
+trans a' = a * b and b' = b - a
+prop a + b <= 2
+`)
+	d := Diff(a, b)
+	if d.Distance < 0.5 {
+		t.Fatalf("unrelated systems distance = %g, want >= 0.5", d.Distance)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want int
+	}{
+		{nil, nil, 0},
+		{[]string{"x"}, nil, 1},
+		{[]string{"x", "<=", "8"}, []string{"x", "<=", "7"}, 1},
+		{[]string{"a", "b", "c"}, []string{"a", "c"}, 1},
+		{[]string{"a"}, []string{"b", "c"}, 2},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	toks := tokenize("(x' <= 8.5) and !b")
+	want := []string{"x'", "<=", "8.5", "and", "!", "b"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokenize = %v, want %v", toks, want)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("tokenize = %v, want %v", toks, want)
+		}
+	}
+}

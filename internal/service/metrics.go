@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"icpic3/internal/engine"
 )
 
 // latencyBuckets are the upper bounds of the job-latency histogram.
@@ -61,6 +63,15 @@ type Metrics struct {
 	certified  int64 // decisive results that passed independent re-checking
 	certFailed int64 // decisive results demoted to Unknown by certification
 
+	reuseLookups   int64 // certificate-store lookups (reuse-capable jobs)
+	reuseHits      int64 // lookups that produced usable seed hints
+	clausesSeeded  int64 // prior-proof clauses that survived re-checking
+	clausesDropped int64 // prior-proof clauses dropped as stale/corrupt
+	seededRuns     int64 // engine runs started from a prior certificate
+	seededSeconds  float64
+	coldRuns       int64 // engine runs with no usable prior certificate
+	coldSeconds    float64
+
 	completed map[string]int64      // "engine\x00verdict" -> count
 	latency   map[string]*histogram // engine -> histogram
 }
@@ -77,12 +88,64 @@ func (m *Metrics) incHit()       { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
 func (m *Metrics) incMiss()      { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
 func (m *Metrics) incCoalesced() { m.mu.Lock(); m.coalesced++; m.mu.Unlock() }
 
+func (m *Metrics) incReuseLookup() { m.mu.Lock(); m.reuseLookups++; m.mu.Unlock() }
+func (m *Metrics) incReuseHit()    { m.mu.Lock(); m.reuseHits++; m.mu.Unlock() }
+
+// recordReuse attributes a finished engine run to the seeded or cold
+// population (the ratio of their mean runtimes is the reuse speedup)
+// and accumulates the engine's clause seeding counters.
+func (m *Metrics) recordReuse(seeded bool, res engine.Result) {
+	m.mu.Lock()
+	if seeded {
+		m.seededRuns++
+		m.seededSeconds += res.Runtime.Seconds()
+	} else {
+		m.coldRuns++
+		m.coldSeconds += res.Runtime.Seconds()
+	}
+	if res.Stats != nil {
+		m.clausesSeeded += res.Stats["seedInstalled"]
+		m.clausesDropped += res.Stats["seedDropped"]
+	}
+	m.mu.Unlock()
+}
+
 func (m *Metrics) incPanics()     { m.mu.Lock(); m.panics++; m.mu.Unlock() }
 func (m *Metrics) incStalled()    { m.mu.Lock(); m.stalled++; m.mu.Unlock() }
 func (m *Metrics) incRetried()    { m.mu.Lock(); m.retried++; m.mu.Unlock() }
 func (m *Metrics) incDegraded()   { m.mu.Lock(); m.degraded++; m.mu.Unlock() }
 func (m *Metrics) incCertified()  { m.mu.Lock(); m.certified++; m.mu.Unlock() }
 func (m *Metrics) incCertFailed() { m.mu.Lock(); m.certFailed++; m.mu.Unlock() }
+
+// Reuse counter accessors (for tests and logs).
+func (m *Metrics) ReuseLookups() int64 { m.mu.Lock(); defer m.mu.Unlock(); return m.reuseLookups }
+func (m *Metrics) ReuseHits() int64    { m.mu.Lock(); defer m.mu.Unlock(); return m.reuseHits }
+func (m *Metrics) ClausesSeeded() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clausesSeeded
+}
+func (m *Metrics) ClausesDropped() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clausesDropped
+}
+
+// ReuseSpeedup returns the ratio of mean cold runtime to mean seeded
+// runtime (> 1 means seeding pays off); 0 until both populations have
+// at least one run.
+func (m *Metrics) ReuseSpeedup() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reuseSpeedupLocked()
+}
+
+func (m *Metrics) reuseSpeedupLocked() float64 {
+	if m.seededRuns == 0 || m.coldRuns == 0 || m.seededSeconds <= 0 {
+		return 0
+	}
+	return (m.coldSeconds / float64(m.coldRuns)) / (m.seededSeconds / float64(m.seededRuns))
+}
 
 // Robustness counter accessors (for tests and logs).
 func (m *Metrics) Panics() int64     { m.mu.Lock(); defer m.mu.Unlock(); return m.panics }
@@ -153,6 +216,15 @@ func (m *Metrics) WriteText(w io.Writer) error {
 	add("icpserve_jobs_degraded_total %d", m.degraded)
 	add("icpserve_results_certified_total %d", m.certified)
 	add("icpserve_results_cert_failed_total %d", m.certFailed)
+	add("icpserve_reuse_lookups_total %d", m.reuseLookups)
+	add("icpserve_reuse_hits_total %d", m.reuseHits)
+	add("icpserve_reuse_clauses_seeded_total %d", m.clausesSeeded)
+	add("icpserve_reuse_clauses_dropped_total %d", m.clausesDropped)
+	add("icpserve_reuse_seeded_runs_total %d", m.seededRuns)
+	add("icpserve_reuse_seeded_seconds_sum %g", m.seededSeconds)
+	add("icpserve_reuse_cold_runs_total %d", m.coldRuns)
+	add("icpserve_reuse_cold_seconds_sum %g", m.coldSeconds)
+	add("icpserve_reuse_speedup_ratio %g", m.reuseSpeedupLocked())
 	for key, n := range m.completed {
 		parts := strings.SplitN(key, "\x00", 2)
 		add("icpserve_jobs_completed_total{engine=%q,verdict=%q} %d", parts[0], parts[1], n)

@@ -1,0 +1,69 @@
+package service
+
+import (
+	"icpic3/internal/engine"
+	"icpic3/internal/ic3icp"
+	"icpic3/internal/reuse"
+)
+
+// seedHints carries what a prior certificate contributes to a new run:
+// invariant clauses for IC3 frame seeding and a proven induction depth
+// for k-induction.  The zero value means "run cold".
+type seedHints struct {
+	invariant []ic3icp.Cube // prior box-invariant clauses (re-checked by the engine)
+	k         int           // prior k-induction depth (step cases below it are skipped)
+	desc      string        // human-readable match description for logs/status
+}
+
+func (h seedHints) empty() bool { return len(h.invariant) == 0 && h.k == 0 }
+
+// lookupSeed consults the certificate store for the closest prior proof
+// of the job's system and converts it into engine hints.  Only engines
+// that can consume a hint trigger a lookup (BMC cannot), so the
+// hit-rate metric measures reusable traffic, not all traffic.
+func (s *Service) lookupSeed(jb *job) seedHints {
+	if s.store == nil || jb.req.Engine == "bmc" {
+		return seedHints{}
+	}
+	s.metrics.incReuseLookup()
+	m, ok := s.store.Lookup(jb.sys, s.cfg.ReuseMaxDist)
+	if !ok {
+		return seedHints{}
+	}
+	hints := seedHints{desc: m.Describe()}
+	if m.Entry.Cert != nil {
+		switch m.Entry.Cert.Kind {
+		case engine.CertBoxInvariant:
+			if inv, err := ic3icp.InvariantOf(m.Entry.Cert); err == nil {
+				hints.invariant = inv
+			}
+		case engine.CertKInduction:
+			hints.k = m.Entry.Cert.K
+		}
+	}
+	if hints.empty() {
+		// a certificate kind the engines cannot seed from (e.g. a trivial
+		// bool invariant): not a usable hit
+		return seedHints{}
+	}
+	s.metrics.incReuseHit()
+	s.logf("job %s: reuse hit %s from %s (%d clauses, k=%d)",
+		jb.id, hints.desc, m.Entry.Engine, len(hints.invariant), hints.k)
+	return hints
+}
+
+// storeCertificate records a certified Safe result for future reuse.
+// Persistence failures are logged, never fatal: the proof already
+// happened, the cache is an optimization.
+func (s *Service) storeCertificate(jb *job, engineUsed string, res engine.Result) {
+	if s.store == nil || res.Verdict != engine.Safe || res.Certificate == nil {
+		return
+	}
+	if err := s.store.Put(jb.sys, engineUsed, res.Depth, res.Certificate); err != nil {
+		s.logf("job %s: certificate store: %v", jb.id, err)
+	}
+}
+
+// ReuseStore exposes the certificate store (nil when reuse is disabled);
+// for tests and diagnostics.
+func (s *Service) ReuseStore() *reuse.Store { return s.store }

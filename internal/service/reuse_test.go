@@ -1,0 +1,159 @@
+package service
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// editedSafeModel is safeModel with a tightened property bound: a
+// different cache key (no result-cache hit) but structurally close, so
+// the certificate store should seed it from safeModel's proof.
+const editedSafeModel = `
+system quickstart
+var x : real [0, 10]
+init x >= 0 and x <= 6
+trans x' = x / 2 + x^2 / 100
+prop x <= 7.5
+`
+
+func TestReuseSeedsResubmission(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, Reuse: true})
+
+	first, err := s.Submit(Request{Source: safeModel, Engine: "ic3", Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	final, err := s.Wait(first.ID, 30*time.Second)
+	if err != nil || final.Verdict != "safe" {
+		t.Fatalf("first = %+v, %v", final, err)
+	}
+	if !final.Certified {
+		t.Fatalf("first proof not certified: %+v", final)
+	}
+	if final.Reused != "" {
+		t.Errorf("cold run marked reused: %q", final.Reused)
+	}
+	if n := s.ReuseStore().Len(); n != 1 {
+		t.Fatalf("store len = %d after certified proof, want 1", n)
+	}
+
+	second, err := s.Submit(Request{Source: editedSafeModel, Engine: "ic3", Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("submit edited: %v", err)
+	}
+	refinal, err := s.Wait(second.ID, 30*time.Second)
+	if err != nil || refinal.Verdict != "safe" {
+		t.Fatalf("second = %+v, %v", refinal, err)
+	}
+	if refinal.CacheHit {
+		t.Fatal("edited model must miss the result cache")
+	}
+	if refinal.Reused == "" {
+		t.Fatalf("edited resubmission did not reuse the prior proof: %+v", refinal)
+	}
+	if !strings.Contains(refinal.Reused, "prop") {
+		t.Errorf("Reused = %q, want a prop-edit match description", refinal.Reused)
+	}
+	if !refinal.Certified {
+		t.Errorf("seeded result not certified: %+v", refinal)
+	}
+
+	m := s.Metrics()
+	if m.ReuseLookups() < 2 || m.ReuseHits() != 1 {
+		t.Errorf("lookups = %d, hits = %d, want >= 2 lookups and exactly 1 hit",
+			m.ReuseLookups(), m.ReuseHits())
+	}
+	text := m.String()
+	for _, want := range []string{
+		"icpserve_reuse_lookups_total 2",
+		"icpserve_reuse_hits_total 1",
+		"icpserve_reuse_seeded_runs_total 1",
+		"icpserve_reuse_cold_runs_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	if m.ClausesSeeded()+m.ClausesDropped() == 0 {
+		t.Error("no clause accounting surfaced from the seeded run")
+	}
+}
+
+func TestReuseExactHitAfterResultCacheMiss(t *testing.T) {
+	// same system, different engine options: result cache misses (the
+	// key includes options), certificate store hits exactly (keyed by
+	// system hash alone).
+	s := newTestService(t, Config{Workers: 1, Reuse: true})
+	first, _ := s.Submit(Request{Source: safeModel, Engine: "ic3", Timeout: 30 * time.Second})
+	if st, err := s.Wait(first.ID, 30*time.Second); err != nil || st.Verdict != "safe" {
+		t.Fatalf("first = %+v, %v", st, err)
+	}
+	second, err := s.Submit(Request{Source: safeModel, Engine: "ic3", Eps: 1e-4, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Wait(second.ID, 30*time.Second)
+	if err != nil || st.Verdict != "safe" {
+		t.Fatalf("second = %+v, %v", st, err)
+	}
+	if st.CacheHit || st.Reused != "exact" {
+		t.Fatalf("want result-cache miss with exact reuse, got %+v", st)
+	}
+}
+
+func TestReuseDisabledByDefault(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	if s.ReuseStore() != nil {
+		t.Fatal("store exists without Config.Reuse")
+	}
+	st, _ := s.Submit(Request{Source: safeModel, Engine: "ic3", Timeout: 30 * time.Second})
+	final, _ := s.Wait(st.ID, 30*time.Second)
+	if final.Reused != "" {
+		t.Errorf("reuse ran while disabled: %+v", final)
+	}
+	if s.Metrics().ReuseLookups() != 0 {
+		t.Errorf("lookups counted while disabled")
+	}
+}
+
+func TestReusePersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	s1 := newTestService(t, Config{Workers: 1, Reuse: true, CacheDir: dir})
+	st, _ := s1.Submit(Request{Source: safeModel, Engine: "ic3", Timeout: 30 * time.Second})
+	if final, err := s1.Wait(st.ID, 30*time.Second); err != nil || final.Verdict != "safe" {
+		t.Fatalf("prove: %+v, %v", final, err)
+	}
+
+	// a fresh service over the same directory starts warm
+	s2 := newTestService(t, Config{Workers: 1, CacheDir: dir}) // CacheDir implies nothing; Reuse must be set
+	if s2.ReuseStore() != nil {
+		t.Fatal("CacheDir alone must not enable reuse")
+	}
+	s3 := newTestService(t, Config{Workers: 1, Reuse: true, CacheDir: dir})
+	if n := s3.ReuseStore().Len(); n != 1 {
+		t.Fatalf("restarted store len = %d, want 1", n)
+	}
+	re, _ := s3.Submit(Request{Source: editedSafeModel, Engine: "ic3", Timeout: 30 * time.Second})
+	final, err := s3.Wait(re.ID, 30*time.Second)
+	if err != nil || final.Verdict != "safe" || final.Reused == "" {
+		t.Fatalf("warm-start resubmission = %+v, %v", final, err)
+	}
+}
+
+func TestReuseKindDepthSeeding(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, Reuse: true})
+	first, _ := s.Submit(Request{Source: safeModel, Engine: "kind", Timeout: 30 * time.Second})
+	if st, err := s.Wait(first.ID, 30*time.Second); err != nil || st.Verdict != "safe" {
+		t.Skipf("kind could not prove the model: %+v, %v", st, err)
+	}
+	second, _ := s.Submit(Request{Source: editedSafeModel, Engine: "kind", Timeout: 30 * time.Second})
+	st, err := s.Wait(second.ID, 30*time.Second)
+	if err != nil || st.Verdict != "safe" {
+		t.Fatalf("seeded kind = %+v, %v", st, err)
+	}
+	if st.Reused == "" {
+		t.Errorf("kind resubmission did not reuse the k-induction certificate: %+v", st)
+	}
+}

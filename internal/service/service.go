@@ -31,6 +31,7 @@ import (
 	"icpic3/internal/icp"
 	"icpic3/internal/kind"
 	"icpic3/internal/portfolio"
+	"icpic3/internal/reuse"
 	"icpic3/internal/ts"
 )
 
@@ -72,6 +73,21 @@ type Config struct {
 	// {ic3: portfolio, portfolio: bmc}).  An engine with no entry retries
 	// on itself.
 	Degrade map[string]string
+	// Reuse enables the certificate-reuse subsystem (internal/reuse):
+	// certified Safe results are stored, and new jobs whose system is
+	// structurally close to a prior proof start seeded from it (IC3 frame
+	// clauses, k-induction depth).  Verdicts never depend on it — every
+	// reused clause is re-checked against the new system first.
+	Reuse bool
+	// CacheDir persists reuse certificates on disk so the store is warm
+	// across restarts ("" = memory only).  Ignored unless Reuse is set.
+	CacheDir string
+	// ReuseMaxDist is the structural-diff distance threshold under which
+	// a prior certificate is considered close enough to seed from
+	// (0 = 0.25; see reuse.Diff).
+	ReuseMaxDist float64
+	// ReuseStoreSize bounds the certificate store in entries (0 = 512).
+	ReuseStoreSize int
 	// SkipCertify disables independent re-checking of decisive results.
 	// By default every Safe verdict's certificate is re-verified with
 	// fresh solvers and every Unsafe trace is replayed before the result
@@ -236,6 +252,7 @@ type job struct {
 	attempts   int    // engine attempts made (>= 1 once running)
 	engineUsed string // engine of the final attempt (after degradation)
 	certified  bool   // decisive result passed independent certification
+	reused     string // reuse-match description when seeded from a prior proof
 
 	submitted time.Time
 	started   time.Time
@@ -258,15 +275,19 @@ type Status struct {
 	// EngineUsed is the engine of the final attempt, which differs from
 	// Engine after degradation; Certified reports that the decisive
 	// result passed independent re-checking.
-	Attempts   int           `json:"attempts,omitempty"`
-	EngineUsed string        `json:"engine_used,omitempty"`
-	Certified  bool          `json:"certified,omitempty"`
-	Verdict    string        `json:"verdict,omitempty"`
-	Depth      int           `json:"depth,omitempty"`
-	Note       string        `json:"note,omitempty"`
-	Trace      []ts.State    `json:"trace,omitempty"`
-	Runtime    time.Duration `json:"-"`
-	RuntimeMS  int64         `json:"runtime_ms"`
+	Attempts   int    `json:"attempts,omitempty"`
+	EngineUsed string `json:"engine_used,omitempty"`
+	Certified  bool   `json:"certified,omitempty"`
+	// Reused describes the prior certificate this run was seeded from
+	// ("exact" or the changed parts with their distance); empty for cold
+	// runs.
+	Reused    string        `json:"reused,omitempty"`
+	Verdict   string        `json:"verdict,omitempty"`
+	Depth     int           `json:"depth,omitempty"`
+	Note      string        `json:"note,omitempty"`
+	Trace     []ts.State    `json:"trace,omitempty"`
+	Runtime   time.Duration `json:"-"`
+	RuntimeMS int64         `json:"runtime_ms"`
 }
 
 // Service is the concurrent verification service.
@@ -274,6 +295,7 @@ type Service struct {
 	cfg     Config
 	cache   *resultCache
 	metrics *Metrics
+	store   *reuse.Store // certificate-reuse store; nil when disabled
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -296,6 +318,16 @@ func New(cfg Config) *Service {
 		jobs:     make(map[string]*job),
 		inflight: make(map[string][]*job),
 		queue:    make(chan *job, cfg.QueueDepth),
+	}
+	if cfg.Reuse {
+		store, err := reuse.Open(cfg.CacheDir, cfg.ReuseStoreSize)
+		if err != nil {
+			// degrade to a memory-only cache rather than refuse to start:
+			// reuse is an optimization, the persistence dir is not vital
+			s.logf("service: %v, certificate cache is memory-only", err)
+			store, _ = reuse.Open("", cfg.ReuseStoreSize)
+		}
+		s.store = store
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
@@ -539,6 +571,7 @@ func (s *Service) worker() {
 		jb.attempts = sup.attempts
 		jb.engineUsed = sup.engineUsed
 		jb.certified = sup.certified
+		jb.reused = sup.reused
 		if jb.cancelled {
 			jb.state = StateCancelled
 			jb.result = res
@@ -648,6 +681,7 @@ func (s *Service) statusLocked(jb *job) Status {
 	st.Attempts = jb.attempts
 	st.EngineUsed = jb.engineUsed
 	st.Certified = jb.certified
+	st.Reused = jb.reused
 	if jb.state == StateDone || jb.state == StateCancelled {
 		st.Verdict = jb.result.Verdict.String()
 		st.Depth = jb.result.Depth
@@ -665,28 +699,30 @@ func (s *Service) statusLocked(jb *job) Status {
 }
 
 // runEngine dispatches a normalized request to the chosen engine; prog
-// (may be nil) receives the engine's progress heartbeat for the watchdog.
-func runEngine(sys *ts.System, req Request, budget engine.Budget, prog *engine.Progress) engine.Result {
+// (may be nil) receives the engine's progress heartbeat for the
+// watchdog; hints (zero = cold) carry prior-certificate seeds.
+func runEngine(sys *ts.System, req Request, budget engine.Budget, prog *engine.Progress, hints seedHints) engine.Result {
 	solver := icp.Options{Eps: req.Eps}
 	gen, genSet := genMode(req.Generalize)
 	switch req.Engine {
 	case "ic3":
 		return ic3icp.Check(sys, ic3icp.Options{
 			Solver: solver, Generalize: gen, GeneralizeSet: genSet,
-			Workers: req.QueryWorkers, Budget: budget, Progress: prog,
+			Workers: req.QueryWorkers, SeedClauses: hints.invariant,
+			Budget: budget, Progress: prog,
 		})
 	case "bmc":
 		return bmc.Check(sys, bmc.Options{MaxDepth: req.MaxDepth, Solver: solver, Budget: budget, Progress: prog})
 	case "kind":
-		return kind.Check(sys, kind.Options{MaxK: req.MaxK, Solver: solver, Budget: budget, Progress: prog})
+		return kind.Check(sys, kind.Options{MaxK: req.MaxK, Solver: solver, SeedK: hints.k, Budget: budget, Progress: prog})
 	default: // portfolio
 		return portfolio.Check(sys, portfolio.Options{
 			IC3: ic3icp.Options{
 				Solver: solver, Generalize: gen, GeneralizeSet: genSet,
-				Workers: req.QueryWorkers,
+				Workers: req.QueryWorkers, SeedClauses: hints.invariant,
 			},
 			BMC:        bmc.Options{MaxDepth: req.MaxDepth, Solver: solver},
-			KInduction: kind.Options{MaxK: req.MaxK, Solver: solver},
+			KInduction: kind.Options{MaxK: req.MaxK, Solver: solver, SeedK: hints.k},
 			Budget:     budget,
 			Progress:   prog,
 		})

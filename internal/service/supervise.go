@@ -14,6 +14,7 @@ type supervision struct {
 	attempts   int
 	engineUsed string
 	certified  bool
+	reused     string // reuse-match description, "" for cold runs
 }
 
 // runSupervised executes a job under the full robustness envelope:
@@ -34,11 +35,13 @@ type supervision struct {
 // Called without mu; only reads the job fields fixed at submission.
 func (s *Service) runSupervised(jb *job) (engine.Result, supervision) {
 	sup := supervision{engineUsed: jb.req.Engine}
+	hints := s.lookupSeed(jb)
+	sup.reused = hints.desc
 	backoff := s.cfg.RetryBackoff
 	var res engine.Result
 	for {
 		sup.attempts++
-		res = s.runAttempt(jb, sup.engineUsed)
+		res = s.runAttempt(jb, sup.engineUsed, hints)
 		panicked := engine.Panicked(res)
 		stalled := res.Stats != nil && res.Stats["stalled"] > 0
 		switch {
@@ -69,12 +72,18 @@ func (s *Service) runSupervised(jb *job) (engine.Result, supervision) {
 	if !s.cfg.SkipCertify && res.Verdict != engine.Unknown && !s.jobCancelled(jb) {
 		sup.certified = s.certifyResult(jb, &res)
 	}
+	if !s.jobCancelled(jb) {
+		s.metrics.recordReuse(sup.reused != "", res)
+		if sup.certified || s.cfg.SkipCertify {
+			s.storeCertificate(jb, sup.engineUsed, res)
+		}
+	}
 	return res, sup
 }
 
 // runAttempt runs one guarded, watchdog-supervised engine attempt.  A
 // stalled attempt comes back as Unknown with Stats["stalled"] = 1.
-func (s *Service) runAttempt(jb *job, engineName string) engine.Result {
+func (s *Service) runAttempt(jb *job, engineName string, hints seedHints) engine.Result {
 	req := jb.req
 	req.Engine = engineName
 	prog := &engine.Progress{}
@@ -105,7 +114,7 @@ func (s *Service) runAttempt(jb *job, engineName string) engine.Result {
 	budget := engine.Budget{Timeout: req.Timeout}.WithDone(jb.cancel).WithDone(stalled).Start()
 	res := engine.Guard(jb.id, s.cfg.Logf, func() engine.Result {
 		engine.FireFault(jb.sys.Name, budget)
-		return runEngine(jb.sys, req, budget, prog)
+		return runEngine(jb.sys, req, budget, prog, hints)
 	})
 	close(watchStop)
 	<-watchDone

@@ -26,6 +26,7 @@ import (
 	"icpic3/internal/analysis/guardgo"
 	"icpic3/internal/analysis/resulterr"
 	"icpic3/internal/analysis/roundcheck"
+	"icpic3/internal/analysis/submitblock"
 )
 
 // suite is the full analyzer set, in report order.
@@ -35,6 +36,7 @@ var suite = []*analysis.Analyzer{
 	budgetloop.Analyzer,
 	guardgo.Analyzer,
 	resulterr.Analyzer,
+	submitblock.Analyzer,
 }
 
 func main() {

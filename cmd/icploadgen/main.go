@@ -1,0 +1,335 @@
+// Command icploadgen drives the verification service through a staged
+// overload ramp and reports what the admission-control layer did about
+// it (DESIGN.md §14).
+//
+// Usage:
+//
+//	icploadgen [-stages 25x5s,100x5s,400x10s] [-engine portfolio]
+//	           [-timeout 2s] [-short-timeout 60ms] [-short-every 4]
+//	           [-tenants alice:5:10,batch:2:2:1] [-o report.json]
+//	           [-max-p99 30s] [-expect-overload]
+//	           [-server http://host:8080 | -workers N -queue N ...]
+//
+// Each stage submits benchmark-corpus jobs at a fixed rate for a fixed
+// duration; rates beyond the service's capacity are the point.  Jobs
+// rotate deterministically through the corpus, the tenant list, and a
+// short/long budget mix, so runs are comparable.  The report (stdout or
+// -o) is BENCH-style JSON: per-stage and total accept/reject/shed
+// counts, p50/p99/max latency, and verdict correctness against the
+// corpus ground truth.
+//
+// With -server the ramp hits a live icpserve over HTTP; without it an
+// in-process service is built from the -workers/-queue/-shed-margin/...
+// flags and shut down (with drain) at the end.
+//
+// The exit status makes icploadgen usable as a CI gate: it is nonzero
+// when any verdict contradicted ground truth, any job got stuck without
+// a terminal state, total p99 exceeded -max-p99 (when set), or
+// -expect-overload was set but the ramp triggered no pushback.
+//
+// Tenant spec: name[:rate[:burst[:priority]]], comma-separated.  Rates,
+// bursts, and priorities configure the in-process service's quotas
+// (ignored with -server, where the server's own config rules); the
+// names are used for submission rotation either way.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"icpic3/internal/harness"
+	"icpic3/internal/service"
+)
+
+func main() {
+	var (
+		server     = flag.String("server", "", "icpserve base URL (default: in-process service)")
+		stagesSpec = flag.String("stages", "25x5s,100x5s,400x10s", "ramp stages, RATExDURATION comma-separated")
+		engineName = flag.String("engine", "portfolio", "engine every job requests")
+		suiteSize  = flag.Int("suite", 2, "benchmark suite grid size (instances per family and polarity)")
+		timeout    = flag.Duration("timeout", 2*time.Second, "budget of ordinary jobs")
+		shortTO    = flag.Duration("short-timeout", 60*time.Millisecond, "budget of tight-deadline jobs")
+		shortEvery = flag.Int("short-every", 4, "every Nth job gets the short budget (0 disables)")
+		tenantSpec = flag.String("tenants", "", "tenant rotation, name[:rate[:burst[:priority]]] comma-separated")
+		out        = flag.String("o", "", "write the JSON report here (default stdout)")
+		maxP99     = flag.Duration("max-p99", 0, "fail when total p99 latency exceeds this (0 = no check)")
+		expectOver = flag.Bool("expect-overload", false, "fail unless the ramp triggered quota/shed/busy pushback")
+
+		workers    = flag.Int("workers", 0, "in-process worker pool size (0 = GOMAXPROCS)")
+		queueDepth = flag.Int("queue", 64, "in-process queue depth")
+		shedMargin = flag.Duration("shed-margin", 10*time.Millisecond, "in-process deadline-shedding floor (0 disables)")
+		brownout   = flag.Duration("brownout-after", 2*time.Second, "in-process sustained-pressure window per brownout step (0 disables)")
+		brkThresh  = flag.Int("breaker-threshold", 5, "in-process consecutive failures that open an engine breaker (0 disables)")
+		brkCool    = flag.Duration("breaker-cooldown", 30*time.Second, "in-process breaker cooldown before a half-open probe")
+		certifyRes = flag.Bool("certify", true, "in-process independent re-checking of decisive results")
+		verbose    = flag.Bool("v", false, "log service state changes (in-process only)")
+	)
+	flag.Parse()
+
+	stages, err := parseStages(*stagesSpec)
+	if err != nil {
+		log.Fatalf("icploadgen: %v", err)
+	}
+	tenants, quotas, err := parseTenants(*tenantSpec)
+	if err != nil {
+		log.Fatalf("icploadgen: %v", err)
+	}
+
+	var target harness.LoadTarget
+	var svc *service.Service
+	if *server != "" {
+		target = &httpTarget{base: strings.TrimRight(*server, "/"), client: &http.Client{Timeout: 30 * time.Second}}
+	} else {
+		cfg := service.Config{
+			Workers:          *workers,
+			QueueDepth:       *queueDepth,
+			ShedMargin:       orDisabled(*shedMargin),
+			BrownoutAfter:    orDisabled(*brownout),
+			BreakerThreshold: orDisabledInt(*brkThresh),
+			BreakerCooldown:  *brkCool,
+			TenantQuotas:     quotas,
+			SkipCertify:      !*certifyRes,
+		}
+		if *verbose {
+			cfg.Logf = log.Printf
+		}
+		svc = service.New(cfg)
+		target = svc
+	}
+
+	rep, err := harness.RunLoad(target, harness.LoadConfig{
+		Stages:       stages,
+		SuiteSize:    *suiteSize,
+		Engine:       *engineName,
+		JobTimeout:   *timeout,
+		ShortTimeout: *shortTO,
+		ShortEvery:   orDisabledInt(*shortEvery),
+		Tenants:      tenants,
+	}, time.Now().Format("2006-01-02"))
+	if err != nil {
+		log.Fatalf("icploadgen: %v", err)
+	}
+
+	if svc != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		svc.Shutdown(ctx)
+		cancel()
+	}
+
+	data, _ := json.MarshalIndent(rep, "", "  ")
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatalf("icploadgen: %v", err)
+		}
+	} else {
+		os.Stdout.Write(data)
+	}
+
+	t := rep.Total
+	log.Printf("icploadgen: %d submitted, %d accepted (%d hits, %d coalesced), rejected %d quota / %d shed / %d busy, %d shed after accept, %d done (%d decisive, %d unknown), p50 %gms p99 %gms",
+		t.Submitted, t.Accepted, t.CacheHits, t.Coalesced, t.RejectedQuota, t.RejectedShed, t.RejectedBusy, t.Shed, t.Done, t.Decisive, t.Unknown, t.P50MS, t.P99MS)
+
+	fail := false
+	if t.Wrong > 0 {
+		log.Printf("icploadgen: FAIL: %d wrong verdicts: %v", t.Wrong, rep.WrongNames)
+		fail = true
+	}
+	if t.Stuck > 0 {
+		log.Printf("icploadgen: FAIL: %d jobs never reached a terminal state", t.Stuck)
+		fail = true
+	}
+	if *maxP99 > 0 && t.P99MS > float64(maxP99.Milliseconds()) {
+		log.Printf("icploadgen: FAIL: p99 %gms exceeds -max-p99 %v", t.P99MS, *maxP99)
+		fail = true
+	}
+	if *expectOver && !rep.Overloaded() {
+		log.Printf("icploadgen: FAIL: -expect-overload set but the ramp triggered no pushback")
+		fail = true
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
+
+// orDisabled maps a flag-level zero (explicit opt-out) to the Config
+// negative disable value, since in Config zero means "use the default".
+func orDisabled(d time.Duration) time.Duration {
+	if d == 0 {
+		return -1
+	}
+	return d
+}
+
+func orDisabledInt(n int) int {
+	if n == 0 {
+		return -1
+	}
+	return n
+}
+
+// parseStages parses "25x5s,100x5s" into LoadStages.
+func parseStages(spec string) ([]harness.LoadStage, error) {
+	var stages []harness.LoadStage
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		rateStr, durStr, ok := strings.Cut(part, "x")
+		if !ok {
+			return nil, fmt.Errorf("stage %q: want RATExDURATION (e.g. 100x5s)", part)
+		}
+		rate, err := strconv.ParseFloat(rateStr, 64)
+		if err != nil || rate <= 0 {
+			return nil, fmt.Errorf("stage %q: bad rate %q", part, rateStr)
+		}
+		dur, err := time.ParseDuration(durStr)
+		if err != nil || dur <= 0 {
+			return nil, fmt.Errorf("stage %q: bad duration %q", part, durStr)
+		}
+		stages = append(stages, harness.LoadStage{Rate: rate, Duration: dur})
+	}
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("no stages in %q", spec)
+	}
+	return stages, nil
+}
+
+// parseTenants parses "alice:5:10,batch:2:2:1,free" into the rotation
+// list and the per-tenant quota map.
+func parseTenants(spec string) ([]string, map[string]service.Quota, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil, nil
+	}
+	var names []string
+	quotas := make(map[string]service.Quota)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		name := fields[0]
+		if name == "" {
+			return nil, nil, fmt.Errorf("tenant %q: empty name", part)
+		}
+		var q service.Quota
+		var err error
+		if len(fields) > 1 && fields[1] != "" {
+			if q.Rate, err = strconv.ParseFloat(fields[1], 64); err != nil {
+				return nil, nil, fmt.Errorf("tenant %q: bad rate: %v", part, err)
+			}
+		}
+		if len(fields) > 2 && fields[2] != "" {
+			if q.Burst, err = strconv.Atoi(fields[2]); err != nil {
+				return nil, nil, fmt.Errorf("tenant %q: bad burst: %v", part, err)
+			}
+		}
+		if len(fields) > 3 && fields[3] != "" {
+			if q.Priority, err = strconv.Atoi(fields[3]); err != nil {
+				return nil, nil, fmt.Errorf("tenant %q: bad priority: %v", part, err)
+			}
+		}
+		if len(fields) > 4 {
+			return nil, nil, fmt.Errorf("tenant %q: want name[:rate[:burst[:priority]]]", part)
+		}
+		names = append(names, name)
+		if q != (service.Quota{}) {
+			quotas[name] = q
+		}
+	}
+	return names, quotas, nil
+}
+
+// httpTarget adapts a live icpserve to harness.LoadTarget.
+type httpTarget struct {
+	base   string
+	client *http.Client
+}
+
+func (t *httpTarget) Submit(req service.Request) (service.Status, error) {
+	body, err := json.Marshal(map[string]interface{}{
+		"model":      req.Source,
+		"tenant":     req.Tenant,
+		"engine":     req.Engine,
+		"timeout_ms": req.Timeout.Milliseconds(),
+	})
+	if err != nil {
+		return service.Status{}, err
+	}
+	resp, err := t.client.Post(t.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return service.Status{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return service.Status{}, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusAccepted:
+		var st service.Status
+		if err := json.Unmarshal(data, &st); err != nil {
+			return service.Status{}, fmt.Errorf("submit: bad response: %v", err)
+		}
+		return st, nil
+	case http.StatusTooManyRequests:
+		// recover the typed rejection from the error text so the tally
+		// attributes it to the right limiter
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(data, &e)
+		switch {
+		case strings.Contains(e.Error, "quota"):
+			return service.Status{}, service.ErrQuota
+		case strings.Contains(e.Error, "shed"):
+			return service.Status{}, service.ErrShed
+		default:
+			return service.Status{}, service.ErrBusy
+		}
+	default:
+		return service.Status{}, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+}
+
+func (t *httpTarget) Wait(id string, d time.Duration) (service.Status, error) {
+	deadline := time.Now().Add(d)
+	var st service.Status
+	for {
+		resp, err := t.client.Get(t.base + "/v1/jobs/" + id)
+		if err != nil {
+			return st, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return st, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return st, fmt.Errorf("poll %s: HTTP %d", id, resp.StatusCode)
+		}
+		if err := json.Unmarshal(data, &st); err != nil {
+			return st, err
+		}
+		switch st.State {
+		case "done", "cancelled", "shed":
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, nil // not terminal: the caller counts it stuck
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}

@@ -1,0 +1,178 @@
+// Package submitblock flags code on the service Submit path that can
+// block without consulting the admission deadline (DESIGN.md §14).
+//
+// Submit is the service's admission decision: it must answer accept,
+// reject, or shed in bounded time, because every caller above it — the
+// HTTP handler, the load generator, a draining client — budgets its
+// own deadline around that answer.  A bare channel send, a select with
+// no default, a channel receive, a range over a channel, or a
+// time.Sleep anywhere Submit can reach turns the admission decision
+// into an unbounded wait, which is exactly the failure mode admission
+// control exists to prevent (overload turns into latency instead of
+// rejection).
+//
+// The analyzer walks every function reachable from a Submit method or
+// function through same-package calls (up to the shared call-depth
+// bound) and reports blocking constructs in those bodies.  Goroutine
+// bodies are skipped: work launched with `go` does not block the
+// submitter.  Mutex acquisition is deliberately not flagged — the
+// service's critical sections are short and bounded, and flagging
+// every Lock would drown the signal.
+package submitblock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"icpic3/internal/analysis"
+)
+
+// Scope limits the analyzer to service packages; other packages have
+// no admission contract to enforce.
+var Scope = []string{"internal/service"}
+
+// maxReachDepth bounds the walk from Submit through same-package
+// helpers, mirroring the shared ContainsCall bound.
+const maxReachDepth = 5
+
+var Analyzer = &analysis.Analyzer{
+	Name: "submitblock",
+	Doc:  "flags Submit-path code that can block without consulting the admission deadline",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathMatches(pass.Pkg.Path(), Scope...) {
+		return nil
+	}
+	idx := analysis.BuildFuncIndex(pass)
+
+	// Seed the reachable set with every Submit declaration, then walk
+	// same-package calls breadth-first.  Calls inside `go` statements do
+	// not extend the submitter's critical path, so they do not extend
+	// the reachable set either.
+	type item struct {
+		decl  *ast.FuncDecl
+		depth int
+	}
+	var queue []item
+	seen := make(map[types.Object]bool)
+	for obj, decl := range idx {
+		if obj.Name() == "Submit" {
+			seen[obj] = true
+			queue = append(queue, item{decl, 0})
+		}
+	}
+	var reachable []*ast.FuncDecl
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		reachable = append(reachable, it.decl)
+		if it.depth >= maxReachDepth {
+			continue
+		}
+		walkSubmitPath(it.decl.Body, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			obj := analysis.CalleeObject(pass.TypesInfo, call)
+			if obj == nil || seen[obj] {
+				return
+			}
+			if callee, ok := idx[obj]; ok {
+				seen[obj] = true
+				queue = append(queue, item{callee, it.depth + 1})
+			}
+		})
+	}
+
+	for _, decl := range reachable {
+		checkBody(pass, decl)
+	}
+	return nil
+}
+
+// walkSubmitPath visits every node of body that runs on the caller's
+// own goroutine: `go` statement subtrees are pruned.  Select comm
+// clauses are visited (their bodies run inline); the visitor is
+// responsible for any special-casing of the comm operations.
+func walkSubmitPath(body ast.Node, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// checkBody reports the blocking constructs in one reachable function.
+func checkBody(pass *analysis.Pass, decl *ast.FuncDecl) {
+	info := pass.TypesInfo
+	// comm operations of a select are part of the select's own
+	// semantics (a select with default polls them without blocking), so
+	// they are exempt from the bare send/receive checks
+	inComm := make(map[ast.Node]bool)
+	walkSubmitPath(decl.Body, func(n ast.Node) {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				if m != nil {
+					inComm[m] = true
+				}
+				return true
+			})
+		}
+	})
+
+	name := decl.Name.Name
+	walkSubmitPath(decl.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				pass.Reportf(n.Pos(), "select without default on the Submit path (via %s) can block past the admission deadline", name)
+			}
+		case *ast.SendStmt:
+			if !inComm[n] {
+				pass.Reportf(n.Pos(), "bare channel send on the Submit path (via %s) can block past the admission deadline; use a select with default", name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !inComm[n] {
+				pass.Reportf(n.Pos(), "bare channel receive on the Submit path (via %s) can block past the admission deadline; use a select with default", name)
+			}
+		case *ast.RangeStmt:
+			if n.X != nil {
+				if t := info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						pass.Reportf(n.Pos(), "range over channel on the Submit path (via %s) can block past the admission deadline", name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			obj := analysis.CalleeObject(info, n)
+			if analysis.IsPkgFunc(obj, "time", "Sleep") {
+				pass.Reportf(n.Pos(), "time.Sleep on the Submit path (via %s) delays admission without consulting the deadline", name)
+			}
+			if analysis.IsPkgFunc(obj, "sync", "Wait") {
+				pass.Reportf(n.Pos(), "sync Wait on the Submit path (via %s) can block past the admission deadline", name)
+			}
+		}
+	})
+}

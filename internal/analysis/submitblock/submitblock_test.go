@@ -1,0 +1,12 @@
+package submitblock_test
+
+import (
+	"testing"
+
+	"icpic3/internal/analysis/analysistest"
+	"icpic3/internal/analysis/submitblock"
+)
+
+func TestSubmitBlock(t *testing.T) {
+	analysistest.Run(t, "testdata", submitblock.Analyzer, "a/internal/service")
+}

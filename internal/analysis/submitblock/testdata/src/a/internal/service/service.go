@@ -1,0 +1,69 @@
+// Fixture for submitblock: blocking constructs reachable from Submit
+// must be flagged; goroutine bodies, select-with-default comms, mutex
+// critical sections, and functions not reachable from Submit must not.
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+type Request struct{ Tenant string }
+
+type Status struct{ ID string }
+
+type Service struct {
+	mu    sync.Mutex
+	queue chan Request
+	wake  chan struct{}
+	wg    sync.WaitGroup
+}
+
+func (s *Service) Submit(req Request) (Status, error) {
+	s.mu.Lock() // bounded critical section: deliberately not flagged
+	defer s.mu.Unlock()
+	s.queue <- req // want `bare channel send on the Submit path \(via Submit\)`
+	select {       // want `select without default on the Submit path \(via Submit\)`
+	case s.wake <- struct{}{}:
+	case <-time.After(time.Second):
+	}
+	select {
+	case s.queue <- req: // comm of a select with default: polls, never blocks
+	default:
+		return Status{}, nil
+	}
+	s.helper()
+	go s.background() // launched work does not block the submitter
+	return Status{ID: req.Tenant}, nil
+}
+
+// helper is one call below Submit, still on the admission path.
+func (s *Service) helper() {
+	time.Sleep(10 * time.Millisecond) // want `time\.Sleep on the Submit path \(via helper\)`
+	<-s.wake                          // want `bare channel receive on the Submit path \(via helper\)`
+	s.wg.Wait()                       // want `sync Wait on the Submit path \(via helper\)`
+	s.drain()
+}
+
+// drain is two calls below Submit: reachability is transitive.
+func (s *Service) drain() {
+	for range s.queue { // want `range over channel on the Submit path \(via drain\)`
+	}
+}
+
+// background is only ever launched with `go`, so its blocking receive
+// loop never delays the submitter and must not be flagged.
+func (s *Service) background() {
+	for req := range s.queue {
+		_ = req
+	}
+}
+
+// worker is not reachable from Submit at all: free to block.
+func (s *Service) worker() {
+	<-s.wake
+	time.Sleep(time.Second)
+	for req := range s.queue {
+		_ = req
+	}
+}

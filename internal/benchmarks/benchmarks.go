@@ -24,6 +24,9 @@ type Instance struct {
 	// prove within small budgets (Unknown is acceptable, wrong is not).
 	Hard bool
 	Sys  *ts.System
+	// Source is the model text Sys was parsed from, so service-level
+	// drivers (cmd/icploadgen) can submit the instance as a request.
+	Source string
 }
 
 func parse(name string, src string) (*ts.System, error) {
@@ -74,7 +77,7 @@ prop x <= %g
 	if err != nil {
 		return Instance{}, err
 	}
-	return Instance{Name: name, Family: "poly", Expected: verdict, Sys: sys}, nil
+	return Instance{Name: name, Family: "poly", Expected: verdict, Sys: sys, Source: src}, nil
 }
 
 // Logistic builds a logistic-map instance x' = r·x·(1−x) on [0,1].
@@ -103,7 +106,7 @@ prop x <= %g
 	if err != nil {
 		return Instance{}, err
 	}
-	return Instance{Name: name, Family: "logistic", Expected: verdict, Sys: sys}, nil
+	return Instance{Name: name, Family: "logistic", Expected: verdict, Sys: sys, Source: src}, nil
 }
 
 // Vehicle builds a longitudinal-dynamics instance with quadratic drag:
@@ -133,7 +136,7 @@ prop v <= %g
 	if err != nil {
 		return Instance{}, err
 	}
-	return Instance{Name: name, Family: "vehicle", Expected: verdict, Sys: sys}, nil
+	return Instance{Name: name, Family: "vehicle", Expected: verdict, Sys: sys, Source: src}, nil
 }
 
 // Thermostat builds a two-mode heater with Newton cooling and a bilinear
@@ -163,7 +166,7 @@ prop T <= 40
 	if err != nil {
 		return Instance{}, err
 	}
-	return Instance{Name: name, Family: "thermostat", Expected: verdict, Sys: sys}, nil
+	return Instance{Name: name, Family: "thermostat", Expected: verdict, Sys: sys, Source: src}, nil
 }
 
 // Pendulum builds a damped-pendulum instance (Euler), exercising the sin
@@ -193,7 +196,7 @@ prop th <= %g
 	if err != nil {
 		return Instance{}, err
 	}
-	return Instance{Name: name, Family: "pendulum", Expected: verdict, Hard: safe, Sys: sys}, nil
+	return Instance{Name: name, Family: "pendulum", Expected: verdict, Hard: safe, Sys: sys, Source: src}, nil
 }
 
 // CounterNL builds an integer instance with saturating doubling:
@@ -218,7 +221,7 @@ prop n <= %d
 	if err != nil {
 		return Instance{}, err
 	}
-	return Instance{Name: name, Family: "counternl", Expected: verdict, Sys: sys}, nil
+	return Instance{Name: name, Family: "counternl", Expected: verdict, Sys: sys, Source: src}, nil
 }
 
 // Frozen builds a "frozen parameter" instance: a constant disturbance y
@@ -248,7 +251,7 @@ prop x <= %g
 	if err != nil {
 		return Instance{}, err
 	}
-	return Instance{Name: name, Family: "frozen", Expected: verdict, Sys: sys}, nil
+	return Instance{Name: name, Family: "frozen", Expected: verdict, Sys: sys, Source: src}, nil
 }
 
 func safeTag(safe bool) string {

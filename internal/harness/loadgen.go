@@ -1,0 +1,342 @@
+// Staged load generation against the verification service (DESIGN.md
+// §14): RunLoad drives a LoadTarget — the in-process service or a live
+// icpserve behind an HTTP adapter — through a ramp of submission-rate
+// stages over the benchmark corpus, and reports accept/reject/shed
+// counts, latency percentiles, and verdict correctness against the
+// corpus ground truth as a BENCH-style JSON document (cmd/icploadgen).
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"icpic3/internal/benchmarks"
+	"icpic3/internal/engine"
+	"icpic3/internal/service"
+)
+
+// LoadTarget is where load jobs go.  *service.Service satisfies it
+// directly; cmd/icploadgen adds an HTTP adapter for a live icpserve.
+type LoadTarget interface {
+	Submit(req service.Request) (service.Status, error)
+	Wait(id string, d time.Duration) (service.Status, error)
+}
+
+// LoadStage is one step of the ramp: submit at Rate jobs/second for
+// Duration.
+type LoadStage struct {
+	Rate     float64
+	Duration time.Duration
+}
+
+// LoadConfig tunes RunLoad.  The zero value of every field except
+// Stages is usable.
+type LoadConfig struct {
+	// Stages is the ramp, run in order (required).
+	Stages []LoadStage
+	// SuiteSize is the benchmarks.Suite grid size the corpus is built
+	// from (0 = 2).  Submissions round-robin through the corpus, so the
+	// mix of families, polarities, and hardness is deterministic.
+	SuiteSize int
+	// Engine is the engine every job requests ("" = portfolio).
+	Engine string
+	// JobTimeout is the budget of ordinary jobs (0 = 2s).
+	JobTimeout time.Duration
+	// ShortTimeout is the budget of deliberately tight-deadline jobs
+	// (0 = 60ms): long enough to admit, short enough that queueing under
+	// overload eats it — the population deadline shedding exists for.
+	ShortTimeout time.Duration
+	// ShortEvery gives every Nth submission the short budget
+	// (0 = 4, negative = no short jobs).
+	ShortEvery int
+	// Tenants are round-robin tenant names (nil = anonymous only).
+	Tenants []string
+	// WaitSlack is how long past its budget a job may take to reach a
+	// terminal state before it is counted Stuck (0 = 30s).
+	WaitSlack time.Duration
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.SuiteSize <= 0 {
+		c.SuiteSize = 2
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 2 * time.Second
+	}
+	if c.ShortTimeout <= 0 {
+		c.ShortTimeout = 60 * time.Millisecond
+	}
+	if c.ShortEvery == 0 {
+		c.ShortEvery = 4
+	}
+	if c.WaitSlack <= 0 {
+		c.WaitSlack = 30 * time.Second
+	}
+	if len(c.Tenants) == 0 {
+		c.Tenants = []string{""}
+	}
+	return c
+}
+
+// LoadCounts is one stage's (or the whole run's) outcome tally.
+type LoadCounts struct {
+	RatePerSec  float64 `json:"rate_per_sec,omitempty"`
+	DurationSec float64 `json:"duration_sec"`
+
+	Submitted int64 `json:"submitted"`
+	Accepted  int64 `json:"accepted"`
+	CacheHits int64 `json:"cache_hits"`
+	Coalesced int64 `json:"coalesced"`
+
+	RejectedQuota int64 `json:"rejected_quota"`
+	RejectedShed  int64 `json:"rejected_shed"`
+	RejectedBusy  int64 `json:"rejected_busy"`
+
+	Done      int64 `json:"done"`
+	Shed      int64 `json:"shed"` // accepted, then shed (deadline or drain)
+	Cancelled int64 `json:"cancelled"`
+	Stuck     int64 `json:"stuck"` // no terminal state within budget+slack
+
+	Decisive int64 `json:"decisive"`
+	Unknown  int64 `json:"unknown"`
+	Wrong    int64 `json:"wrong"` // decisive verdicts contradicting ground truth
+
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+// LoadReport is the cmd/icploadgen JSON document.
+type LoadReport struct {
+	Date      string       `json:"date"`
+	Engine    string       `json:"engine"`
+	Instances int          `json:"instances"`
+	Stages    []LoadCounts `json:"stages"`
+	Total     LoadCounts   `json:"total"`
+	// WrongNames lists instances that produced a wrong decisive verdict
+	// (capped at 20) — always empty on a healthy run.
+	WrongNames []string `json:"wrong_names,omitempty"`
+}
+
+// Overloaded reports whether the run hit any admission or shedding
+// limit — what an over-capacity ramp is expected to do.
+func (r *LoadReport) Overloaded() bool {
+	t := r.Total
+	return t.RejectedQuota+t.RejectedShed+t.RejectedBusy+t.Shed > 0
+}
+
+// loadTally accumulates one stage under its own lock.
+type loadTally struct {
+	mu        sync.Mutex
+	counts    LoadCounts
+	latencies []float64 // ms, submit -> terminal, accepted jobs only
+	wrong     []string
+}
+
+// RunLoad drives target through cfg's ramp and aggregates the outcome.
+// date is stamped by the caller (e.g. time.Now().Format("2006-01-02")).
+func RunLoad(target LoadTarget, cfg LoadConfig, date string) (*LoadReport, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Stages) == 0 {
+		return nil, errors.New("loadgen: no stages configured")
+	}
+	corpus, err := benchmarks.Suite(cfg.SuiteSize)
+	if err != nil {
+		return nil, err
+	}
+
+	tallies := make([]*loadTally, len(cfg.Stages))
+	for i := range tallies {
+		tallies[i] = &loadTally{}
+	}
+	var wg sync.WaitGroup
+	seq := 0 // global submission counter: corpus, tenant, budget rotation
+
+	for si, stage := range cfg.Stages {
+		if stage.Rate <= 0 || stage.Duration <= 0 {
+			return nil, fmt.Errorf("loadgen: stage %d: rate and duration must be positive", si)
+		}
+		tally := tallies[si]
+		tally.counts.RatePerSec = stage.Rate
+		tally.counts.DurationSec = stage.Duration.Seconds()
+
+		// Owed-based pacing: every tick, launch however many submissions
+		// the rate says should have happened by now.  Robust to rates far
+		// above one job per tick and to slow Submit calls.
+		start := time.Now()
+		launched := 0
+		ticker := time.NewTicker(5 * time.Millisecond)
+		for {
+			now := time.Now()
+			if now.Sub(start) >= stage.Duration {
+				break
+			}
+			owed := int(stage.Rate*now.Sub(start).Seconds()) + 1 - launched
+			for i := 0; i < owed; i++ {
+				inst := corpus[seq%len(corpus)]
+				tenant := cfg.Tenants[seq%len(cfg.Tenants)]
+				timeout := cfg.JobTimeout
+				if cfg.ShortEvery > 0 && seq%cfg.ShortEvery == cfg.ShortEvery-1 {
+					timeout = cfg.ShortTimeout
+				}
+				seq++
+				launched++
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					// guarded: one panicking job must cost one tally entry,
+					// not the whole load run
+					engine.GuardGo(inst.Name+" loadjob", nil, func() {
+						runLoadJob(target, tally, inst, service.Request{
+							Source:  inst.Source,
+							Tenant:  tenant,
+							Engine:  cfg.Engine,
+							Timeout: timeout,
+						}, timeout+cfg.WaitSlack)
+					})
+				}()
+			}
+			<-ticker.C
+		}
+		ticker.Stop()
+		// Stages overlap on the trailing edge by design: jobs launched in
+		// stage N may still be finishing while stage N+1 ramps — that is
+		// exactly the sustained-pressure shape the brownout controller and
+		// deadline shedding respond to.
+	}
+	wg.Wait()
+
+	rep := &LoadReport{
+		Date:      date,
+		Engine:    cfg.Engine,
+		Instances: len(corpus),
+	}
+	if rep.Engine == "" {
+		rep.Engine = "portfolio"
+	}
+	var allLat []float64
+	for _, tally := range tallies {
+		tally.mu.Lock()
+		fillPercentiles(&tally.counts, tally.latencies)
+		rep.Stages = append(rep.Stages, tally.counts)
+		addCounts(&rep.Total, tally.counts)
+		allLat = append(allLat, tally.latencies...)
+		for _, n := range tally.wrong {
+			if len(rep.WrongNames) < 20 {
+				rep.WrongNames = append(rep.WrongNames, n)
+			}
+		}
+		tally.mu.Unlock()
+	}
+	fillPercentiles(&rep.Total, allLat)
+	return rep, nil
+}
+
+// runLoadJob submits one job, waits for its terminal state, and tallies.
+func runLoadJob(target LoadTarget, tally *loadTally, inst benchmarks.Instance, req service.Request, wait time.Duration) {
+	t0 := time.Now()
+	st, err := target.Submit(req)
+
+	tally.mu.Lock()
+	defer tally.mu.Unlock()
+	tally.counts.Submitted++
+	if err != nil {
+		switch {
+		case errors.Is(err, service.ErrQuota):
+			tally.counts.RejectedQuota++
+		case errors.Is(err, service.ErrShed):
+			tally.counts.RejectedShed++
+		default: // ErrBusy and anything else refused at the door
+			tally.counts.RejectedBusy++
+		}
+		return
+	}
+	tally.counts.Accepted++
+	if st.CacheHit {
+		tally.counts.CacheHits++
+	}
+	if st.Coalesced {
+		tally.counts.Coalesced++
+	}
+
+	if !finalLoadState(st.State) {
+		tally.mu.Unlock()
+		st, err = target.Wait(st.ID, wait)
+		tally.mu.Lock()
+		if err != nil || !finalLoadState(st.State) {
+			tally.counts.Stuck++
+			return
+		}
+	}
+	tally.latencies = append(tally.latencies, float64(time.Since(t0).Milliseconds()))
+	switch st.State {
+	case "shed":
+		tally.counts.Shed++
+		return
+	case "cancelled":
+		tally.counts.Cancelled++
+		return
+	}
+	tally.counts.Done++
+	if st.Verdict == engine.Unknown.String() || st.Verdict == "" {
+		tally.counts.Unknown++
+		return
+	}
+	tally.counts.Decisive++
+	if st.Verdict != inst.Expected.String() {
+		tally.counts.Wrong++
+		tally.wrong = append(tally.wrong, fmt.Sprintf("%s: got %s, want %s", inst.Name, st.Verdict, inst.Expected))
+	}
+}
+
+func finalLoadState(state string) bool {
+	return state == "done" || state == "cancelled" || state == "shed"
+}
+
+func addCounts(dst *LoadCounts, src LoadCounts) {
+	dst.DurationSec += src.DurationSec
+	dst.Submitted += src.Submitted
+	dst.Accepted += src.Accepted
+	dst.CacheHits += src.CacheHits
+	dst.Coalesced += src.Coalesced
+	dst.RejectedQuota += src.RejectedQuota
+	dst.RejectedShed += src.RejectedShed
+	dst.RejectedBusy += src.RejectedBusy
+	dst.Done += src.Done
+	dst.Shed += src.Shed
+	dst.Cancelled += src.Cancelled
+	dst.Stuck += src.Stuck
+	dst.Decisive += src.Decisive
+	dst.Unknown += src.Unknown
+	dst.Wrong += src.Wrong
+}
+
+// fillPercentiles computes p50/p99/max over submit->terminal latencies.
+func fillPercentiles(c *LoadCounts, latencies []float64) {
+	if len(latencies) == 0 {
+		return
+	}
+	s := append([]float64(nil), latencies...)
+	sort.Float64s(s)
+	c.P50MS = percentile(s, 0.50)
+	c.P99MS = percentile(s, 0.99)
+	c.MaxMS = s[len(s)-1]
+}
+
+// percentile takes the nearest-rank percentile of a sorted slice.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"icpic3/internal/service"
+)
+
+func TestPercentile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(s, 0.50); got != 5 {
+		t.Errorf("p50 = %g", got)
+	}
+	if got := percentile(s, 0.99); got != 10 {
+		t.Errorf("p99 = %g", got)
+	}
+	if got := percentile(s[:1], 0.99); got != 1 {
+		t.Errorf("p99 of singleton = %g", got)
+	}
+}
+
+// TestRunLoadOverloadRamp is the overload acceptance run in miniature:
+// a ramp several times past a one-worker service's capacity, with mixed
+// short and long budgets and a rate-limited tenant.  The service must
+// stay correct (zero wrong verdicts, zero stuck jobs), must visibly
+// push back (quota rejections, sheds, or busy rejections), must keep
+// tail latency bounded, and must leak no goroutines.
+func TestRunLoadOverloadRamp(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	svc := service.New(service.Config{
+		Workers:    1,
+		QueueDepth: 8,
+		TenantQuotas: map[string]service.Quota{
+			"limited": {Rate: 2, Burst: 2},
+		},
+	})
+
+	rep, err := RunLoad(svc, LoadConfig{
+		Stages: []LoadStage{
+			{Rate: 10, Duration: 400 * time.Millisecond},
+			{Rate: 60, Duration: 800 * time.Millisecond},
+		},
+		SuiteSize:    1,
+		Engine:       "portfolio",
+		JobTimeout:   300 * time.Millisecond,
+		ShortTimeout: 50 * time.Millisecond,
+		ShortEvery:   3,
+		Tenants:      []string{"", "limited"},
+		WaitSlack:    20 * time.Second,
+	}, "test")
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+
+	total := rep.Total
+	if total.Submitted < 30 {
+		t.Errorf("submitted = %d, ramp too small to mean anything", total.Submitted)
+	}
+	if total.Wrong != 0 {
+		t.Errorf("wrong verdicts = %d: %v", total.Wrong, rep.WrongNames)
+	}
+	if total.Stuck != 0 {
+		t.Errorf("stuck jobs = %d", total.Stuck)
+	}
+	if !rep.Overloaded() {
+		t.Errorf("4x-capacity ramp triggered no pushback: %+v", total)
+	}
+	if total.RejectedQuota == 0 {
+		t.Errorf("rate-limited tenant was never quota-rejected: %+v", total)
+	}
+	if total.Accepted > 0 && total.P99MS > 15000 {
+		t.Errorf("p99 = %gms, tail latency unbounded", total.P99MS)
+	}
+	if len(rep.Stages) != 2 {
+		t.Fatalf("stage reports = %d", len(rep.Stages))
+	}
+	if rep.Stages[0].RatePerSec != 10 || rep.Stages[1].RatePerSec != 60 {
+		t.Errorf("stage rates = %g, %g", rep.Stages[0].RatePerSec, rep.Stages[1].RatePerSec)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

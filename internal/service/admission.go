@@ -1,0 +1,220 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// Admission control and overload brownout (DESIGN.md §14).
+//
+// The queue-full ErrBusy of PR 1 is a blunt last line of defense: one
+// hot tenant fills the queue and starves everyone, and a burst of
+// doomed jobs (short budgets, long queue) burns worker time on runs
+// that will certainly time out.  The admission layer adds three earlier
+// lines:
+//
+//   - per-tenant token buckets decide accept vs ErrQuota at Submit time,
+//     so no tenant can occupy more than its configured share of the
+//     compute intake (cache hits and coalesced followers ride free —
+//     they cost no worker);
+//   - deadline-aware shedding finalizes a dequeued job as StateShed when
+//     the time left until its end-to-end deadline (submit + budget) is
+//     below Config.ShedMargin — running it would burn a worker on a
+//     certain timeout;
+//   - a brownout controller watches sustained queue pressure and
+//     degrades optional work level by level, loudly, instead of letting
+//     the queue collapse: level 1 disables reuse seeding, level 2 skips
+//     the independent certify re-check for fresh cached-path results
+//     (never for certificates entering the reuse store — an uncertified
+//     proof is never stored), level 3 sheds low-priority tenants at
+//     admission with ErrShed.  Served verdicts are never weakened: every
+//     level only removes redundant re-checking or rejects work whole.
+
+// Quota is one tenant's admission policy.  The zero value is unlimited.
+type Quota struct {
+	// Rate is the sustained rate (jobs/second) of compute-consuming
+	// submissions the tenant may make (0 = unlimited).  Cache hits and
+	// coalesced submissions are not charged.
+	Rate float64
+	// Burst is the bucket size: how many jobs may arrive back-to-back
+	// before the rate limit bites (0 = max(1, Rate)).
+	Burst int
+	// Priority is the brownout shed class: tenants with Priority > 0 are
+	// refused admission (ErrShed) at brownout level 3, highest Priority
+	// first.  0 = never shed by the brownout controller.
+	Priority int
+}
+
+func (q Quota) withDefaults() Quota {
+	if q.Rate > 0 && q.Burst <= 0 {
+		q.Burst = int(q.Rate)
+		if q.Burst < 1 {
+			q.Burst = 1
+		}
+	}
+	return q
+}
+
+// unlimited reports whether the quota never rejects.
+func (q Quota) unlimited() bool { return q.Rate <= 0 }
+
+// Brownout levels.  Transitions are logged and counted; the current
+// level is the icpserve_brownout_level gauge.
+const (
+	// BrownoutOff: normal operation.
+	BrownoutOff = 0
+	// BrownoutNoReuse: certificate-reuse seeding is skipped (the seed
+	// re-proof costs solver time up front and is purely an optimization).
+	BrownoutNoReuse = 1
+	// BrownoutNoRecheck: additionally, fresh decisive results headed for
+	// the result cache skip the independent certify re-check and are
+	// served/cached uncertified (Status.certified = false, exactly like
+	// Config.SkipCertify).  Certificates are NOT stored for reuse at this
+	// level — the reuse store only ever holds independently certified
+	// proofs.
+	BrownoutNoRecheck = 2
+	// BrownoutShedLowPrio: additionally, tenants with Quota.Priority > 0
+	// are refused admission with ErrShed.
+	BrownoutShedLowPrio = 3
+)
+
+// bucket is one tenant's token bucket plus its lifetime counters.
+type bucket struct {
+	quota  Quota
+	tokens float64
+	last   time.Time
+}
+
+// admission is the Submit-time gate plus the brownout controller.  It
+// has its own mutex (always acquired after Service.mu when both are
+// held) so the hot Submit path never contends with metrics scraping.
+type admission struct {
+	mu sync.Mutex
+
+	defaultQuota Quota
+	overrides    map[string]Quota
+	buckets      map[string]*bucket
+
+	// brownout state machine
+	after     time.Duration // sustained-pressure window (<= 0: disabled)
+	level     int
+	highSince time.Time // queue above the high watermark since (zero: not)
+	lowSince  time.Time // queue below the low watermark since (zero: not)
+
+	now func() time.Time // test clock (nil = time.Now)
+}
+
+func newAdmission(cfg Config) *admission {
+	a := &admission{
+		defaultQuota: cfg.TenantQuota.withDefaults(),
+		overrides:    make(map[string]Quota, len(cfg.TenantQuotas)),
+		buckets:      make(map[string]*bucket),
+		after:        cfg.BrownoutAfter,
+	}
+	for t, q := range cfg.TenantQuotas {
+		a.overrides[t] = q.withDefaults()
+	}
+	return a
+}
+
+func (a *admission) clock() time.Time {
+	if a.now != nil {
+		return a.now()
+	}
+	return time.Now()
+}
+
+// quotaFor resolves the effective quota of a tenant.
+func (a *admission) quotaFor(tenant string) Quota {
+	if q, ok := a.overrides[tenant]; ok {
+		return q
+	}
+	return a.defaultQuota
+}
+
+// admit charges one compute-consuming submission to the tenant's bucket.
+// It returns (0, nil) on acceptance; on rejection the error is ErrQuota
+// (bucket empty) or ErrShed (brownout level 3 and the tenant's priority
+// class is sheddable), and retryAfter is the wait until a retry could
+// succeed.
+func (a *admission) admit(tenant string) (retryAfter time.Duration, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	q := a.quotaFor(tenant)
+	if a.level >= BrownoutShedLowPrio && q.Priority > 0 {
+		return time.Second, ErrShed
+	}
+	if q.unlimited() {
+		return 0, nil
+	}
+	now := a.clock()
+	b := a.buckets[tenant]
+	if b == nil {
+		b = &bucket{quota: q, tokens: float64(q.Burst), last: now}
+		a.buckets[tenant] = b
+	}
+	// refill at Rate tokens/sec, capped at Burst
+	b.tokens += now.Sub(b.last).Seconds() * q.Rate
+	b.last = now
+	if max := float64(q.Burst); b.tokens > max {
+		b.tokens = max
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, nil
+	}
+	// time until one full token accumulates
+	wait := time.Duration((1 - b.tokens) / q.Rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return wait, ErrQuota
+}
+
+// observeQueue feeds the brownout controller one queue-occupancy sample
+// (called at submit, dequeue, and completion).  The level escalates one
+// step each time occupancy stays at or above 3/4 of capacity for the
+// configured window, and de-escalates one step after a window at or
+// below 1/4.  Returns the level and whether this call changed it.
+func (a *admission) observeQueue(qlen, qcap int) (level int, changed bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.after <= 0 || qcap <= 0 {
+		return a.level, false
+	}
+	now := a.clock()
+	high := 4*qlen >= 3*qcap
+	low := 4*qlen <= qcap
+	if high {
+		a.lowSince = time.Time{}
+		if a.highSince.IsZero() {
+			a.highSince = now
+		} else if now.Sub(a.highSince) >= a.after && a.level < BrownoutShedLowPrio {
+			a.level++
+			a.highSince = now // a further escalation needs a fresh window
+			return a.level, true
+		}
+	} else {
+		a.highSince = time.Time{}
+	}
+	if low {
+		if a.lowSince.IsZero() {
+			a.lowSince = now
+		} else if now.Sub(a.lowSince) >= a.after && a.level > BrownoutOff {
+			a.level--
+			a.lowSince = now
+			return a.level, true
+		}
+	} else {
+		a.lowSince = time.Time{}
+	}
+	return a.level, false
+}
+
+// brownoutLevel returns the current brownout level.
+func (a *admission) brownoutLevel() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.level
+}

@@ -1,0 +1,345 @@
+package service
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced time source for the admission and
+// breaker state machines.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestQuotaBucketRefill(t *testing.T) {
+	clk := newFakeClock()
+	a := newAdmission(Config{TenantQuota: Quota{Rate: 2, Burst: 2}}.withDefaults())
+	a.now = clk.now
+
+	// burst of 2 is admitted back to back
+	for i := 0; i < 2; i++ {
+		if _, err := a.admit("alice"); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	retry, err := a.admit("alice")
+	if !errors.Is(err, ErrQuota) {
+		t.Fatalf("third admit: err = %v, want ErrQuota", err)
+	}
+	// at 2 tokens/sec, one full token is 500ms away
+	if retry != 500*time.Millisecond {
+		t.Errorf("retry hint = %v, want 500ms", retry)
+	}
+
+	clk.advance(500 * time.Millisecond)
+	if _, err := a.admit("alice"); err != nil {
+		t.Fatalf("admit after refill: %v", err)
+	}
+	if _, err := a.admit("alice"); !errors.Is(err, ErrQuota) {
+		t.Fatalf("bucket should be empty again, got err = %v", err)
+	}
+
+	// refill caps at Burst: a long idle period buys 2 tokens, not 20
+	clk.advance(10 * time.Second)
+	for i := 0; i < 2; i++ {
+		if _, err := a.admit("alice"); err != nil {
+			t.Fatalf("post-idle admit %d: %v", i, err)
+		}
+	}
+	if _, err := a.admit("alice"); !errors.Is(err, ErrQuota) {
+		t.Fatalf("burst cap ignored, err = %v", err)
+	}
+}
+
+func TestQuotaTenantIsolation(t *testing.T) {
+	clk := newFakeClock()
+	a := newAdmission(Config{
+		TenantQuotas: map[string]Quota{"free": {Rate: 1, Burst: 1}},
+	}.withDefaults())
+	a.now = clk.now
+
+	if _, err := a.admit("free"); err != nil {
+		t.Fatalf("free first admit: %v", err)
+	}
+	if _, err := a.admit("free"); !errors.Is(err, ErrQuota) {
+		t.Fatalf("free second admit: err = %v, want ErrQuota", err)
+	}
+	// the default tenant has no override and the default quota is
+	// unlimited: free's empty bucket must not leak onto it
+	for i := 0; i < 10; i++ {
+		if _, err := a.admit(""); err != nil {
+			t.Fatalf("default tenant admit %d: %v", i, err)
+		}
+	}
+}
+
+func TestBrownoutEscalateDeescalate(t *testing.T) {
+	clk := newFakeClock()
+	a := newAdmission(Config{BrownoutAfter: time.Second}.withDefaults())
+	a.now = clk.now
+
+	// sustained high occupancy (3/4 of capacity) escalates one level per
+	// full window, capped at level 3
+	want := []int{1, 2, 3, 3}
+	a.observeQueue(3, 4) // arms the high watermark
+	for i, w := range want {
+		clk.advance(1100 * time.Millisecond)
+		level, changed := a.observeQueue(3, 4)
+		if level != w {
+			t.Fatalf("step %d: level = %d, want %d", i, level, w)
+		}
+		if changed != (i < 3) {
+			t.Fatalf("step %d: changed = %v", i, changed)
+		}
+	}
+
+	// a sample in the middle band resets both watermark timers
+	a.observeQueue(2, 4)
+	clk.advance(1100 * time.Millisecond)
+	if level, changed := a.observeQueue(2, 4); level != 3 || changed {
+		t.Fatalf("middle band moved the level: %d (changed %v)", level, changed)
+	}
+
+	// sustained low occupancy (1/4 of capacity) walks back down
+	a.observeQueue(1, 4)
+	for i, w := range []int{2, 1, 0, 0} {
+		clk.advance(1100 * time.Millisecond)
+		level, _ := a.observeQueue(1, 4)
+		if level != w {
+			t.Fatalf("de-escalation step %d: level = %d, want %d", i, level, w)
+		}
+	}
+}
+
+func TestBrownoutPrioritySheds(t *testing.T) {
+	a := newAdmission(Config{
+		TenantQuotas: map[string]Quota{"batch": {Priority: 1}},
+	}.withDefaults())
+	a.mu.Lock()
+	a.level = BrownoutShedLowPrio
+	a.mu.Unlock()
+
+	retry, err := a.admit("batch")
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("sheddable tenant at level 3: err = %v, want ErrShed", err)
+	}
+	if retry <= 0 {
+		t.Errorf("shed retry hint = %v, want > 0", retry)
+	}
+	// priority-0 tenants are never brownout-shed
+	if _, err := a.admit(""); err != nil {
+		t.Fatalf("priority-0 tenant at level 3: %v", err)
+	}
+}
+
+// TestServiceQuotaRejects covers the Submit-path wiring: an empty bucket
+// rejects with ErrQuota and a retry hint, the rejection is counted per
+// tenant, and cache hits ride free.
+func TestServiceQuotaRejects(t *testing.T) {
+	s := newTestService(t, Config{
+		Workers:      1,
+		TenantQuotas: map[string]Quota{"alice": {Rate: 0.001, Burst: 1}},
+	})
+
+	st, err := s.Submit(Request{Source: safeModel, Tenant: "alice", Engine: "ic3", Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	if st, err = s.Wait(st.ID, 30*time.Second); err != nil || st.State != "done" {
+		t.Fatalf("wait: state = %s, err = %v", st.State, err)
+	}
+	if st.Tenant != "alice" {
+		t.Errorf("status tenant = %q", st.Tenant)
+	}
+
+	// the bucket is empty, but a cache hit consumes no worker and is not
+	// charged
+	hit, err := s.Submit(Request{Source: safeModel, Tenant: "alice", Engine: "ic3", Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("cache-hit submit: %v", err)
+	}
+	if !hit.CacheHit {
+		t.Fatalf("expected cache hit, state = %s", hit.State)
+	}
+
+	// a fresh model needs a worker: rejected with a refill hint
+	_, err = s.Submit(Request{Source: unsafeModel, Tenant: "alice", Engine: "bmc", Timeout: 30 * time.Second})
+	if !errors.Is(err, ErrQuota) {
+		t.Fatalf("err = %v, want ErrQuota", err)
+	}
+	if retry := RetryAfter(err); retry <= 0 {
+		t.Errorf("RetryAfter = %v, want > 0", retry)
+	}
+	if got := s.Metrics().QuotaRejected(); got != 1 {
+		t.Errorf("quota_rejected = %d", got)
+	}
+	text := s.Metrics().String()
+	if !strings.Contains(text, `icpserve_tenant_quota_rejected_total{tenant="alice"} 1`) {
+		t.Errorf("per-tenant rejection missing from exposition:\n%s", text)
+	}
+
+	// other tenants are unaffected
+	if _, err := s.Submit(Request{Source: unsafeModel, Tenant: "bob", Engine: "bmc", Timeout: 30 * time.Second}); err != nil {
+		t.Fatalf("bob submit: %v", err)
+	}
+}
+
+// TestServiceDeadlineShed covers dequeue-time shedding: a job whose
+// budget was eaten by queueing is finalized as shed, never run.
+func TestServiceDeadlineShed(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1, ShedMargin: 10 * time.Millisecond})
+
+	occupier, err := s.Submit(Request{Source: hardModel, Engine: "ic3", Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("occupier submit: %v", err)
+	}
+	victim, err := s.Submit(Request{Source: safeModel, Engine: "ic3", Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("victim submit: %v", err)
+	}
+
+	// let the victim's whole budget elapse in the queue, then free the
+	// worker so it dequeues the victim
+	time.Sleep(120 * time.Millisecond)
+	if err := s.Cancel(occupier.ID); err != nil {
+		t.Fatalf("cancel occupier: %v", err)
+	}
+
+	st, err := s.Wait(victim.ID, 10*time.Second)
+	if err != nil {
+		t.Fatalf("wait victim: %v", err)
+	}
+	if st.State != "shed" {
+		t.Fatalf("victim state = %s, want shed (%s)", st.State, st.Note)
+	}
+	if st.Verdict != "unknown" || !strings.Contains(st.Note, "budget spent queued") {
+		t.Errorf("verdict = %s, note = %q", st.Verdict, st.Note)
+	}
+	if got := s.Metrics().ShedDeadline(); got != 1 {
+		t.Errorf("shed_deadline = %d", got)
+	}
+	// shed is terminal: cancelling it is a conflict, like done
+	if err := s.Cancel(victim.ID); !errors.Is(err, ErrFinished) {
+		t.Errorf("cancel shed job: err = %v, want ErrFinished", err)
+	}
+}
+
+// TestServiceBrownoutShedsTenant covers the Submit-path level-3 gate.
+func TestServiceBrownoutShedsTenant(t *testing.T) {
+	s := newTestService(t, Config{
+		Workers:      1,
+		TenantQuotas: map[string]Quota{"batch": {Priority: 1}},
+	})
+	s.admission.mu.Lock()
+	s.admission.level = BrownoutShedLowPrio
+	s.admission.mu.Unlock()
+
+	_, err := s.Submit(Request{Source: unsafeModel, Tenant: "batch", Engine: "bmc", Timeout: 30 * time.Second})
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("err = %v, want ErrShed", err)
+	}
+	if got := s.Metrics().ShedBrownout(); got != 1 {
+		t.Errorf("shed_brownout = %d", got)
+	}
+	// the anonymous tenant defaults to priority 0 and is served
+	if _, err := s.Submit(Request{Source: unsafeModel, Engine: "bmc", Timeout: 30 * time.Second}); err != nil {
+		t.Fatalf("priority-0 submit at level 3: %v", err)
+	}
+}
+
+// TestBrownoutServesUncertified covers level 2: fresh decisive results
+// skip the certify re-check, are flagged uncertified, and still land in
+// the result cache (the same trust model as Config.SkipCertify).
+func TestBrownoutServesUncertified(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	s.admission.mu.Lock()
+	s.admission.level = BrownoutNoRecheck
+	s.admission.mu.Unlock()
+
+	st, err := s.Submit(Request{Source: safeModel, Engine: "ic3", Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if st, err = s.Wait(st.ID, 30*time.Second); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if st.Verdict != "safe" {
+		t.Fatalf("verdict = %s (%s)", st.Verdict, st.Note)
+	}
+	if st.Certified {
+		t.Error("brownout result marked certified")
+	}
+	m := s.Metrics()
+	if m.CertSkippedBrownout() != 1 {
+		t.Errorf("cert_skipped_brownout = %d", m.CertSkippedBrownout())
+	}
+	if m.Certified() != 0 {
+		t.Errorf("certified = %d, want 0 under brownout", m.Certified())
+	}
+	if m.CacheFills() != 1 {
+		t.Errorf("cache fills = %d (uncertified fresh results are still served)", m.CacheFills())
+	}
+}
+
+// TestHTTPOverloadMaps429 covers the HTTP mapping: quota rejections
+// come back as 429 Too Many Requests with a Retry-After header.
+func TestHTTPOverloadMaps429(t *testing.T) {
+	_, srv := newTestServer(t, Config{
+		Workers:      1,
+		TenantQuotas: map[string]Quota{"alice": {Rate: 0.001, Burst: 1}},
+	})
+
+	resp, _ := postJSON(t, srv.URL+"/v1/jobs", map[string]interface{}{
+		"model": safeModel, "tenant": "alice", "engine": "ic3", "timeout_ms": 30000, "wait_ms": 30000,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first submit: status %d", resp.StatusCode)
+	}
+
+	resp, body := postJSON(t, srv.URL+"/v1/jobs", map[string]interface{}{
+		"model": unsafeModel, "tenant": "alice", "engine": "bmc", "timeout_ms": 30000,
+	})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit: status %d, body %s", resp.StatusCode, body)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" || ra == "0" {
+		t.Errorf("Retry-After = %q, want >= 1 second", ra)
+	}
+	if !strings.Contains(string(body), "retry_after_ms") {
+		t.Errorf("429 body lacks retry_after_ms: %s", body)
+	}
+	if !strings.Contains(string(body), "quota") {
+		t.Errorf("429 body lacks the quota error: %s", body)
+	}
+}
+
+// TestOverloadMetricsExposition: every overload counter appears in the
+// deterministic /metrics text.
+func TestOverloadMetricsExposition(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	text := s.Metrics().String()
+	for _, name := range []string{
+		"icpserve_jobs_quota_rejected_total 0",
+		"icpserve_jobs_shed_total 0",
+		`icpserve_jobs_shed_total{reason="deadline"} 0`,
+		`icpserve_jobs_shed_total{reason="brownout"} 0`,
+		`icpserve_jobs_shed_total{reason="drain"} 0`,
+		"icpserve_brownout_level 0",
+		"icpserve_brownout_transitions_total 0",
+		"icpserve_breaker_trips_total 0",
+		"icpserve_breaker_probes_total 0",
+		"icpserve_breaker_short_circuited_total 0",
+		"icpserve_results_cert_skipped_brownout_total 0",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("metric %q missing from exposition:\n%s", name, text)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"icpic3/internal/det"
+)
+
+// Per-engine circuit breakers (DESIGN.md §14).
+//
+// The retry machinery of supervise.go treats every panic or stall as an
+// isolated accident: guard, retry, degrade, move on.  Under load that
+// is the wrong shape — when an engine is systematically wedging (a bad
+// deploy, a pathological model family), every new job still pays one
+// full StallTimeout on the broken engine before degrading.  The breaker
+// aggregates those verdicts: threshold consecutive panic/stall failures
+// of one engine open its breaker, and while it is open new jobs route
+// straight to the degraded engine (per Config.Degrade) without paying
+// for the doomed first attempt.  After the cool-down one job is let
+// through as a half-open probe; its success closes the breaker, its
+// failure re-opens it for another cool-down.  Decisive and ordinary
+// Unknown results count as successes — only supervision kills (panic,
+// stall) trip the breaker, mirroring what the retry loop retries.
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// engineBreaker is the breaker of one engine name.
+type engineBreaker struct {
+	state    breakerState
+	fails    int       // consecutive panic/stall failures while closed
+	openedAt time.Time // when the breaker last opened
+}
+
+// breaker tracks one engineBreaker per engine name.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures that open (<= 0: disabled)
+	cooldown  time.Duration // open duration before a half-open probe
+	engines   map[string]*engineBreaker
+
+	now func() time.Time // test clock (nil = time.Now)
+}
+
+func newBreaker(cfg Config) *breaker {
+	return &breaker{
+		threshold: cfg.BreakerThreshold,
+		cooldown:  cfg.BreakerCooldown,
+		engines:   make(map[string]*engineBreaker),
+	}
+}
+
+func (b *breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+func (b *breaker) forEngine(name string) *engineBreaker {
+	eb := b.engines[name]
+	if eb == nil {
+		eb = &engineBreaker{}
+		b.engines[name] = eb
+	}
+	return eb
+}
+
+// admit decides whether a new job may start on the named engine.
+// ok = true, probe = false: breaker closed, run normally.
+// ok = true, probe = true: the caller holds the single half-open probe
+// slot and must report the outcome via record(..., probe = true).
+// ok = false: breaker open (or a probe is already in flight); the
+// caller should route to the degraded engine.
+func (b *breaker) admit(name string) (ok, probe bool) {
+	if b == nil || b.threshold <= 0 {
+		return true, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	eb := b.forEngine(name)
+	switch eb.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if b.clock().Sub(eb.openedAt) >= b.cooldown {
+			eb.state = breakerHalfOpen
+			return true, true
+		}
+		return false, false
+	default: // half-open: a probe is already in flight
+		return false, false
+	}
+}
+
+// record feeds one attempt outcome back.  failed means the attempt was
+// killed by supervision (panic or stall).  It returns the transition
+// the outcome caused, or "" when the state did not change.
+func (b *breaker) record(name string, failed, probe bool) (transition string) {
+	if b == nil || b.threshold <= 0 {
+		return ""
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	eb := b.forEngine(name)
+	if probe || eb.state == breakerHalfOpen {
+		if failed {
+			eb.state = breakerOpen
+			eb.openedAt = b.clock()
+			return "half-open -> open"
+		}
+		eb.state = breakerClosed
+		eb.fails = 0
+		return "half-open -> closed"
+	}
+	if eb.state != breakerClosed {
+		return "" // outcome of a pre-open attempt arriving late
+	}
+	if !failed {
+		eb.fails = 0
+		return ""
+	}
+	eb.fails++
+	if eb.fails < b.threshold {
+		return ""
+	}
+	eb.state = breakerOpen
+	eb.openedAt = b.clock()
+	eb.fails = 0
+	return "closed -> open"
+}
+
+// release returns an unreported half-open probe slot (the probe job was
+// cancelled mid-flight, proving nothing): the breaker re-opens with its
+// cool-down already spent, so the next job probes again immediately.
+func (b *breaker) release(name string) {
+	if b == nil || b.threshold <= 0 || name == "" {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	eb := b.forEngine(name)
+	if eb.state == breakerHalfOpen {
+		eb.state = breakerOpen
+		eb.openedAt = b.clock().Add(-b.cooldown)
+	}
+}
+
+// snapshot returns every engine's open-ness (1 = open or half-open) in
+// deterministic order, for the /metrics gauges.
+func (b *breaker) snapshot() (engines []string, open []int64) {
+	if b == nil {
+		return nil, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, name := range det.SortedKeys(b.engines) {
+		engines = append(engines, name)
+		v := int64(0)
+		if b.engines[name].state != breakerClosed {
+			v = 1
+		}
+		open = append(open, v)
+	}
+	return engines, open
+}

@@ -1,0 +1,183 @@
+package service
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"icpic3/internal/engine"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(Config{BreakerThreshold: 2, BreakerCooldown: time.Second}.withDefaults())
+	b.now = clk.now
+
+	// closed: failures below the threshold change nothing
+	if ok, probe := b.admit("ic3"); !ok || probe {
+		t.Fatalf("closed admit = (%v, %v)", ok, probe)
+	}
+	if tr := b.record("ic3", true, false); tr != "" {
+		t.Fatalf("first failure transition = %q", tr)
+	}
+	// a success resets the consecutive-failure count
+	b.record("ic3", false, false)
+	b.record("ic3", true, false)
+	if tr := b.record("ic3", true, false); tr != "closed -> open" {
+		t.Fatalf("threshold transition = %q", tr)
+	}
+
+	// open: refused until the cooldown elapses
+	if ok, _ := b.admit("ic3"); ok {
+		t.Fatal("open breaker admitted a job")
+	}
+	clk.advance(1100 * time.Millisecond)
+	ok, probe := b.admit("ic3")
+	if !ok || !probe {
+		t.Fatalf("post-cooldown admit = (%v, %v), want probe", ok, probe)
+	}
+	// half-open: only one probe slot
+	if ok, _ := b.admit("ic3"); ok {
+		t.Fatal("second probe admitted while one is in flight")
+	}
+	// a failed probe re-opens
+	if tr := b.record("ic3", true, true); tr != "half-open -> open" {
+		t.Fatalf("failed probe transition = %q", tr)
+	}
+	clk.advance(1100 * time.Millisecond)
+	if ok, probe := b.admit("ic3"); !ok || !probe {
+		t.Fatal("no probe after the re-open cooldown")
+	}
+	// a successful probe closes, and the failure count starts fresh
+	if tr := b.record("ic3", false, true); tr != "half-open -> closed" {
+		t.Fatalf("probe success transition = %q", tr)
+	}
+	if ok, probe := b.admit("ic3"); !ok || probe {
+		t.Fatalf("closed-again admit = (%v, %v)", ok, probe)
+	}
+
+	// breakers are per engine: ic3's history never touched bmc
+	if ok, probe := b.admit("bmc"); !ok || probe {
+		t.Fatalf("bmc admit = (%v, %v)", ok, probe)
+	}
+}
+
+func TestBreakerReleaseReturnsProbeSlot(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(Config{BreakerThreshold: 1, BreakerCooldown: time.Second}.withDefaults())
+	b.now = clk.now
+
+	b.record("ic3", true, false) // opens (threshold 1)
+	clk.advance(1100 * time.Millisecond)
+	if ok, probe := b.admit("ic3"); !ok || !probe {
+		t.Fatal("expected a probe slot")
+	}
+	// the probe job is cancelled mid-flight and never reports: release
+	// re-opens with the cooldown pre-spent, so the very next job probes
+	b.release("ic3")
+	if ok, probe := b.admit("ic3"); !ok || !probe {
+		t.Fatal("released slot not immediately probeable")
+	}
+	// release after the outcome was recorded is a no-op
+	b.record("ic3", false, true)
+	b.release("ic3")
+	if ok, probe := b.admit("ic3"); !ok || probe {
+		t.Fatalf("admit after recorded probe = (%v, %v), want plain closed", ok, probe)
+	}
+}
+
+const breakerModel = `
+system breakervictim
+var x : real [0, 10]
+init x >= 0 and x <= 6
+trans x' = x / 2
+prop x <= 8
+`
+
+// TestBreakerTripsAndRecovers exercises the full lifecycle through the
+// service: consecutive injected panics open ic3's breaker, the next job
+// is short-circuited to portfolio, a post-cooldown probe fails and
+// re-opens, and once the fault is disarmed a second probe closes the
+// breaker again.
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	disarm := engine.InjectFault("breakervictim", engine.FaultPanic)
+	armed := true
+	defer func() {
+		if armed {
+			disarm()
+		}
+	}()
+
+	s := newTestService(t, Config{
+		Workers:          1,
+		MaxRetries:       -1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  75 * time.Millisecond,
+	})
+	// distinct MaxK per submission keeps every job out of the result
+	// cache and coalescing, without changing how ic3 runs this model
+	submit := func(i int) Status {
+		t.Helper()
+		st, err := s.Submit(Request{Source: breakerModel, Engine: "ic3", Timeout: 30 * time.Second, MaxK: 10 + i})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		st, err = s.Wait(st.ID, 30*time.Second)
+		if err != nil || st.State != "done" {
+			t.Fatalf("wait %d: state = %s, err = %v", i, st.State, err)
+		}
+		return st
+	}
+
+	// two consecutive panics on ic3 trip its breaker
+	submit(0)
+	submit(1)
+	if got := s.Metrics().BreakerTrips(); got != 1 {
+		t.Fatalf("trips after threshold = %d, want 1", got)
+	}
+
+	// open breaker: the next job skips ic3 entirely
+	st := submit(2)
+	if st.Breaker != "ic3 -> portfolio" {
+		t.Fatalf("breaker short-circuit = %q, want \"ic3 -> portfolio\"", st.Breaker)
+	}
+	if st.EngineUsed != "portfolio" {
+		t.Errorf("engine_used = %q", st.EngineUsed)
+	}
+	if got := s.Metrics().BreakerShortCircuits(); got != 1 {
+		t.Errorf("short_circuited = %d", got)
+	}
+
+	// after the cooldown one probe is let through; it panics and re-opens
+	time.Sleep(150 * time.Millisecond)
+	st = submit(3)
+	if st.Breaker != "" || st.EngineUsed != "ic3" {
+		t.Fatalf("probe ran %q (breaker %q), want ic3 itself", st.EngineUsed, st.Breaker)
+	}
+	m := s.Metrics()
+	if m.BreakerProbes() != 1 || m.BreakerTrips() != 2 {
+		t.Fatalf("probes = %d, trips = %d after failed probe", m.BreakerProbes(), m.BreakerTrips())
+	}
+
+	// the engine recovers: the next probe succeeds and closes the breaker
+	disarm()
+	armed = false
+	time.Sleep(150 * time.Millisecond)
+	st = submit(4)
+	if st.Verdict != "safe" || st.EngineUsed != "ic3" {
+		t.Fatalf("recovery probe: verdict = %s on %s (%s)", st.Verdict, st.EngineUsed, st.Note)
+	}
+	if got := s.Metrics().BreakerProbes(); got != 2 {
+		t.Errorf("probes = %d", got)
+	}
+
+	// closed again: jobs run ic3 with no short-circuit and the open gauge
+	// reads 0
+	st = submit(5)
+	if st.Breaker != "" || st.Verdict != "safe" {
+		t.Fatalf("post-recovery job: breaker %q, verdict %s", st.Breaker, st.Verdict)
+	}
+	if text := s.Metrics().String(); !strings.Contains(text, `icpserve_breaker_open{engine="ic3"} 0`) {
+		t.Errorf("breaker gauge not closed:\n%s", text)
+	}
+}

@@ -1,6 +1,8 @@
 package service
 
 import (
+	"context"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -279,6 +281,78 @@ func TestSkipCertify(t *testing.T) {
 	}
 	if got := s.Metrics().Certified(); got != 0 {
 		t.Errorf("certified metric = %d", got)
+	}
+}
+
+// TestShutdownDrainShedsQueuedUnderLoad is the graceful-SIGTERM
+// contract under load: when the drain grace expires, every still-queued
+// job is finalized as shed (a terminal status the client can observe,
+// never a silent drop), the in-flight job aborts cooperatively, and no
+// service goroutine outlives Shutdown.
+func TestShutdownDrainShedsQueuedUnderLoad(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	s := New(Config{Workers: 1, ShedMargin: -1})
+	occupier, err := s.Submit(Request{Source: hardModel, Engine: "ic3", Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("occupier submit: %v", err)
+	}
+	// distinct Eps per job: each needs its own queue slot, not a
+	// coalesced ride on the occupier
+	var queued []string
+	for i := 0; i < 3; i++ {
+		st, err := s.Submit(Request{Source: hardModel, Engine: "ic3", Timeout: 30 * time.Second, Eps: 1e-5 + float64(i+1)*1e-7})
+		if err != nil {
+			t.Fatalf("queued submit %d: %v", i, err)
+		}
+		queued = append(queued, st.ID)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("shutdown err = %v, want DeadlineExceeded (grace must expire)", err)
+	}
+
+	for _, id := range queued {
+		st, err := s.Job(id)
+		if err != nil {
+			t.Fatalf("job %s: %v", id, err)
+		}
+		if st.State != "shed" {
+			t.Errorf("queued job %s drained as %s, want shed", id, st.State)
+		}
+		if st.Verdict != "unknown" || !strings.Contains(st.Note, "shutting down") {
+			t.Errorf("job %s: verdict = %s, note = %q", id, st.Verdict, st.Note)
+		}
+	}
+	st, err := s.Job(occupier.ID)
+	if err != nil {
+		t.Fatalf("occupier: %v", err)
+	}
+	if st.State != "cancelled" && st.State != "done" {
+		t.Errorf("in-flight job state = %s, want cancelled or done", st.State)
+	}
+	if got := s.Metrics().ShedDrain(); got != 3 {
+		t.Errorf("shed_drain = %d, want 3", got)
+	}
+	if _, err := s.Submit(Request{Source: safeModel, Timeout: time.Second}); err != ErrClosed {
+		t.Errorf("submit after shutdown: err = %v, want ErrClosed", err)
+	}
+
+	// Shutdown returned with the workers exited; everything the service
+	// started must be gone (watchdogs, workers, the shutdown waiter).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d before, %d after shutdown\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -39,9 +39,31 @@ import (
 var (
 	ErrClosed   = errors.New("service: shutting down")
 	ErrBusy     = errors.New("service: job queue full")
+	ErrQuota    = errors.New("service: tenant quota exceeded")
+	ErrShed     = errors.New("service: shed under overload")
 	ErrNotFound = errors.New("service: no such job")
 	ErrFinished = errors.New("service: job already finished")
 )
+
+// RetryAfter extracts the retry hint attached to an ErrBusy/ErrQuota/
+// ErrShed rejection (0 when the error carries none).
+func RetryAfter(err error) time.Duration {
+	var r *rejectError
+	if errors.As(err, &r) {
+		return r.retryAfter
+	}
+	return 0
+}
+
+// rejectError wraps an admission rejection with its retry hint, so the
+// HTTP layer can render a Retry-After header without re-deriving it.
+type rejectError struct {
+	err        error
+	retryAfter time.Duration
+}
+
+func (e *rejectError) Error() string { return e.err.Error() }
+func (e *rejectError) Unwrap() error { return e.err }
 
 // Config tunes the service.  The zero value is usable.
 type Config struct {
@@ -88,6 +110,32 @@ type Config struct {
 	ReuseMaxDist float64
 	// ReuseStoreSize bounds the certificate store in entries (0 = 512).
 	ReuseStoreSize int
+	// TenantQuota is the default per-tenant admission quota (zero =
+	// unlimited): a token bucket of Burst tokens refilled at Rate
+	// jobs/sec, charged only by submissions that consume a worker (cache
+	// hits and coalesced followers ride free).  An empty bucket rejects
+	// with ErrQuota.
+	TenantQuota Quota
+	// TenantQuotas overrides TenantQuota per tenant name.
+	TenantQuotas map[string]Quota
+	// ShedMargin is the deadline-shedding floor: a dequeued job whose
+	// remaining end-to-end budget (submit time + timeout - now) is below
+	// it is finalized as StateShed instead of run — it would certainly
+	// time out mid-solve (0 = 10ms, negative = shedding disabled).
+	ShedMargin time.Duration
+	// BrownoutAfter is how long queue occupancy must stay >= 3/4 of
+	// QueueDepth before the brownout level escalates one step (and <= 1/4
+	// before it de-escalates); see the Brownout* levels in admission.go
+	// (0 = 2s, negative = brownout disabled).
+	BrownoutAfter time.Duration
+	// BreakerThreshold is the number of consecutive panicked/stalled
+	// attempts that open an engine's circuit breaker, routing new jobs
+	// straight to the degraded engine for BreakerCooldown before a
+	// half-open probe (0 = 5, negative = breakers disabled).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker short-circuits before
+	// probing the engine again (0 = 30s).
+	BreakerCooldown time.Duration
 	// SkipCertify disables independent re-checking of decisive results.
 	// By default every Safe verdict's certificate is re-verified with
 	// fresh solvers and every Unsafe trace is replayed before the result
@@ -127,6 +175,18 @@ func (c Config) withDefaults() Config {
 	if c.Degrade == nil {
 		c.Degrade = map[string]string{"ic3": "portfolio", "portfolio": "bmc"}
 	}
+	if c.ShedMargin == 0 {
+		c.ShedMargin = 10 * time.Millisecond
+	}
+	if c.BrownoutAfter == 0 {
+		c.BrownoutAfter = 2 * time.Second
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 30 * time.Second
+	}
 	return c
 }
 
@@ -134,6 +194,11 @@ func (c Config) withDefaults() Config {
 type Request struct {
 	// Source is the model text in the internal/ts format.
 	Source string `json:"model"`
+	// Tenant names the submitting tenant for quota accounting and
+	// brownout shedding ("" = the anonymous default tenant).  It never
+	// affects the verdict, so it is excluded from the cache key and
+	// tenants share cached and in-flight results.
+	Tenant string `json:"tenant,omitempty"`
 	// Engine selects the engine: ic3 | bmc | kind | portfolio ("" = portfolio).
 	Engine string `json:"engine"`
 	// Timeout is the per-job budget, clamped to Config.MaxTimeout
@@ -215,6 +280,11 @@ const (
 	StateRunning
 	StateDone
 	StateCancelled
+	// StateShed is the terminal state of a job the service accepted but
+	// refused to run: its remaining end-to-end budget at dequeue time was
+	// below Config.ShedMargin (it would certainly time out mid-solve), or
+	// it was still queued when a shutdown drain ran out of grace.
+	StateShed
 )
 
 func (s State) String() string {
@@ -225,8 +295,15 @@ func (s State) String() string {
 		return "running"
 	case StateDone:
 		return "done"
+	case StateShed:
+		return "shed"
 	}
 	return "cancelled"
+}
+
+// Final reports whether s is a terminal state.
+func (s State) Final() bool {
+	return s == StateDone || s == StateCancelled || s == StateShed
 }
 
 // job is the internal record of one submission.  All mutable fields are
@@ -253,8 +330,10 @@ type job struct {
 	engineUsed string // engine of the final attempt (after degradation)
 	certified  bool   // decisive result passed independent certification
 	reused     string // reuse-match description when seeded from a prior proof
+	breaker    string // breaker short-circuit description, "" when none
 
 	submitted time.Time
+	deadline  time.Time // end-to-end deadline: submitted + request budget
 	started   time.Time
 	finished  time.Time
 
@@ -268,6 +347,7 @@ type Status struct {
 	Engine    string `json:"engine"`
 	State     string `json:"state"`
 	System    string `json:"system"`
+	Tenant    string `json:"tenant,omitempty"`
 	Key       string `json:"key"`
 	CacheHit  bool   `json:"cache_hit"`
 	Coalesced bool   `json:"coalesced,omitempty"`
@@ -281,7 +361,10 @@ type Status struct {
 	// Reused describes the prior certificate this run was seeded from
 	// ("exact" or the changed parts with their distance); empty for cold
 	// runs.
-	Reused    string        `json:"reused,omitempty"`
+	Reused string `json:"reused,omitempty"`
+	// Breaker describes a circuit-breaker short-circuit (e.g.
+	// "ic3 -> portfolio"); empty when the job ran its requested engine.
+	Breaker   string        `json:"breaker,omitempty"`
 	Verdict   string        `json:"verdict,omitempty"`
 	Depth     int           `json:"depth,omitempty"`
 	Note      string        `json:"note,omitempty"`
@@ -292,10 +375,12 @@ type Status struct {
 
 // Service is the concurrent verification service.
 type Service struct {
-	cfg     Config
-	cache   *resultCache
-	metrics *Metrics
-	store   *reuse.Store // certificate-reuse store; nil when disabled
+	cfg       Config
+	cache     *resultCache
+	metrics   *Metrics
+	store     *reuse.Store // certificate-reuse store; nil when disabled
+	admission *admission
+	breakers  *breaker
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -312,13 +397,16 @@ type Service struct {
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{
-		cfg:      cfg,
-		cache:    newResultCache(cfg.CacheSize),
-		metrics:  newMetrics(),
-		jobs:     make(map[string]*job),
-		inflight: make(map[string][]*job),
-		queue:    make(chan *job, cfg.QueueDepth),
+		cfg:       cfg,
+		cache:     newResultCache(cfg.CacheSize),
+		metrics:   newMetrics(),
+		admission: newAdmission(cfg),
+		breakers:  newBreaker(cfg),
+		jobs:      make(map[string]*job),
+		inflight:  make(map[string][]*job),
+		queue:     make(chan *job, cfg.QueueDepth),
 	}
+	s.metrics.breakers = s.breakers
 	if cfg.Reuse {
 		store, err := reuse.Open(cfg.CacheDir, cfg.ReuseStoreSize)
 		if err != nil {
@@ -348,8 +436,11 @@ func (s *Service) logf(format string, args ...interface{}) {
 // Submit parses, normalizes and enqueues a request.  On a cache hit the
 // returned job is already done; when an identical job is in flight the
 // submission is coalesced onto it.  Submit returns an error for invalid
-// requests (bad model or options), when the queue is full (ErrBusy), or
-// after Shutdown began (ErrClosed).
+// requests (bad model or options), when the tenant's token bucket is
+// empty (ErrQuota), when the brownout controller is shedding the
+// tenant's priority class (ErrShed), when the queue is full (ErrBusy),
+// or after Shutdown began (ErrClosed).  Rejections carry a retry hint
+// readable via RetryAfter.
 func (s *Service) Submit(req Request) (Status, error) {
 	req, err := req.normalize(s.cfg)
 	if err != nil {
@@ -372,18 +463,22 @@ func (s *Service) Submit(req Request) (Status, error) {
 	if s.closed {
 		return Status{}, ErrClosed
 	}
+	s.observePressureLocked()
 	s.idSeq++
+	now := time.Now()
 	jb := &job{
 		id:        fmt.Sprintf("j%06d", s.idSeq),
 		req:       req,
 		sys:       sys,
 		key:       key,
 		groupKey:  key + "|t=" + req.Timeout.String(),
-		submitted: time.Now(),
+		submitted: now,
+		deadline:  now.Add(req.Timeout),
 		cancel:    make(chan struct{}),
 		done:      make(chan struct{}),
 	}
 	s.metrics.incSubmitted()
+	s.metrics.incTenantSubmitted(req.Tenant)
 
 	if res, ok := s.cache.Get(key); ok {
 		s.metrics.incHit()
@@ -409,16 +504,38 @@ func (s *Service) Submit(req Request) (Status, error) {
 		s.logf("job %s: coalesced onto %s", jb.id, group[0].id)
 		return s.statusLocked(jb), nil
 	}
+	// admission: only submissions about to consume a worker are charged
+	// to the tenant's bucket — cache hits and coalesced followers above
+	// cost (nearly) nothing and rode free
+	if retry, aerr := s.admission.admit(req.Tenant); aerr != nil {
+		if errors.Is(aerr, ErrShed) {
+			s.metrics.incShedBrownout(req.Tenant)
+			s.logf("job intake: tenant %q shed at brownout level %d", req.Tenant, s.admission.brownoutLevel())
+		} else {
+			s.metrics.incQuotaRejected(req.Tenant)
+		}
+		return Status{}, &rejectError{err: aerr, retryAfter: retry}
+	}
 	select {
 	case s.queue <- jb:
 	default:
 		s.metrics.incBusy()
-		return Status{}, ErrBusy
+		return Status{}, &rejectError{err: ErrBusy, retryAfter: time.Second}
 	}
 	s.inflight[jb.groupKey] = []*job{jb}
 	s.register(jb)
 	s.logf("job %s: queued (%s, %s)", jb.id, jb.sys.Name, jb.req.Engine)
 	return s.statusLocked(jb), nil
+}
+
+// observePressureLocked feeds the brownout controller one queue sample
+// and publishes level transitions; caller holds mu.
+func (s *Service) observePressureLocked() {
+	level, changed := s.admission.observeQueue(len(s.queue), cap(s.queue))
+	if changed {
+		s.metrics.setBrownoutLevel(level)
+		s.logf("brownout: level %d (queue %d/%d)", level, len(s.queue), cap(s.queue))
+	}
 }
 
 // register records the job for Job/List; caller holds mu.
@@ -480,7 +597,7 @@ func (s *Service) Cancel(id string) error {
 		return ErrNotFound
 	}
 	switch jb.state {
-	case StateDone, StateCancelled:
+	case StateDone, StateCancelled, StateShed:
 		return ErrFinished
 	case StateRunning:
 		if !jb.cancelled {
@@ -526,7 +643,8 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 	}
 
-	// grace expired: abort everything still live
+	// grace expired: shed everything still queued (a terminal status the
+	// client can see, never a silent drop) and abort everything running
 	s.mu.Lock()
 	for _, jb := range s.jobs {
 		switch jb.state {
@@ -536,7 +654,8 @@ func (s *Service) Shutdown(ctx context.Context) error {
 				close(jb.cancel)
 			}
 			s.removeFromGroupLocked(jb)
-			s.finalizeCancelLocked(jb, "service shutting down")
+			s.metrics.incShedDrain(jb.req.Tenant)
+			s.finalizeShedLocked(jb, "shed: service shutting down, drain grace expired")
 		case StateRunning:
 			if !jb.cancelled {
 				jb.cancelled = true
@@ -559,6 +678,20 @@ func (s *Service) worker() {
 			s.mu.Unlock()
 			continue
 		}
+		s.observePressureLocked()
+		// Deadline-aware shed: a job whose end-to-end budget has already
+		// been eaten by queueing would burn this worker on a certain
+		// timeout — refuse to run it and promote any follower (submitted
+		// later, so with more budget left).
+		if s.cfg.ShedMargin > 0 && time.Until(jb.deadline) < s.cfg.ShedMargin {
+			s.metrics.incShedDeadline(jb.req.Tenant)
+			s.removeFromGroupLocked(jb)
+			s.finalizeShedLocked(jb, fmt.Sprintf("shed: %v of the %v budget spent queued",
+				time.Since(jb.submitted).Round(time.Millisecond), jb.req.Timeout))
+			s.promoteLocked(jb.groupKey)
+			s.mu.Unlock()
+			continue
+		}
 		jb.state = StateRunning
 		jb.started = time.Now()
 		s.mu.Unlock()
@@ -572,6 +705,7 @@ func (s *Service) worker() {
 		jb.engineUsed = sup.engineUsed
 		jb.certified = sup.certified
 		jb.reused = sup.reused
+		jb.breaker = sup.breaker
 		if jb.cancelled {
 			jb.state = StateCancelled
 			jb.result = res
@@ -648,12 +782,13 @@ func (s *Service) promoteLocked(key string) {
 			default:
 			}
 		}
-		reason := "queue full during promotion"
-		if s.closed {
-			reason = "service shutting down"
-		}
 		s.inflight[key] = group[1:]
-		s.finalizeCancelLocked(next, reason)
+		if s.closed {
+			s.metrics.incShedDrain(next.req.Tenant)
+			s.finalizeShedLocked(next, "shed: service shutting down during promotion")
+		} else {
+			s.finalizeCancelLocked(next, "queue full during promotion")
+		}
 	}
 }
 
@@ -667,6 +802,17 @@ func (s *Service) finalizeCancelLocked(jb *job, note string) {
 	close(jb.done)
 }
 
+// finalizeShedLocked moves a queued job to its terminal shed state;
+// caller holds mu.  Shed is load shedding, not cancellation: the
+// service accepted the job and is refusing to run it, loudly.
+func (s *Service) finalizeShedLocked(jb *job, note string) {
+	jb.state = StateShed
+	jb.finished = time.Now()
+	jb.result = engine.Result{Verdict: engine.Unknown, Note: note}
+	close(jb.done)
+	s.logf("job %s: %s", jb.id, note)
+}
+
 // statusLocked snapshots a job; caller holds mu.
 func (s *Service) statusLocked(jb *job) Status {
 	st := Status{
@@ -674,6 +820,7 @@ func (s *Service) statusLocked(jb *job) Status {
 		Engine:    jb.req.Engine,
 		State:     jb.state.String(),
 		System:    jb.sys.Name,
+		Tenant:    jb.req.Tenant,
 		Key:       jb.key,
 		CacheHit:  jb.cacheHit,
 		Coalesced: jb.coalesced,
@@ -682,7 +829,8 @@ func (s *Service) statusLocked(jb *job) Status {
 	st.EngineUsed = jb.engineUsed
 	st.Certified = jb.certified
 	st.Reused = jb.reused
-	if jb.state == StateDone || jb.state == StateCancelled {
+	st.Breaker = jb.breaker
+	if jb.state.Final() {
 		st.Verdict = jb.result.Verdict.String()
 		st.Depth = jb.result.Depth
 		st.Note = jb.result.Note

@@ -395,7 +395,9 @@ func TestConcurrentMixedLoad(t *testing.T) {
 		if err != nil {
 			t.Fatalf("wait %s: %v", id, err)
 		}
-		if st.State != "done" && st.State != "cancelled" {
+		// "shed" is a legitimate terminal state here: the 400ms-budget
+		// hard jobs can exhaust their end-to-end deadline while queued
+		if st.State != "done" && st.State != "cancelled" && st.State != "shed" {
 			t.Fatalf("job %s stuck in %s: no lost jobs allowed", id, st.State)
 		}
 	}

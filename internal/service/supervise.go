@@ -15,6 +15,7 @@ type supervision struct {
 	engineUsed string
 	certified  bool
 	reused     string // reuse-match description, "" for cold runs
+	breaker    string // breaker short-circuit description, "" when none
 }
 
 // runSupervised executes a job under the full robustness envelope:
@@ -35,8 +36,48 @@ type supervision struct {
 // Called without mu; only reads the job fields fixed at submission.
 func (s *Service) runSupervised(jb *job) (engine.Result, supervision) {
 	sup := supervision{engineUsed: jb.req.Engine}
-	hints := s.lookupSeed(jb)
-	sup.reused = hints.desc
+
+	// Circuit breaker: when the requested engine's breaker is open, skip
+	// the doomed first attempt and route straight down the degradation
+	// chain; a half-open breaker lets exactly one probe job through.
+	probe := false
+	if ok, isProbe := s.breakers.admit(sup.engineUsed); !ok {
+		from := sup.engineUsed
+		for {
+			next, okNext := s.cfg.Degrade[sup.engineUsed]
+			if !okNext || next == "" || next == sup.engineUsed {
+				break // no engine below this one: run it open and eat the cost
+			}
+			sup.engineUsed = next
+			if ok, isProbe = s.breakers.admit(sup.engineUsed); ok {
+				break
+			}
+		}
+		if sup.engineUsed != from {
+			sup.breaker = from + " -> " + sup.engineUsed
+			s.metrics.incBreakerShortCircuit()
+			s.logf("job %s: breaker open for %s, routed to %s", jb.id, from, sup.engineUsed)
+		}
+		probe = isProbe
+	} else {
+		probe = isProbe
+	}
+	probeEngine := "" // claimed half-open slot not yet reported back
+	if probe {
+		probeEngine = sup.engineUsed
+		defer func() { s.breakers.release(probeEngine) }()
+		s.metrics.incBreakerProbe()
+		s.logf("job %s: half-open breaker probe on %s", jb.id, sup.engineUsed)
+	}
+
+	// Brownout level 1+: skip reuse seeding — the seed re-proof is
+	// optional up-front solver work, exactly what a browned-out service
+	// must not spend.
+	var hints seedHints
+	if s.admission.brownoutLevel() < BrownoutNoReuse {
+		hints = s.lookupSeed(jb)
+		sup.reused = hints.desc
+	}
 	backoff := s.cfg.RetryBackoff
 	var res engine.Result
 	for {
@@ -44,6 +85,7 @@ func (s *Service) runSupervised(jb *job) (engine.Result, supervision) {
 		res = s.runAttempt(jb, sup.engineUsed, hints)
 		panicked := engine.Panicked(res)
 		stalled := res.Stats != nil && res.Stats["stalled"] > 0
+		failed := panicked || stalled
 		switch {
 		case panicked:
 			s.metrics.incPanics()
@@ -52,7 +94,21 @@ func (s *Service) runSupervised(jb *job) (engine.Result, supervision) {
 			s.metrics.incStalled()
 			s.logf("job %s: attempt %d (%s) %s", jb.id, sup.attempts, sup.engineUsed, res.Note)
 		}
-		if !(panicked || stalled) || sup.attempts > s.cfg.MaxRetries || s.jobCancelled(jb) {
+		if !s.jobCancelled(jb) {
+			// a cancelled run aborts mid-flight and proves nothing about
+			// the engine's health, so it never feeds the breaker
+			if tr := s.breakers.record(sup.engineUsed, failed, probe); tr != "" {
+				if tr == "closed -> open" || tr == "half-open -> open" {
+					s.metrics.incBreakerTrip()
+				}
+				s.logf("breaker %s: %s", sup.engineUsed, tr)
+			}
+			if probe {
+				probeEngine = "" // outcome reported; nothing to release
+			}
+		}
+		probe = false // only the first attempt can be the probe
+		if !failed || sup.attempts > s.cfg.MaxRetries || s.jobCancelled(jb) {
 			break
 		}
 		s.metrics.incRetried()
@@ -69,7 +125,18 @@ func (s *Service) runSupervised(jb *job) (engine.Result, supervision) {
 		backoff *= 2
 	}
 
-	if !s.cfg.SkipCertify && res.Verdict != engine.Unknown && !s.jobCancelled(jb) {
+	// Brownout level 2+: fresh decisive results skip the independent
+	// re-check and are served/cached uncertified (same trust model as
+	// Config.SkipCertify, flagged in Status).  Because sup.certified
+	// stays false, storeCertificate below never runs — the reuse store
+	// only ever holds independently certified proofs.
+	skipCertify := s.cfg.SkipCertify
+	if !skipCertify && s.admission.brownoutLevel() >= BrownoutNoRecheck {
+		skipCertify = true
+		s.metrics.incCertSkippedBrownout()
+		s.logf("job %s: brownout level %d, serving %s uncertified", jb.id, s.admission.brownoutLevel(), res.Verdict)
+	}
+	if !skipCertify && res.Verdict != engine.Unknown && !s.jobCancelled(jb) {
 		sup.certified = s.certifyResult(jb, &res)
 	}
 	if !s.jobCancelled(jb) {
@@ -111,13 +178,46 @@ func (s *Service) runAttempt(jb *job, engineName string, hints seedHints) engine
 		close(watchDone)
 	}
 
-	budget := engine.Budget{Timeout: req.Timeout}.WithDone(jb.cancel).WithDone(stalled).Start()
+	// The budget is anchored to the job's end-to-end deadline: time spent
+	// queued (and in earlier attempts) is already gone.  This is what
+	// makes dequeue-time shedding sound — a job past its deadline has no
+	// budget left by construction, it does not get a fresh one per attempt.
+	timeout := req.Timeout
+	if !jb.deadline.IsZero() {
+		if rem := time.Until(jb.deadline); rem < timeout {
+			timeout = rem
+		}
+	}
+	if timeout <= 0 {
+		timeout = time.Millisecond // past-deadline attempt: expire immediately
+	}
+	// abort merges the cancel and stall signals into the one done channel
+	// the budget watches.  The merge goroutine is released when the
+	// attempt returns — chaining WithDone(cancel).WithDone(stalled) would
+	// park a goroutine on two channels that never fire for the (normal)
+	// jobs that are neither cancelled nor stalled, leaking one goroutine
+	// per attempt.
+	abort := make(chan struct{})
+	attemptDone := make(chan struct{})
+	go func() {
+		engine.GuardGo(jb.id+" abort-merge", s.cfg.Logf, func() {
+			select {
+			case <-jb.cancel:
+				close(abort)
+			case <-stalled:
+				close(abort)
+			case <-attemptDone:
+			}
+		})
+	}()
+	budget := engine.Budget{Timeout: timeout}.WithDone(abort).Start()
 	res := engine.Guard(jb.id, s.cfg.Logf, func() engine.Result {
 		engine.FireFault(jb.sys.Name, budget)
 		return runEngine(jb.sys, req, budget, prog, hints)
 	})
 	close(watchStop)
 	<-watchDone
+	close(attemptDone)
 
 	// A decisive verdict that raced the watchdog still stands: the engine
 	// finished its proof or counterexample before observing the kill.

@@ -37,13 +37,18 @@ bench-diff:
 	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
 
 # Fast perf/soundness smoke for CI: single-iteration benchmarks of the
-# two hot paths plus the reduceDB invariance leg (verdicts must match
-# with clause deletion off vs forced aggressive — see reduce_test.go).
+# two hot paths, the reduceDB invariance legs (verdicts must match with
+# clause deletion off vs forced aggressive — see reduce_test.go and
+# trigger_test.go), and the query-count gate: the committed snapshots
+# pin the triggered-pushing work profile, so benchdiff fails if solver
+# queries regress more than 10% against the post-trigger snapshot or
+# any verdict changes.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'SolverICP' -benchtime=1x -benchmem .
 	$(GO) test -run '^$$' -bench 'PropagateWatched' -benchtime=1x -benchmem ./internal/icp/
 	$(GO) test -run '^$$' -bench 'PropQuery' -benchtime=1x -benchmem ./internal/ic3icp/
-	$(GO) test -run 'TestReduceDBVerdictInvariance' -count=1 -v ./internal/ic3icp/
+	$(GO) test -run 'TestReduceDBVerdictInvariance|TestTriggeredPushReduceInvariance' -count=1 -v ./internal/ic3icp/
+	$(GO) run ./cmd/benchdiff -queries-tolerance 0.10 BENCH_2026-08-08.json BENCH_2026-08-08-triggered.json
 
 # Certificate-reuse smoke (DESIGN.md §13): prove a tiny corpus, mutate
 # one bound per instance, re-verify seeded from the stored certificate —

@@ -176,10 +176,12 @@ func BenchmarkSolverICP(b *testing.B) {
 
 // TestSolverICPAllocs pins the allocation budget of the representative
 // CDCL(ICP) run that BenchmarkSolverICP times.  The watched-bound core
-// landed at ~1590 allocs/op (scratch conflict carriers removed the
-// per-conflict slice+struct churn); the guard sits at the pre-watch
-// baseline of 1654 so any hot-path allocation regression fails loudly
-// without flaking on minor drift below it.
+// landed at ~1590 allocs/op; the triggered-pushing rework added the
+// durable-op log, per-cube trigger records, and the UNSAT-core hit
+// table (~1760 allocs/op, in exchange for cutting queries ~3x on the
+// consecution-bound suite).  The guard sits a small margin above so a
+// hot-path allocation regression fails loudly without flaking on minor
+// drift below it.
 func TestSolverICPAllocs(t *testing.T) {
 	in := benchmarks.Must(benchmarks.Logistic(true, 0))
 	allocs := testing.AllocsPerRun(5, func() {
@@ -188,7 +190,7 @@ func TestSolverICPAllocs(t *testing.T) {
 			t.Fatalf("verdict = %v", res.Verdict)
 		}
 	})
-	const budget = 1654
+	const budget = 1850
 	if allocs > budget {
 		t.Errorf("solver ICP run allocates %.0f/op, budget %d", allocs, budget)
 	}

@@ -9,13 +9,16 @@ func run(solved, wrong int, engines ...harness.BenchEngine) harness.BenchRun {
 }
 
 func eng(name string, solved int, sps float64, wrong int) harness.BenchEngine {
-	return harness.BenchEngine{Engine: name, SolvedSafe: solved, SolvedPerSec: sps, Wrong: wrong}
+	return harness.BenchEngine{
+		Engine: name, SolvedSafe: solved, SolvedPerSec: sps, Wrong: wrong,
+		EngineSec: 10, // above minGateSec so the throughput gate applies
+	}
 }
 
 func TestDiffRunNoRegression(t *testing.T) {
 	old := run(10, 0, eng("ic3-icp", 5, 1.0, 0))
 	cur := run(11, 0, eng("ic3-icp", 6, 1.2, 0))
-	if diffRun("baseline", old, cur, 0.10) {
+	if diffRun("baseline", old, cur, 0.10, 0.10) {
 		t.Fatal("improvement flagged as regression")
 	}
 }
@@ -23,7 +26,7 @@ func TestDiffRunNoRegression(t *testing.T) {
 func TestDiffRunFlagsFewerSolved(t *testing.T) {
 	old := run(10, 0, eng("ic3-icp", 5, 1.0, 0))
 	cur := run(9, 0, eng("ic3-icp", 4, 1.0, 0))
-	if !diffRun("baseline", old, cur, 0.10) {
+	if !diffRun("baseline", old, cur, 0.10, 0.10) {
 		t.Fatal("solved drop not flagged")
 	}
 }
@@ -31,7 +34,7 @@ func TestDiffRunFlagsFewerSolved(t *testing.T) {
 func TestDiffRunFlagsWrongVerdicts(t *testing.T) {
 	old := run(10, 0, eng("ic3-icp", 5, 1.0, 0))
 	cur := run(10, 1, eng("ic3-icp", 5, 1.0, 1))
-	if !diffRun("baseline", old, cur, 0.10) {
+	if !diffRun("baseline", old, cur, 0.10, 0.10) {
 		t.Fatal("new wrong verdict not flagged")
 	}
 }
@@ -67,15 +70,67 @@ func TestDiffScalingSkipsConfigChanges(t *testing.T) {
 	}
 }
 
+func TestDiffRunSkipsThroughputGateOnTinySamples(t *testing.T) {
+	// sub-second engine times make solved/sec pure scheduler jitter:
+	// a "13% drop" here is ~30ms of wall — tracked, never gated
+	tiny := func(sps float64) harness.BenchEngine {
+		e := eng("kind-icp", 26, sps, 0)
+		e.EngineSec = 0.25
+		return e
+	}
+	old := run(26, 0, tiny(110.0))
+	cur := run(26, 0, tiny(87.0))
+	if diffRun("parallel", old, cur, 0.10, 0.10) {
+		t.Fatal("sub-second throughput jitter gated")
+	}
+}
+
+// engQ builds a per-engine slice carrying the work-profile counters.
+func engQ(name string, solved int, queries, attempts, skipped, rebuilds int64) harness.BenchEngine {
+	return harness.BenchEngine{
+		Engine: name, SolvedSafe: solved, SolvedPerSec: 1.0,
+		Queries: queries, PushAttempts: attempts, PushSkipped: skipped,
+		SolverRebuilds: rebuilds,
+	}
+}
+
+func TestDiffRunFlagsQueryGrowth(t *testing.T) {
+	old := run(10, 0, engQ("ic3-icp", 10, 1000, 50, 200, 2))
+	cur := run(10, 0, engQ("ic3-icp", 10, 1200, 300, 0, 2))
+	if !diffRun("baseline", old, cur, 0.10, 0.10) {
+		t.Fatal("20% query growth not flagged at 10% tolerance")
+	}
+	// within tolerance: jitter, not a regression
+	cur = run(10, 0, engQ("ic3-icp", 10, 1050, 50, 200, 2))
+	if diffRun("baseline", old, cur, 0.10, 0.10) {
+		t.Fatal("within-tolerance query jitter flagged")
+	}
+	// fewer queries is the goal, never a regression
+	cur = run(10, 0, engQ("ic3-icp", 10, 400, 20, 300, 1))
+	if diffRun("baseline", old, cur, 0.10, 0.10) {
+		t.Fatal("query reduction flagged as regression")
+	}
+}
+
+func TestDiffRunSkipsQueryGateWithoutOldCounts(t *testing.T) {
+	// snapshots predating the work-profile counters carry queries == 0:
+	// tracked in the output, never gated
+	old := run(10, 0, eng("ic3-icp", 5, 1.0, 0))
+	cur := run(10, 0, engQ("ic3-icp", 5, 50000, 4000, 0, 0))
+	if diffRun("baseline", old, cur, 0.10, 0.10) {
+		t.Fatal("query gate fired against a counter-less old snapshot")
+	}
+}
+
 func TestDiffRunFlagsThroughputDrop(t *testing.T) {
 	old := run(10, 0, eng("ic3-icp", 5, 1.0, 0))
 	cur := run(10, 0, eng("ic3-icp", 5, 0.5, 0))
-	if !diffRun("baseline", old, cur, 0.10) {
+	if !diffRun("baseline", old, cur, 0.10, 0.10) {
 		t.Fatal("solved/sec collapse not flagged")
 	}
 	// within tolerance: not a regression
 	cur = run(10, 0, eng("ic3-icp", 5, 0.95, 0))
-	if diffRun("baseline", old, cur, 0.10) {
+	if diffRun("baseline", old, cur, 0.10, 0.10) {
 		t.Fatal("within-tolerance jitter flagged")
 	}
 }

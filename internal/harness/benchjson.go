@@ -34,6 +34,16 @@ type BenchEngine struct {
 	Wrong        int     `json:"wrong"`
 	EngineSec    float64 `json:"engine_sec"`     // summed per-run engine time
 	SolvedPerSec float64 `json:"solved_per_sec"` // solved / engine_sec
+
+	// Work-profile counters (ic3-icp reports them; others stay 0), so
+	// benchdiff can gate on consecution query count instead of only on
+	// wall-clock: total solver queries, clause-push consecution
+	// attempts, attempts skipped by the push triggers, and incremental
+	// frame-solver rebuilds.
+	Queries        int64 `json:"queries"`
+	PushAttempts   int64 `json:"push_attempts"`
+	PushSkipped    int64 `json:"push_skipped_triggered"`
+	SolverRebuilds int64 `json:"solver_rebuilds"`
 }
 
 // BenchRun is one full-suite execution at a fixed worker count.
@@ -81,12 +91,16 @@ func benchRun(suite []benchmarks.Instance, perRun time.Duration, workers int) (B
 	for _, s := range Summarize(records, names) {
 		solved := s.SolvedSafe + s.SolvedUnsaf
 		be := BenchEngine{
-			Engine:      s.Engine,
-			SolvedSafe:  s.SolvedSafe,
-			SolvedUnsaf: s.SolvedUnsaf,
-			Unknown:     s.Unknown,
-			Wrong:       s.Wrong,
-			EngineSec:   s.TotalTime.Seconds(),
+			Engine:         s.Engine,
+			SolvedSafe:     s.SolvedSafe,
+			SolvedUnsaf:    s.SolvedUnsaf,
+			Unknown:        s.Unknown,
+			Wrong:          s.Wrong,
+			EngineSec:      s.TotalTime.Seconds(),
+			Queries:        s.Queries,
+			PushAttempts:   s.PushAttempts,
+			PushSkipped:    s.PushSkipped,
+			SolverRebuilds: s.SolverRebuilds,
 		}
 		if be.EngineSec > 0 {
 			be.SolvedPerSec = float64(solved) / be.EngineSec

@@ -140,6 +140,15 @@ type EngineSummary struct {
 	Unknown     int
 	Wrong       int
 	TotalTime   time.Duration
+	// Work-profile counters summed from Result.Stats (zero for engines
+	// that do not report them): solver queries, consecution push
+	// attempts, push attempts skipped by triggering, and incremental
+	// solver rebuilds.  They make query-count regressions diffable
+	// across BENCH snapshots, not just wall-clock ones.
+	Queries        int64
+	PushAttempts   int64
+	PushSkipped    int64
+	SolverRebuilds int64
 }
 
 // Summarize aggregates run records per engine.
@@ -154,6 +163,12 @@ func Summarize(records []RunRecord, names []string) []EngineSummary {
 			continue
 		}
 		s.TotalTime += r.Result.Runtime
+		if st := r.Result.Stats; st != nil {
+			s.Queries += st["queries"]
+			s.PushAttempts += st["pushAttempts"]
+			s.PushSkipped += st["pushSkippedTriggered"]
+			s.SolverRebuilds += st["solverRebuilds"]
+		}
 		switch {
 		case r.Wrong():
 			s.Wrong++
@@ -175,12 +190,14 @@ func Summarize(records []RunRecord, names []string) []EngineSummary {
 // Table2 renders the engine comparison.
 func Table2(w io.Writer, records []RunRecord, names []string) {
 	fmt.Fprintln(w, "Table II: solved instances per engine")
-	fmt.Fprintf(w, "%-10s %6s %8s %8s %6s %12s\n",
-		"engine", "safe", "unsafe", "unknown", "wrong", "total time")
+	fmt.Fprintf(w, "%-10s %6s %8s %8s %6s %12s %9s %9s %8s\n",
+		"engine", "safe", "unsafe", "unknown", "wrong", "total time",
+		"queries", "pushskip", "rebuilds")
 	for _, s := range Summarize(records, names) {
-		fmt.Fprintf(w, "%-10s %6d %8d %8d %6d %12s\n",
+		fmt.Fprintf(w, "%-10s %6d %8d %8d %6d %12s %9d %9d %8d\n",
 			s.Engine, s.SolvedSafe, s.SolvedUnsaf, s.Unknown, s.Wrong,
-			s.TotalTime.Round(time.Millisecond))
+			s.TotalTime.Round(time.Millisecond),
+			s.Queries, s.PushSkipped, s.SolverRebuilds)
 	}
 }
 

@@ -205,10 +205,35 @@ type checker struct {
 	propPlain    *icp.Solver
 	propPlainIDs []tnf.VarID
 
-	frameAct []tnf.VarID // per-level activation variable (main solver)
-	frames   [][]icpCube // per-level blocked cubes
+	frameAct []tnf.VarID   // per-level activation variable (main solver)
+	frames   [][]*frameCube // per-level blocked cubes with push-trigger state
 	budget   engine.Budget
 	stats    map[string]int64
+
+	// durable-op log and solver-lifecycle state (see trigger.go): ops
+	// replays frame content onto any solver compiled from tnfMain;
+	// mainApplied/mainRetired track the main solver's log position and
+	// retired one-shot activation variables (slack rebuild bounds
+	// NumVars); statsBase accumulates surfaced solver counters across
+	// rebuilds.
+	ops         []durableOp
+	mainApplied int
+	mainRetired int
+	statsBase   icp.Stats
+
+	// persistent consecution shards for the pushing phase (parallel.go):
+	// one long-lived solver per static shard, each with its own
+	// activation-variable ids, log position, and retirement count.
+	pushSolvers []*icp.Solver
+	pushActs    [][]tnf.VarID
+	pushApplied []int
+	pushRetired []int
+	pushStalled bool // last sweep pushed nothing while skips were in effect
+
+	// coreHits counts how often each (variable, direction) bound was
+	// retained by an UNSAT core, steering generalization to drop or
+	// widen rarely-essential literals first.  Lookup-only iteration.
+	coreHits map[coreKey]int64
 
 	// hot-path tables, built once in build(): position and declared
 	// domain of each step-0 state variable, so per-query literal mapping
@@ -236,6 +261,9 @@ type checker struct {
 	// counterexample-to-generalization machinery
 	ctgBudget   int     // remaining recursive CTG blocks for this obligation
 	lastWitness icpCube // predecessor box of the last failed block query
+	lastNext    icpCube // successor box of the same query (cur-var terms)
+	infWitness  icpCube // obstruction box of the last failed F_∞ probe
+	infCTGDepth int     // recursion guard for down-generalized promotion
 
 	// F_∞: unguarded clauses from self-inductive blocked cubes
 	infCubes    []icpCube
@@ -246,6 +274,13 @@ type checker struct {
 
 // icpCube is a cube in solver terms: literals over curIDs.
 type icpCube []tnf.Lit
+
+// coreKey identifies one side of one state variable for the UNSAT-core
+// hit statistics guiding generalization order.
+type coreKey struct {
+	v tnf.VarID
+	d tnf.Dir
+}
 
 // tick publishes one heartbeat unit; called once per solver query and
 // per obligation so that a supervisor sees silence only when the engine
@@ -299,16 +334,25 @@ func CheckFull(sys *ts.System, opts Options) (engine.Result, *Info) {
 		return budget.Expired() || (userStop != nil && userStop())
 	}
 
-	ch := &checker{sys: sys, opts: opts, budget: budget, stats: map[string]int64{}}
+	ch := &checker{sys: sys, opts: opts, budget: budget, stats: map[string]int64{},
+		coreHits: map[coreKey]int64{}}
+	// work-profile counters asserted by the determinism suites and
+	// surfaced through /metrics and benchtab: present even when zero
+	ch.stats["pushAttempts"] = 0
+	ch.stats["pushSkippedTriggered"] = 0
+	ch.stats["solverRebuilds"] = 0
+	ch.stats["ctgBlocked"] = 0
 	if err := ch.build(); err != nil {
 		return engine.Result{Verdict: engine.Unknown, Note: err.Error()}, info
 	}
 	res := ch.run(info)
 	res.Runtime = budget.Elapsed()
 	// surface the main solver's hot-path counters next to the IC3 ones
-	ch.stats["watchVisits"] = ch.main.Stats.WatchVisits
-	ch.stats["clausesDeleted"] = ch.main.Stats.ClausesDeleted
-	ch.stats["litsMinimized"] = ch.main.Stats.LitsMinimized
+	// (statsBase carries what earlier solver rebuilds absorbed)
+	ch.absorbMainStats()
+	ch.stats["watchVisits"] = ch.statsBase.WatchVisits
+	ch.stats["clausesDeleted"] = ch.statsBase.ClausesDeleted
+	ch.stats["litsMinimized"] = ch.statsBase.LitsMinimized
 	res.Stats = ch.stats
 	if res.Verdict == engine.Safe {
 		res.Certificate = CertificateOf(info.Invariant)
@@ -625,6 +669,11 @@ func (ch *checker) selfInductive(c icpCube) bool {
 	assumps = append(assumps, ch.primed(c)...)
 	r := s.Solve(assumps)
 	s.AddClause(tnf.Clause{tnf.MkLe(tmp, 0)}) // retire
+	ch.infWitness = nil
+	if r.Status == icp.StatusSat {
+		// the obstruction: a box outside c with a successor inside c
+		ch.infWitness = ch.boxCube(r.Box, ch.curIDs)
+	}
 	return r.Status == icp.StatusUnsat
 }
 
@@ -634,6 +683,37 @@ func (ch *checker) inductiveAndSeparate(c icpCube) bool {
 		return false
 	}
 	return ch.selfInductive(c)
+}
+
+// inductiveAndSeparateCTG is inductiveAndSeparate with down-
+// generalization: when the probe fails because a box u outside c
+// transitions into c, u itself may be promotable — if it is, the
+// obstruction disappears permanently and the probe is re-asked.
+// Recursion is bounded to one level and charged to the per-obligation
+// CTG budget.
+func (ch *checker) inductiveAndSeparateCTG(c icpCube) bool {
+	if ch.inductiveAndSeparate(c) {
+		return true
+	}
+	w := ch.infWitness
+	if w == nil || ch.ctgBudget <= 0 || ch.infCTGDepth >= 1 || ch.budget.Expired() {
+		return false
+	}
+	ch.ctgBudget--
+	ch.infCTGDepth++
+	// the recursive promotion runs its own widenCubeWith, which would
+	// reuse — and corrupt — the caller's pooled candidate buffer that c
+	// aliases; give the recursion a fresh buffer and restore ours after
+	saved := ch.widenScratch
+	ch.widenScratch = nil
+	promoted := ch.promoteInductive(w)
+	ch.widenScratch = saved
+	ch.infCTGDepth--
+	if !promoted {
+		return false
+	}
+	ch.stats["ctgPromoted"]++
+	return ch.inductiveAndSeparate(c)
 }
 
 // promoteInductive checks whether cube c is self-inductive and disjoint
@@ -646,16 +726,21 @@ func (ch *checker) promoteInductive(c icpCube) bool {
 	g := c
 	if ch.opts.Generalize == GenCoreWiden {
 		// widening the inductive cube is part of the "stronger
-		// generalization" strategy (the Table III ablation axis)
-		g = ch.widenCubeWith(c, ch.inductiveAndSeparate)
+		// generalization" strategy (the Table III ablation axis); the
+		// CTG variant of the predicate can promote obstruction boxes
+		// along the way (down-generalization)
+		g = ch.widenCubeWith(c, ch.inductiveAndSeparateCTG)
 	}
 	ch.infCubes = append(ch.infCubes, g)
-	ch.main.AddClause(ch.negCube(g))
+	ch.appendOp(durableOp{level: -1, body: ch.negCube(g)})
+	ch.applyMain()
 	if ch.infSolver != nil {
 		ch.infSolver.AddClause(ch.negCube(g)) // keep the probe solver in step
 	}
 	// an F_∞ cube is active everywhere: retire every frame cube it covers
+	// and re-arm any push attempt it might unblock
 	ch.subsumeFrames(g, -1)
+	ch.markTriggered(g, 1, -1)
 	ch.stats["infCubes"]++
 	if ch.opts.DebugTrace {
 		fmt.Printf("promote F_inf: %s\n", ch.exportCube(g))
@@ -675,10 +760,11 @@ func (ch *checker) globallySafe() bool {
 	return r.Status == icp.StatusUnsat
 }
 
-// newFrame appends a frame level with a fresh activation variable.
+// newFrame appends a frame level with a fresh activation variable (a
+// durable op, so rebuilt and shard solvers re-create it on replay).
 func (ch *checker) newFrame() {
-	name := fmt.Sprintf(".frame%d", len(ch.frameAct))
-	ch.frameAct = append(ch.frameAct, ch.main.AddBoolVar(name))
+	ch.appendOp(durableOp{newFrame: true})
+	ch.applyMain()
 	ch.frames = append(ch.frames, nil)
 }
 
@@ -783,6 +869,12 @@ func (ch *checker) initIntersects(c icpCube) (bool, *icp.Result) {
 func (ch *checker) blockQuery(c icpCube, frame int) (icp.Result, icpCube) {
 	ch.stats["queries"]++
 	ch.tick()
+	// retired one-shot activation variables accumulate; rebuild the main
+	// solver from the durable-op log before they exceed the slack, so
+	// NumVars stays bounded over arbitrarily long runs
+	if ch.mainRetired >= mainRebuildSlack {
+		ch.rebuildMain()
+	}
 	// one-shot activation variable for the ¬cube clause
 	tmp := ch.main.AddBoolVar(fmt.Sprintf(".tmp%d", ch.stats["queries"]))
 	cl := append(tnf.Clause{tnf.MkLe(tmp, 0)}, ch.negCube(c)...)
@@ -803,17 +895,21 @@ func (ch *checker) blockQuery(c icpCube, frame int) (icp.Result, icpCube) {
 		for i, pl := range primed {
 			if inCore[pl] {
 				coreCube = append(coreCube, c[i])
+				ch.coreHits[coreKey{c[i].Var, c[i].Dir}]++
 			}
 		}
 	}
 	ch.main.AddClause(tnf.Clause{tnf.MkLe(tmp, 0)}) // retire
+	ch.mainRetired++
 	return r, coreCube
 }
 
-// addBlockedCube installs ¬cube at the given frame level and returns the
-// guarded clause so that callers holding solver snapshots can mirror it
-// (AddClause copies literals, so the returned slice may be reused).
-func (ch *checker) addBlockedCube(c icpCube, level int) tnf.Clause {
+// addBlockedCube installs ¬cube at the given frame level: an op on the
+// durable log (replayed by shard solvers at their next sync), applied
+// eagerly to main.  A fresh clause at level L strengthens every F_i
+// with i <= L, so dormant push attempts of all those frames are
+// re-armed when the clause might refute their witness.
+func (ch *checker) addBlockedCube(c icpCube, level int) {
 	ch.stats["blockedCubes"]++
 	if ch.opts.DebugTrace {
 		fmt.Printf("block@%d: %s\n", level, ch.exportCube(c))
@@ -821,10 +917,10 @@ func (ch *checker) addBlockedCube(c icpCube, level int) tnf.Clause {
 	// the new cube dominates anything it subsumes at its own level or
 	// below (its clause is active wherever theirs are)
 	ch.subsumeFrames(c, level)
-	ch.frames[level] = append(ch.frames[level], c)
-	cl := append(tnf.Clause{tnf.MkLe(ch.frameAct[level], 0)}, ch.negCube(c)...)
-	ch.main.AddClause(cl)
-	return cl
+	ch.frames[level] = append(ch.frames[level], &frameCube{cube: c, pending: true})
+	ch.appendOp(durableOp{level: level, body: ch.negCube(c)})
+	ch.applyMain()
+	ch.markTriggered(c, 1, level)
 }
 
 // exportCube renders an icpCube with variable names.
@@ -880,7 +976,8 @@ func (ch *checker) run(info *Info) engine.Result {
 	// Frame 0 = Init: the main solver encodes F_0 by asserting Init over
 	// the step-0 variables guarded by act_0.
 	ch.newFrame() // level 0
-	ch.main.AddClause(tnf.Clause{tnf.MkLe(ch.frameAct[0], 0), initLit})
+	ch.appendOp(durableOp{level: 0, body: tnf.Clause{initLit}})
+	ch.applyMain()
 	ch.newFrame() // level 1
 
 	// Certificate reuse: install still-inductive prior-proof clauses at
@@ -948,8 +1045,8 @@ func (ch *checker) run(info *Info) engine.Result {
 			// the invariant too — without them the exported clause set
 			// need not be inductive on its own.
 			for j := i + 1; j < len(ch.frames); j++ {
-				for _, c := range ch.frames[j] {
-					info.Invariant = append(info.Invariant, ch.exportCube(c))
+				for _, fc := range ch.frames[j] {
+					info.Invariant = append(info.Invariant, ch.exportCube(fc.cube))
 				}
 			}
 			for _, c := range ch.infCubes {
@@ -1146,16 +1243,13 @@ func (ch *checker) generalize(c, coreCube icpCube, frame int) icpCube {
 	if ch.opts.Generalize != GenCoreWiden {
 		return g
 	}
-	// widen each bound outward toward the variable's range; a fully
-	// widened bound is dropped
-	domOf := func(v tnf.VarID) interval.Interval {
-		for i, id := range ch.curIDs {
-			if id == v {
-				return ch.sys.Vars[i].Dom
-			}
-		}
-		return interval.Entire()
-	}
+	// UNSAT-core-guided ordering: literals whose (variable, side) is
+	// rarely retained by cores are the best drop/widen candidates, so
+	// they are attempted first — successful drops early make every later
+	// query in this loop smaller and cheaper.  The hit table evolves
+	// deterministically with the query sequence, so the ordering is
+	// identical across runs and worker counts.
+	g = ch.orderByCoreHits(g)
 	for i := 0; i < len(g); i++ {
 		// try dropping the literal entirely
 		if cand, ok := ch.tryDrop(g, i, frame); ok {
@@ -1164,7 +1258,10 @@ func (ch *checker) generalize(c, coreCube icpCube, frame int) icpCube {
 			continue
 		}
 		l := g[i]
-		dom := domOf(l.Var)
+		dom, ok := ch.domByVar[l.Var]
+		if !ok {
+			dom = interval.Entire()
+		}
 		var limit float64
 		if l.Dir == tnf.DirLe {
 			limit = dom.Hi
@@ -1183,12 +1280,45 @@ func (ch *checker) generalize(c, coreCube icpCube, frame int) icpCube {
 	return g
 }
 
+// orderByCoreHits returns g sorted so literals whose (variable, side)
+// appears least often in UNSAT cores come first: they are the least
+// likely to be load-bearing, so drops succeed early and every later
+// generalization query runs on a smaller cube.  Ties break on stable
+// variable id and direction; only map lookups, no map iteration.
+func (ch *checker) orderByCoreHits(g icpCube) icpCube {
+	if len(g) < 2 {
+		return g
+	}
+	out := append(icpCube{}, g...)
+	sort.SliceStable(out, func(i, j int) bool {
+		hi := ch.coreHits[coreKey{out[i].Var, out[i].Dir}]
+		hj := ch.coreHits[coreKey{out[j].Var, out[j].Dir}]
+		if hi != hj {
+			return hi < hj
+		}
+		if out[i].Var != out[j].Var {
+			return out[i].Var < out[j].Var
+		}
+		return out[i].Dir < out[j].Dir
+	})
+	return out
+}
+
 // widenLit searches for the weakest still-blocked variant of literal i:
 // first an exponential (doubling) advance from the current bound toward
 // the range limit, then bisection inside the failure bracket, and finally
 // a strict-bound snap exactly at the failure point — the half-open cube
 // [.., bad) is often blockable even when the closed cube [.., bad] is not,
 // and it eliminates the ε-sliver crawl at reachability boundaries.
+//
+// The bisection is witness-guided: a failed try returns a whole box of
+// obstructing successor states (the ICP advantage — a SAT answer is a
+// box, not a point), and any candidate bound that readmits that box
+// must fail too, so the known-bad end of the bracket jumps straight to
+// the box's near edge instead of creeping there by bisection.  The
+// jump only tightens the heuristic bracket — widened bounds are still
+// accepted solely on a proved-UNSAT query — so it can under-widen but
+// never unsoundly widen.
 func (ch *checker) widenLit(g icpCube, i int, limit float64, frame int) (tnf.Lit, bool) {
 	l := g[i]
 	tryBound := func(b float64, strict bool) bool {
@@ -1200,6 +1330,25 @@ func (ch *checker) widenLit(g icpCube, i int, limit float64, frame int) (tnf.Lit
 			fmt.Printf("  widen try %s strict=%v -> %v\n", wl, strict, ok)
 		}
 		return ok
+	}
+	// witnessEdge inspects the successor box of the last failed try for
+	// the near edge of the obstruction along l.Var: for an upper-bound
+	// literal widening up, the box's lower bound (any candidate above it
+	// readmits the box); for a lower-bound literal widening down, the
+	// box's upper bound.
+	witnessEdge := func(good, bad float64) (float64, bool) {
+		for _, wl := range ch.lastNext {
+			if wl.Var != l.Var || wl.Dir == l.Dir {
+				continue
+			}
+			if l.Dir == tnf.DirLe && wl.B > good && wl.B < bad {
+				return wl.B, true
+			}
+			if l.Dir == tnf.DirGe && wl.B < good && wl.B > bad {
+				return wl.B, true
+			}
+		}
+		return 0, false
 	}
 	good := l.B
 	goodStrict := l.Strict
@@ -1232,6 +1381,9 @@ func (ch *checker) widenLit(g icpCube, i int, limit float64, frame int) (tnf.Lit
 			step *= 4
 		} else {
 			bad = cand
+			if edge, ok := witnessEdge(good, bad); ok {
+				bad = edge
+			}
 			break
 		}
 	}
@@ -1246,18 +1398,26 @@ func (ch *checker) widenLit(g icpCube, i int, limit float64, frame int) (tnf.Lit
 				good, goodStrict = mid, false
 			} else {
 				bad = mid
+				if edge, ok := witnessEdge(good, bad); ok {
+					bad = edge
+				}
 			}
 		}
 		// strict snap: the half-open cube up to (but excluding) bad.
-		// When the snap fails because of an unblocked predecessor at the
-		// previous frame (a counterexample to generalization), try to
-		// block that predecessor there and retry.
+		// When the snap fails because the obstruction extends below bad,
+		// chase its witness edge downward; when it fails because of an
+		// unblocked predecessor at the previous frame (a counterexample
+		// to generalization), try to block that predecessor and retry.
 		snap := func() bool {
-			for attempt := 0; attempt < 3; attempt++ {
+			for attempt := 0; attempt < 4; attempt++ {
 				if tryBound(bad, true) {
 					good, goodStrict = bad, true
 					ch.stats["strictSnap"]++
 					return true
+				}
+				if edge, ok := witnessEdge(good, bad); ok {
+					bad = edge
+					continue
 				}
 				w := ch.lastWitness
 				if w == nil || !ch.blockCTG(w, frame-1) {
@@ -1270,7 +1430,9 @@ func (ch *checker) widenLit(g icpCube, i int, limit float64, frame int) (tnf.Lit
 			// full-precision refinement: converge the bracket to the exact
 			// obstruction boundary, then snap once more.  This collapses
 			// ε-sliver crawls at region boundaries (e.g. the edge of the
-			// initial region or of the reachable frontier).
+			// initial region or of the reachable frontier).  Witness jumps
+			// usually land the bracket in a handful of iterations well
+			// before the float-precision exit fires.
 			for r := 0; r < 64; r++ {
 				mid := good + (bad-good)/2
 				if mid == good || mid == bad || math.IsNaN(mid) {
@@ -1280,6 +1442,9 @@ func (ch *checker) widenLit(g icpCube, i int, limit float64, frame int) (tnf.Lit
 					good, goodStrict = mid, false
 				} else {
 					bad = mid
+					if edge, ok := witnessEdge(good, bad); ok {
+						bad = edge
+					}
 				}
 			}
 			if snap() {
@@ -1294,7 +1459,10 @@ func (ch *checker) widenLit(g icpCube, i int, limit float64, frame int) (tnf.Lit
 }
 
 // tryDrop removes literal i from g if the remainder stays blocked and
-// disjoint from Init.
+// disjoint from Init.  A failed drop whose witness is a counterexample
+// to generalization — a box obstructing the weaker cube that may itself
+// be unreachable at the previous frame — is blocked there (CTG
+// down-generalization) and the drop retried once.
 func (ch *checker) tryDrop(g icpCube, i, frame int) (icpCube, bool) {
 	if len(g) <= 1 {
 		return g, false
@@ -1306,19 +1474,30 @@ func (ch *checker) tryDrop(g icpCube, i, frame int) (icpCube, bool) {
 		ch.stats["widenDropped"]++
 		return cand, true
 	}
+	if w := ch.lastWitness; w != nil && ch.blockCTG(w, frame-1) {
+		if ch.blockedAndSeparate(cand, frame) {
+			ch.stats["widenDropped"]++
+			ch.stats["ctgDropAssist"]++
+			return cand, true
+		}
+	}
 	return g, false
 }
 
 // blockedAndSeparate reports whether cand is still blocked relative to
-// F_{frame-1} and provably disjoint from Init.
+// F_{frame-1} and provably disjoint from Init.  A SAT answer records
+// both the predecessor box (lastWitness, for CTG blocking) and the
+// successor box in current-variable terms (lastNext, for the
+// witness-guided bisection jump in widenLit).
 func (ch *checker) blockedAndSeparate(cand icpCube, frame int) bool {
-	ch.lastWitness = nil
+	ch.lastWitness, ch.lastNext = nil, nil
 	if intersects, _ := ch.initIntersects(cand); intersects {
 		return false
 	}
 	r, _ := ch.blockQuery(cand, frame)
 	if r.Status == icp.StatusSat {
 		ch.lastWitness = ch.boxCube(r.Box, ch.curIDs)
+		ch.lastNext = ch.boxCube(r.Box, ch.nextIDs)
 	}
 	return r.Status == icp.StatusUnsat
 }

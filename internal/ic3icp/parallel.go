@@ -7,36 +7,46 @@ import (
 	"icpic3/internal/tnf"
 )
 
-// Parallel clause pushing.
+// Parallel triggered clause pushing.
 //
-// The forward-propagation phase of IC3 asks, for every clause ¬c in
-// every frame F_i, one independent consecution query
-// SAT?(F_i ∧ ¬c ∧ T ∧ c') — exactly the shape that fans out over solver
-// snapshots (icp.Solver.Clone / icp.Pool).  Determinism across worker
-// counts is by construction, in two steps:
+// The forward-propagation phase of IC3 asks, for every *pending* clause
+// ¬c in every frame F_i, one independent consecution query
+// SAT?(F_i ∧ ¬c ∧ T ∧ c').  Cubes whose last push failed are dormant
+// until a trigger re-arms them (see trigger.go), so a sweep touches
+// only clauses whose answer could have changed.  Queries run on
+// pushShards persistent solvers that live for the whole run and are
+// kept in step via the durable-op log — no per-phase pool cloning.
+//
+// Determinism across worker counts is by construction, in two steps:
 //
 //  1. Within a frame the query results are order-independent: a clause
 //     pushed to F_{i+1} is guarded by act_{i+1}, which every F_i query
-//     already assumes, so installing it mid-frame (as the old
-//     sequential loop did) never changes a later answer in that frame.
-//     Results are merged at a per-frame barrier in clause order.
+//     already assumes, so installing it mid-frame never changes a later
+//     answer in that frame.  Results are merged at a per-frame barrier
+//     in clause order.
 //  2. Across queries, solver state could still matter (learned clauses
 //     may upgrade a candidate-SAT answer to UNSAT), so queries are
-//     statically sharded: query j always runs on shard j mod pushShards,
-//     and each shard's queries run in submission order on that shard's
-//     dedicated snapshot.  The per-query solver lineage is therefore a
-//     function of the frame contents alone — not of how many workers
-//     happen to drive the shards — and Workers=1 and Workers=8 produce
-//     bit-identical frames, verdicts, and certificates.
-//
-// Pushed clauses are mirrored onto every shard at the frame barrier so
-// later frames see exactly what the sequential loop would have seen.
+//     statically sharded: attempt a always runs on shard a mod
+//     pushShards, and each shard's queries run in submission order on
+//     that shard's dedicated solver.  The per-query solver lineage is
+//     therefore a function of the frame evolution alone — not of how
+//     many workers happen to drive the shards — and Workers=1 and
+//     Workers=8 produce bit-identical frames, verdicts, and
+//     certificates.
 
 // pushShards is the fixed number of static query shards (and hence the
 // maximum useful Workers value for the pushing phase).  It must stay
 // constant: changing it changes per-shard solver lineages and therefore
 // which learned clauses each query sees.
 const pushShards = 8
+
+// pushResult is one consecution answer: pushed (UNSAT), unknown
+// (budget — the cube stays pending), or failed with a blocking witness.
+type pushResult struct {
+	pushed  bool
+	unknown bool
+	witness icpCube
+}
 
 // pushFrames propagates blocked cubes forward through frames 1..k.
 // It returns (i, true) when F_i became equal to F_{i+1} — the inductive
@@ -50,76 +60,117 @@ func (ch *checker) pushFrames(k int) (int, bool) {
 		return 1, true // F_1 is already empty: trivially F_1 == F_2
 	}
 
-	nShards := pushShards
-	if total < nShards {
-		nShards = total
+	ch.ensurePushSolvers()
+	if ch.pushStalled {
+		// Safety valve for candidate-SAT witnesses (see trigger.go): the
+		// previous sweep pushed nothing while skips were in effect, so
+		// re-attempt everything once — any fixpoint the untriggered
+		// algorithm reaches is then found at most one iteration later.
+		for i := 1; i <= k; i++ {
+			for _, fc := range ch.frames[i] {
+				fc.pending = true
+			}
+		}
+		ch.pushStalled = false
+		ch.stats["pushResweeps"]++
 	}
 	workers := ch.opts.Workers
-	if workers > nShards {
-		workers = nShards
+	if workers > pushShards {
+		workers = pushShards
 	}
 
-	// One snapshot per shard, taken after newFrame() so every clone
-	// already has the act variable of the frame being opened.
-	pool := icp.PoolOf(ch.main, ch.tnfMain)
-	shards := make([]*icp.Solver, nShards)
-	for s := range shards {
-		shards[s] = pool.Get()
-	}
-	defer func() {
-		for _, s := range shards {
-			pool.Put(s)
-		}
-	}()
-
+	totalPushed, totalSkipped := 0, 0
 	for i := 1; i <= k; i++ {
-		cubes := ch.frames[i]
-		pushed := make([]bool, len(cubes))
-		ch.runPushQueries(shards, cubes, i+1, workers, pushed)
-		ch.stats["queries"] += int64(len(cubes))
+		frame := ch.frames[i]
+		if len(frame) == 0 {
+			return i, true
+		}
+		var attempts []int // indices of pending cubes, in frame order
+		for j, fc := range frame {
+			if fc.pending {
+				attempts = append(attempts, j)
+			}
+		}
+		ch.stats["pushAttempts"] += int64(len(attempts))
+		ch.stats["pushSkippedTriggered"] += int64(len(frame) - len(attempts))
+		ch.stats["queries"] += int64(len(attempts))
+		totalSkipped += len(frame) - len(attempts)
+		if len(attempts) == 0 {
+			continue
+		}
+		results := make([]pushResult, len(attempts))
+		ch.runPushQueries(frame, attempts, i+1, workers, results)
 
-		// Barrier merge in clause order.  Survivors are installed before
-		// the pushed cubes are re-added: addBlockedCube's subsumption
-		// sweep edits ch.frames[i] in place and must see the post-push
-		// frame, not the pre-push slice still being iterated.
-		var kept []icpCube
-		for j, c := range cubes {
-			if !pushed[j] {
-				kept = append(kept, c)
+		// Barrier merge in clause order.  Trigger state first, then the
+		// survivors are installed before the pushed cubes are re-added:
+		// installPushed's subsumption sweep edits ch.frames[i] in place
+		// and must see the post-push frame, not the pre-push slice still
+		// being iterated.
+		pushedIdx := make([]bool, len(frame))
+		for a, j := range attempts {
+			ch.pushRetired[a%pushShards]++
+			fc := frame[j]
+			switch {
+			case results[a].pushed:
+				pushedIdx[j] = true
+			case results[a].unknown:
+				// stays pending: retried next sweep
+			default:
+				fc.pending = false
+				fc.witness = results[a].witness
+			}
+		}
+		var kept []*frameCube
+		for j, fc := range frame {
+			if !pushedIdx[j] {
+				kept = append(kept, fc)
 			}
 		}
 		ch.frames[i] = kept
-		for j, c := range cubes {
-			if pushed[j] {
-				cl := ch.addBlockedCube(c, i+1)
-				for _, s := range shards {
-					s.AddClause(cl)
-				}
+		for a, j := range attempts {
+			if results[a].pushed {
+				ch.installPushed(frame[j], i+1)
+				totalPushed++
 				ch.stats["propagated"]++
 			}
 		}
+		ch.syncPushSolvers()
 		// subsumption during the pushed-adds can empty the frame even when
 		// some cubes failed their consecution query this round
 		if len(ch.frames[i]) == 0 {
 			return i, true
 		}
 	}
+	if totalPushed == 0 && totalSkipped > 0 {
+		ch.pushStalled = true
+	}
 	return 0, false
 }
 
-// runPushQueries decides, for each cube of frame `frame-1`, whether its
-// negation holds at `frame` (consecution), writing results into pushed.
-// Cube j runs on shard j mod len(shards); shard s is driven by worker
-// s mod workers, and its queries run in increasing j order, so the
-// per-query solver state is independent of the worker count.
-func (ch *checker) runPushQueries(shards []*icp.Solver, cubes []icpCube, frame, workers int, pushed []bool) {
-	if len(cubes) == 0 {
-		return
-	}
+// installPushed moves a cube that passed consecution up to the given
+// level.  Only F_level is newly strengthened — every lower frame
+// already carried the clause under the delta encoding — so triggers
+// fire for that frame alone; the cube itself becomes pending again at
+// its new home.
+func (ch *checker) installPushed(fc *frameCube, level int) {
+	ch.subsumeFrames(fc.cube, level)
+	fc.pending, fc.witness = true, nil
+	ch.frames[level] = append(ch.frames[level], fc)
+	ch.appendOp(durableOp{level: level, body: ch.negCube(fc.cube)})
+	ch.applyMain()
+	ch.markTriggered(fc.cube, level, level)
+}
+
+// runPushQueries decides, for each pending cube of frame `target-1`,
+// whether its negation holds at `target` (consecution), writing into
+// results.  Attempt a runs on shard a mod pushShards; shard s is driven
+// by worker s mod workers, and its queries run in increasing a order,
+// so the per-query solver state is independent of the worker count.
+func (ch *checker) runPushQueries(frame []*frameCube, attempts []int, target, workers int, results []pushResult) {
 	if workers <= 1 {
 		var buf []tnf.Lit
-		for j, c := range cubes {
-			pushed[j] = ch.consecutionOn(shards[j%len(shards)], c, frame, &buf)
+		for a, j := range attempts {
+			results[a] = ch.consecutionOn(a%pushShards, frame[j].cube, target, &buf)
 		}
 		return
 	}
@@ -129,9 +180,9 @@ func (ch *checker) runPushQueries(shards []*icp.Solver, cubes []icpCube, frame, 
 		go func(w int) {
 			defer wg.Done()
 			var buf []tnf.Lit
-			for s := w; s < len(shards); s += workers {
-				for j := s; j < len(cubes); j += len(shards) {
-					pushed[j] = ch.consecutionOn(shards[s], cubes[j], frame, &buf)
+			for s := w; s < pushShards; s += workers {
+				for a := s; a < len(attempts); a += pushShards {
+					results[a] = ch.consecutionOn(s, frame[attempts[a]].cube, target, &buf)
 				}
 			}
 		}(w)
@@ -139,22 +190,26 @@ func (ch *checker) runPushQueries(shards []*icp.Solver, cubes []icpCube, frame, 
 	wg.Wait()
 }
 
-// consecutionOn runs one clause-pushing query on a snapshot solver:
+// consecutionOn runs one clause-pushing query on a shard solver:
 // SAT?(F_{frame-1} ∧ ¬c ∧ T ∧ c').  UNSAT means ¬c also holds at the
-// target frame.  It mutates only the given solver and the caller's
-// scratch buffer, so calls on distinct solvers may run concurrently;
-// the shared checker state it reads (frameAct, curIdx, nextIDs,
-// tnfMain's variable table) is frozen for the duration of the phase.
-func (ch *checker) consecutionOn(s *icp.Solver, c icpCube, frame int, buf *[]tnf.Lit) bool {
+// target frame; a SAT answer carries the blocking witness box for the
+// trigger bookkeeping.  It mutates only the shard's solver and the
+// caller's scratch buffer, so calls on distinct shards may run
+// concurrently; the shared checker state it reads (pushActs, curIdx,
+// nextIDs, tnfMain's variable table) is frozen for the duration of the
+// phase.
+func (ch *checker) consecutionOn(shard int, c icpCube, frame int, buf *[]tnf.Lit) pushResult {
 	ch.tick()
+	s := ch.pushSolvers[shard]
+	acts := ch.pushActs[shard]
 	// one-shot activation variable for the ¬cube clause, local to the shard
 	tmp := s.AddBoolVar(".push")
 	cl := append(tnf.Clause{tnf.MkLe(tmp, 0)}, ch.negCube(c)...)
 	s.AddClause(cl)
 
 	assumps := (*buf)[:0]
-	for j := frame - 1; j < len(ch.frameAct); j++ {
-		assumps = append(assumps, tnf.MkGe(ch.frameAct[j], 1))
+	for j := frame - 1; j < len(acts); j++ {
+		assumps = append(assumps, tnf.MkGe(acts[j], 1))
 	}
 	assumps = append(assumps, ch.runLit, tnf.MkGe(tmp, 1))
 	assumps = mapLits(assumps, c, ch.nextIDs, ch.curIdx)
@@ -162,5 +217,11 @@ func (ch *checker) consecutionOn(s *icp.Solver, c icpCube, frame int, buf *[]tnf
 	*buf = assumps
 
 	s.AddClause(tnf.Clause{tnf.MkLe(tmp, 0)}) // retire
-	return r.Status == icp.StatusUnsat
+	switch r.Status {
+	case icp.StatusUnsat:
+		return pushResult{pushed: true}
+	case icp.StatusUnknown:
+		return pushResult{unknown: true}
+	}
+	return pushResult{witness: ch.boxCube(r.Box, ch.curIDs)}
 }

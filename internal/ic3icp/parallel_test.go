@@ -16,7 +16,10 @@ func newTestChecker(t *testing.T, src string) *checker {
 	t.Helper()
 	sys := mustParse(t, src)
 	opts := Options{}.withDefaults()
-	ch := &checker{sys: sys, opts: opts, budget: opts.Budget.Start(), stats: map[string]int64{}}
+	ch := &checker{
+		sys: sys, opts: opts, budget: opts.Budget.Start(),
+		stats: map[string]int64{}, coreHits: map[coreKey]int64{},
+	}
 	if err := ch.build(); err != nil {
 		t.Fatal(err)
 	}
@@ -85,6 +88,29 @@ init x >= 0 and x <= 0
 trans x' = x + 1
 prop x <= 5
 `},
+	// frozen-parameter lemma instance: its proof needs several pushing
+	// phases, so it exercises the triggered-push skip/re-arm machinery
+	// (the other instances close before any clause is ever pushed).
+	{"frozen", `
+system frozen
+var x : real [0, 100]
+var y : real [0, 1]
+init x >= 0 and x <= 1 and y = 0
+trans x' = x + y and y' = y
+prop x <= 5
+`},
+}
+
+// workProfile extracts the counters that must be invariant across
+// worker counts: triggered pushing and the solver-rebuild schedule are
+// statically sharded, so none of them may depend on parallelism.
+func workProfile(stats map[string]int64) [4]int64 {
+	return [4]int64{
+		stats["pushAttempts"],
+		stats["pushSkippedTriggered"],
+		stats["solverRebuilds"],
+		stats["ctgBlocked"],
+	}
 }
 
 // TestPushDeterminismAcrossWorkers asserts that Workers=1 and Workers=8
@@ -92,6 +118,7 @@ prop x <= 5
 // phase shards queries statically, so the worker count must not leak
 // into any result.
 func TestPushDeterminismAcrossWorkers(t *testing.T) {
+	var skipped int64
 	for _, inst := range parallelInstances {
 		t.Run(inst.name, func(t *testing.T) {
 			type outcome struct {
@@ -99,6 +126,7 @@ func TestPushDeterminismAcrossWorkers(t *testing.T) {
 				depth   int
 				inv     []Cube
 				trace   []ts.State
+				work    [4]int64
 			}
 			runWith := func(workers int) outcome {
 				sys := mustParse(t, inst.src)
@@ -106,7 +134,7 @@ func TestPushDeterminismAcrossWorkers(t *testing.T) {
 					Workers: workers,
 					Budget:  engine.Budget{Timeout: 30 * time.Second},
 				})
-				return outcome{res.Verdict, res.Depth, info.Invariant, res.Trace}
+				return outcome{res.Verdict, res.Depth, info.Invariant, res.Trace, workProfile(res.Stats)}
 			}
 			seq, par := runWith(1), runWith(8)
 			if seq.verdict != par.verdict || seq.depth != par.depth {
@@ -119,7 +147,15 @@ func TestPushDeterminismAcrossWorkers(t *testing.T) {
 			if !reflect.DeepEqual(seq.trace, par.trace) {
 				t.Errorf("traces differ:\n  Workers=1: %v\n  Workers=8: %v", seq.trace, par.trace)
 			}
+			if seq.work != par.work {
+				t.Errorf("work profile differs (attempts/skipped/rebuilds/ctg):\n  Workers=1: %v\n  Workers=8: %v",
+					seq.work, par.work)
+			}
+			skipped += seq.work[1]
 		})
+	}
+	if skipped == 0 {
+		t.Error("no push attempt skipped on any instance: triggered pushing never engaged")
 	}
 }
 
@@ -193,6 +229,7 @@ func TestLearnedClauseDeterminismAcrossRuns(t *testing.T) {
 				verdict engine.Verdict
 				depth   int
 				inv     []Cube
+				work    [4]int64
 			}
 			var ref *outcome
 			for _, workers := range []int{1, 8} {
@@ -202,7 +239,7 @@ func TestLearnedClauseDeterminismAcrossRuns(t *testing.T) {
 						Workers: workers,
 						Budget:  engine.Budget{Timeout: 30 * time.Second},
 					})
-					got := outcome{res.Verdict, res.Depth, info.Invariant}
+					got := outcome{res.Verdict, res.Depth, info.Invariant, workProfile(res.Stats)}
 					if ref == nil {
 						ref = &got
 						continue
@@ -214,6 +251,10 @@ func TestLearnedClauseDeterminismAcrossRuns(t *testing.T) {
 					if !reflect.DeepEqual(got.inv, ref.inv) {
 						t.Errorf("Workers=%d rep %d: invariant differs\n  got   %v\n  first %v",
 							workers, rep, got.inv, ref.inv)
+					}
+					if got.work != ref.work {
+						t.Errorf("Workers=%d rep %d: work profile differs\n  got   %v\n  first %v",
+							workers, rep, got.work, ref.work)
 					}
 				}
 			}

@@ -61,7 +61,7 @@ func (ch *checker) subsumeInFrame(c icpCube, level int) int {
 	fr := ch.frames[level]
 	out := 0
 	for _, e := range fr {
-		if cubeSubsumes(c, e) {
+		if cubeSubsumes(c, e.cube) {
 			continue
 		}
 		fr[out] = e

@@ -1,0 +1,105 @@
+package ic3icp
+
+import (
+	"testing"
+	"time"
+
+	"icpic3/internal/engine"
+	"icpic3/internal/icp"
+	"icpic3/internal/tnf"
+)
+
+// TestBlockQueryBoundedVars asserts that the one-shot .tmp activation
+// variables of blockQuery no longer accumulate without bound: once
+// mainRebuildSlack of them have been retired, the main solver is
+// rebuilt from tnfMain plus the durable-op log, so NumVars stays
+// bounded over arbitrarily long runs.
+func TestBlockQueryBoundedVars(t *testing.T) {
+	ch := newTestChecker(t, logisticSrc)
+	ch.newFrame() // F_0
+	ch.newFrame() // F_1
+	cube := icpCube{tnf.MkGe(ch.curIDs[0], 0.95)}
+
+	ch.blockQuery(cube, 1)
+	base := ch.main.NumVars() // tnf vars + frame acts + one .tmp
+	bound := base + mainRebuildSlack
+
+	for i := 0; i < 2*mainRebuildSlack+64; i++ {
+		ch.blockQuery(cube, 1)
+		if n := ch.main.NumVars(); n > bound {
+			t.Fatalf("query %d: main solver has %d vars, want <= %d", i, n, bound)
+		}
+	}
+	if ch.stats["solverRebuilds"] < 2 {
+		t.Errorf("solverRebuilds = %d after %d queries, want >= 2",
+			ch.stats["solverRebuilds"], 2*mainRebuildSlack+65)
+	}
+}
+
+// TestTriggeredPushReduceInvariance is the differential check that the
+// trigger bookkeeping lives outside the solver and therefore survives
+// learned-clause retirement: a run with reduction disabled and one with
+// reduceDB forced to fire constantly (ReduceInterval=8) must agree on
+// every verdict while both still skip dormant push attempts.  If
+// triggers were keyed to solver-internal clause identity, aggressive
+// reduction would either desynchronize the dormant set (flipping a
+// verdict or losing pushes) or stop skipping entirely.
+func TestTriggeredPushReduceInvariance(t *testing.T) {
+	var deleted, skipped int64
+	for _, inst := range parallelInstances {
+		t.Run(inst.name, func(t *testing.T) {
+			runWith := func(solver icp.Options) engine.Result {
+				sys := mustParse(t, inst.src)
+				return Check(sys, Options{
+					Budget: engine.Budget{Timeout: 30 * time.Second},
+					Solver: solver,
+				})
+			}
+			off := runWith(icp.Options{NoReduce: true})
+			on := runWith(icp.Options{ReduceInterval: 8})
+			if off.Verdict != on.Verdict {
+				t.Fatalf("NoReduce got %v, ReduceInterval=8 got %v", off.Verdict, on.Verdict)
+			}
+			if off.Verdict == engine.Unknown {
+				t.Fatalf("instance %s did not resolve within budget", inst.name)
+			}
+			deleted += on.Stats["clausesDeleted"]
+			skipped += on.Stats["pushSkippedTriggered"]
+		})
+	}
+	if deleted == 0 {
+		t.Error("no clauses deleted across any forced-reduce run: reduceDB never fired")
+	}
+	if skipped == 0 {
+		t.Error("no push attempts skipped across any forced-reduce run: triggers never engaged")
+	}
+}
+
+// TestCubesDisjoint pins the box-disjointness predicate the trigger
+// uses: only a provable gap between an upper and a lower bound on the
+// same variable separates two boxes; everything else must report "may
+// intersect" (the sound side for re-arming dormant pushes).
+func TestCubesDisjoint(t *testing.T) {
+	v, w := tnf.VarID(1), tnf.VarID(2)
+	cases := []struct {
+		name string
+		a, b icpCube
+		want bool
+	}{
+		{"gap", icpCube{tnf.MkLe(v, 1)}, icpCube{tnf.MkGe(v, 2)}, true},
+		{"touching", icpCube{tnf.MkLe(v, 1)}, icpCube{tnf.MkGe(v, 1)}, false},
+		{"touching strict", icpCube{tnf.MkLt(v, 1)}, icpCube{tnf.MkGe(v, 1)}, true},
+		{"overlap", icpCube{tnf.MkLe(v, 3)}, icpCube{tnf.MkGe(v, 2)}, false},
+		{"same direction", icpCube{tnf.MkLe(v, 1)}, icpCube{tnf.MkLe(v, 5)}, false},
+		{"different vars", icpCube{tnf.MkLe(v, 1)}, icpCube{tnf.MkGe(w, 2)}, false},
+		{"gap reversed", icpCube{tnf.MkGe(v, 2)}, icpCube{tnf.MkLe(v, 1)}, true},
+		{"second var separates", icpCube{tnf.MkGe(v, 0), tnf.MkLe(w, 1)},
+			icpCube{tnf.MkGe(v, 0), tnf.MkGe(w, 3)}, true},
+		{"empty witness", icpCube{tnf.MkLe(v, 1)}, nil, false},
+	}
+	for _, tc := range cases {
+		if got := cubesDisjoint(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: cubesDisjoint = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

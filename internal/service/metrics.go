@@ -77,6 +77,11 @@ type Metrics struct {
 	tenants  map[string]*tenantCounters // per-tenant admission accounting
 	breakers *breaker                   // per-engine open-ness gauges (may be nil)
 
+	pushAttempts   int64 // IC3 clause-push consecution queries attempted
+	pushSkipped    int64 // push attempts skipped as dormant (triggered pushing)
+	solverRebuilds int64 // frame-solver slack rebuilds (activation-var GC)
+	ctgBlocked     int64 // counterexamples-to-generalization blocked
+
 	reuseLookups   int64 // certificate-store lookups (reuse-capable jobs)
 	reuseHits      int64 // lookups that produced usable seed hints
 	clausesSeeded  int64 // prior-proof clauses that survived re-checking
@@ -219,6 +224,32 @@ func (m *Metrics) recordReuse(seeded bool, res engine.Result) {
 	m.mu.Unlock()
 }
 
+// recordWorkProfile accumulates a finished engine run's internal work
+// counters (triggered-pushing effectiveness and solver lifecycle churn)
+// so operators can see, fleet-wide, how much consecution work the
+// trigger bookkeeping is saving and how often frame solvers rebuild.
+func (m *Metrics) recordWorkProfile(res engine.Result) {
+	if res.Stats == nil {
+		return
+	}
+	m.mu.Lock()
+	m.pushAttempts += res.Stats["pushAttempts"]
+	m.pushSkipped += res.Stats["pushSkippedTriggered"]
+	m.solverRebuilds += res.Stats["solverRebuilds"]
+	m.ctgBlocked += res.Stats["ctgBlocked"]
+	m.mu.Unlock()
+}
+
+// Work-profile counter accessors (for tests and logs).
+func (m *Metrics) PushAttempts() int64 { m.mu.Lock(); defer m.mu.Unlock(); return m.pushAttempts }
+func (m *Metrics) PushSkipped() int64  { m.mu.Lock(); defer m.mu.Unlock(); return m.pushSkipped }
+func (m *Metrics) SolverRebuilds() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.solverRebuilds
+}
+func (m *Metrics) CTGBlocked() int64 { m.mu.Lock(); defer m.mu.Unlock(); return m.ctgBlocked }
+
 func (m *Metrics) incPanics()     { m.mu.Lock(); m.panics++; m.mu.Unlock() }
 func (m *Metrics) incStalled()    { m.mu.Lock(); m.stalled++; m.mu.Unlock() }
 func (m *Metrics) incRetried()    { m.mu.Lock(); m.retried++; m.mu.Unlock() }
@@ -347,6 +378,10 @@ func (m *Metrics) WriteText(w io.Writer) error {
 	add("icpserve_jobs_degraded_total %d", m.degraded)
 	add("icpserve_results_certified_total %d", m.certified)
 	add("icpserve_results_cert_failed_total %d", m.certFailed)
+	add("icpserve_engine_push_attempts_total %d", m.pushAttempts)
+	add("icpserve_engine_push_skipped_triggered_total %d", m.pushSkipped)
+	add("icpserve_engine_solver_rebuilds_total %d", m.solverRebuilds)
+	add("icpserve_engine_ctg_blocked_total %d", m.ctgBlocked)
 	add("icpserve_reuse_lookups_total %d", m.reuseLookups)
 	add("icpserve_reuse_hits_total %d", m.reuseHits)
 	add("icpserve_reuse_clauses_seeded_total %d", m.clausesSeeded)

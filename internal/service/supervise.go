@@ -141,6 +141,7 @@ func (s *Service) runSupervised(jb *job) (engine.Result, supervision) {
 	}
 	if !s.jobCancelled(jb) {
 		s.metrics.recordReuse(sup.reused != "", res)
+		s.metrics.recordWorkProfile(res)
 		if sup.certified || s.cfg.SkipCertify {
 			s.storeCertificate(jb, sup.engineUsed, res)
 		}

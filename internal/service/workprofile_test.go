@@ -1,0 +1,52 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// frozenModel (the benchmark suite's frozen-parameter family) needs
+// several pushing phases before its proof closes, so a run reports
+// nonzero push-attempt counters.
+const frozenModel = `
+system frozen
+var x : real [0, 100]
+var y : real [0, 1]
+init x >= 0 and x <= 1 and y = 0
+trans x' = x + y and y' = y
+prop x <= 5
+`
+
+// TestWorkProfileMetrics asserts that a finished ic3 run's internal
+// work counters (triggered-pushing effectiveness, solver lifecycle)
+// flow through to the service metrics and the /metrics exposition.
+func TestWorkProfileMetrics(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+
+	job, err := s.Submit(Request{Source: frozenModel, Engine: "ic3", Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	st, err := s.Wait(job.ID, 30*time.Second)
+	if err != nil || st.Verdict != "safe" {
+		t.Fatalf("result = %+v, %v", st, err)
+	}
+
+	m := s.Metrics()
+	if m.PushAttempts() == 0 {
+		t.Error("no push attempts recorded from a safe ic3 run")
+	}
+	text := m.String()
+	for _, want := range []string{
+		fmt.Sprintf("icpserve_engine_push_attempts_total %d", m.PushAttempts()),
+		fmt.Sprintf("icpserve_engine_push_skipped_triggered_total %d", m.PushSkipped()),
+		fmt.Sprintf("icpserve_engine_solver_rebuilds_total %d", m.SolverRebuilds()),
+		fmt.Sprintf("icpserve_engine_ctg_blocked_total %d", m.CTGBlocked()),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}

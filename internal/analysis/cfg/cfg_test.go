@@ -1,0 +1,177 @@
+package cfg
+
+import (
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestGolden builds the graph of every function in each testdata/*.src
+// file and compares the Format output against the matching .golden
+// file.  Run with -update to regenerate after an intentional change.
+func TestGolden(t *testing.T) {
+	srcs, err := filepath.Glob(filepath.Join("testdata", "*.src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) == 0 {
+		t.Fatal("no testdata/*.src files")
+	}
+	for _, src := range srcs {
+		src := src
+		t.Run(filepath.Base(src), func(t *testing.T) {
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, src, nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", src, err)
+			}
+			var out strings.Builder
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				g := FuncDecl(fd)
+				out.WriteString(Format(fset, g))
+				out.WriteString("\n")
+			}
+			golden := strings.TrimSuffix(src, ".src") + ".golden"
+			if *update {
+				if err := os.WriteFile(golden, []byte(out.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("reading golden (run with -update to create): %v", err)
+			}
+			if got := out.String(); got != string(want) {
+				t.Errorf("graph mismatch for %s\n--- got ---\n%s\n--- want ---\n%s", src, got, want)
+			}
+		})
+	}
+}
+
+// TestReachable pins dead-code classification: statements after an
+// unconditional return must land in unreachable blocks.
+func TestReachable(t *testing.T) {
+	g := parseFunc(t, `
+func f() int {
+	return 1
+	println("dead")
+}`)
+	reach := g.Reachable()
+	foundDead := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if stmtContains(n, "dead") {
+				foundDead = true
+				if reach[b.Index] {
+					t.Errorf("statement after return is in reachable block b%d", b.Index)
+				}
+			}
+		}
+	}
+	if !foundDead {
+		t.Fatal("dead statement not recorded in any block")
+	}
+	if !reach[g.Exit.Index] {
+		t.Error("exit block unreachable")
+	}
+}
+
+// TestLoopHeader pins the Stmt back-pointer from a for statement to its
+// header block and the back edge from the body.
+func TestLoopHeader(t *testing.T) {
+	g := parseFunc(t, `
+func f() {
+	for {
+		work()
+	}
+}`)
+	var header *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.header" {
+			header = b
+		}
+	}
+	if header == nil {
+		t.Fatal("no for.header block")
+	}
+	if _, ok := header.Stmt.(*ast.ForStmt); !ok {
+		t.Fatalf("header.Stmt = %T, want *ast.ForStmt", header.Stmt)
+	}
+	// the body must edge back to the header
+	back := false
+	for _, b := range g.Blocks {
+		if b == header {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s == header {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Error("no back edge to the loop header")
+	}
+}
+
+// TestPanicExit pins the abnormal-exit marking.
+func TestPanicExit(t *testing.T) {
+	g := parseFunc(t, `
+func f(bad bool) {
+	if bad {
+		panic("bad")
+	}
+	work()
+}`)
+	found := false
+	for _, b := range g.Blocks {
+		if b.Panics {
+			found = true
+			if len(b.Succs) != 1 || b.Succs[0] != g.Exit {
+				t.Errorf("panicking block b%d should edge only to exit", b.Index)
+			}
+		}
+	}
+	if !found {
+		t.Error("no block marked Panics")
+	}
+}
+
+func parseFunc(t *testing.T, body string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", "package p\n"+body+"\nfunc work() {}\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return FuncDecl(fd)
+		}
+	}
+	t.Fatal("no func f")
+	return nil
+}
+
+func stmtContains(n ast.Node, sub string) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if lit, ok := c.(*ast.BasicLit); ok && strings.Contains(lit.Value, sub) {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// InspectCFGNode walks one cfg.Block node the way the flow-sensitive
+// analyzers need to: function literals are NOT descended into (a
+// literal's body executes when the literal is called, not where it is
+// written — callers analyze literal bodies separately with their own
+// entry facts), and a *ast.RangeStmt visits only its range clause
+// (key, value, and the ranged expression), because the loop body lives
+// in other blocks of the graph.  The callback follows the ast.Inspect
+// contract: return false to prune the subtree.
+func InspectCFGNode(n ast.Node, f func(ast.Node) bool) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		if rs.Key != nil {
+			InspectCFGNode(rs.Key, f)
+		}
+		if rs.Value != nil {
+			InspectCFGNode(rs.Value, f)
+		}
+		InspectCFGNode(rs.X, f)
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		if c == nil {
+			return true
+		}
+		return f(c)
+	})
+}
+
+// FuncLits returns the function literals appearing directly in one cfg
+// node, without descending into nested literals (a nested literal is
+// found when its enclosing literal's body is analyzed).
+func FuncLits(n ast.Node) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	var walk func(c ast.Node) bool
+	walk = func(c ast.Node) bool {
+		if fl, ok := c.(*ast.FuncLit); ok {
+			out = append(out, fl)
+			return false
+		}
+		return true
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return true
+		}
+		return walk(c)
+	})
+	return out
+}

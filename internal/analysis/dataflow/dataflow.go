@@ -1,0 +1,121 @@
+// Package dataflow is a generic worklist solver for monotone dataflow
+// problems over the internal/analysis/cfg graphs (DESIGN.md §16).  An
+// analyzer supplies a Problem — the lattice (Top, Meet, Equal), the
+// boundary fact, and the per-block Transfer function — and Solve
+// returns the fixpoint facts at the entry and exit of every block.
+//
+// The solver is direction-agnostic: a forward problem propagates entry
+// facts along successor edges (lock-set tracking, taint), a backward
+// problem propagates exit facts along predecessor edges (must-release,
+// liveness).  Meet is the confluence operator: intersection for
+// must-analyses, union for may-analyses.  Termination requires the
+// usual monotone-framework conditions — Transfer monotone and the
+// lattice of finite height — which every analyzer in this suite
+// satisfies by construction (facts are finite sets over the local
+// variables and fields of one function).  A hard iteration cap turns a
+// non-monotone Transfer bug into a stopped analysis rather than a hung
+// lint run.
+package dataflow
+
+import (
+	"icpic3/internal/analysis/cfg"
+)
+
+// Direction orients a problem.
+type Direction int
+
+const (
+	// Forward propagates facts from entry along successor edges.
+	Forward Direction = iota
+	// Backward propagates facts from exit along predecessor edges.
+	Backward
+)
+
+// Problem defines one dataflow analysis over fact type F.  The methods
+// must be pure: the solver calls them repeatedly until fixpoint.
+type Problem[F any] interface {
+	// Direction orients the analysis.
+	Direction() Direction
+	// Boundary is the fact at the graph boundary: the entry block's IN
+	// for forward problems, the exit block's OUT for backward ones.
+	Boundary() F
+	// Top is the identity of Meet: the initial fact of every
+	// not-yet-reached block ("all locks held" for a must-hold analysis,
+	// "everything released" for must-release).
+	Top() F
+	// Meet combines the facts flowing into a confluence point.
+	Meet(a, b F) F
+	// Transfer pushes a fact through one block: IN -> OUT for forward
+	// problems, OUT -> IN for backward ones.
+	Transfer(b *cfg.Block, f F) F
+	// Equal reports whether two facts are the same (fixpoint test).
+	Equal(a, b F) bool
+}
+
+// Result holds the fixpoint facts, indexed by cfg.Block.Index.  In is
+// the fact at block entry, Out at block exit, for both directions.
+type Result[F any] struct {
+	In  []F
+	Out []F
+}
+
+// maxPasses bounds the fixpoint iteration: height of the fact lattices
+// used here is O(facts per function), and each full pass lowers at
+// least one block, so this is generous.  Hitting it means a buggy
+// (non-monotone) Transfer; the solver returns the facts computed so
+// far, which for the suite's must-analyses errs toward reporting.
+const maxPasses = 256
+
+// Solve runs the worklist algorithm to fixpoint and returns the facts.
+func Solve[F any](g *cfg.Graph, p Problem[F]) *Result[F] {
+	n := len(g.Blocks)
+	res := &Result[F]{In: make([]F, n), Out: make([]F, n)}
+	for i := 0; i < n; i++ {
+		res.In[i] = p.Top()
+		res.Out[i] = p.Top()
+	}
+	forward := p.Direction() == Forward
+
+	// deterministic round-robin sweeps in block-index order: block
+	// indexes follow construction order, which approximates program
+	// order closely enough that a handful of passes reaches fixpoint
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for _, b := range g.Blocks {
+			if forward {
+				in := boundaryOrMeet(p, b.Index == 0, b.Preds, res.Out)
+				out := p.Transfer(b, in)
+				if !p.Equal(in, res.In[b.Index]) || !p.Equal(out, res.Out[b.Index]) {
+					res.In[b.Index] = in
+					res.Out[b.Index] = out
+					changed = true
+				}
+			} else {
+				out := boundaryOrMeet(p, b == g.Exit, b.Succs, res.In)
+				in := p.Transfer(b, out)
+				if !p.Equal(in, res.In[b.Index]) || !p.Equal(out, res.Out[b.Index]) {
+					res.In[b.Index] = in
+					res.Out[b.Index] = out
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return res
+}
+
+// boundaryOrMeet computes the confluence fact of one block from its
+// neighbors' facts, or the boundary fact at the graph boundary.
+func boundaryOrMeet[F any](p Problem[F], isBoundary bool, edges []*cfg.Block, facts []F) F {
+	if isBoundary {
+		return p.Boundary()
+	}
+	acc := p.Top()
+	for _, e := range edges {
+		acc = p.Meet(acc, facts[e.Index])
+	}
+	return acc
+}

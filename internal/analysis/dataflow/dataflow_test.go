@@ -1,0 +1,274 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"icpic3/internal/analysis/cfg"
+)
+
+// fact is a must-set with a top sentinel (nil = "everything", the meet
+// identity), the shape the lockguard and releasetrack analyzers use.
+type fact map[string]bool
+
+var top fact // nil
+
+func (f fact) clone() fact {
+	c := make(fact, len(f))
+	for k := range f {
+		c[k] = true
+	}
+	return c
+}
+
+// heldProblem is a toy must-hold analysis: calls to lock()/unlock()
+// gen/kill the token "L".
+type heldProblem struct{ dir Direction }
+
+func (heldProblem) Boundary() fact { return fact{} }
+func (heldProblem) Top() fact      { return top }
+func (p heldProblem) Direction() Direction {
+	return p.dir
+}
+
+func (heldProblem) Meet(a, b fact) fact {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := fact{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (heldProblem) Transfer(b *cfg.Block, in fact) fact {
+	if in == nil {
+		return nil // not reached yet
+	}
+	out := in.clone()
+	for _, n := range b.Nodes {
+		ast.Inspect(n, func(c ast.Node) bool {
+			call, ok := c.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "lock":
+					out["L"] = true
+				case "unlock":
+					delete(out, "L")
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func (heldProblem) Equal(a, b fact) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func buildGraph(t *testing.T, body string) (*cfg.Graph, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	src := "package p\nfunc lock()\nfunc unlock()\nfunc access()\nfunc cond() bool\n" + body
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return cfg.FuncDecl(fd), fset
+		}
+	}
+	t.Fatal("no func f")
+	return nil, nil
+}
+
+// accessFacts returns the IN fact of every block containing a call to
+// access().
+func accessFacts(g *cfg.Graph, res *Result[fact]) []fact {
+	var out []fact
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			found := false
+			ast.Inspect(n, func(c ast.Node) bool {
+				if call, ok := c.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "access" {
+						found = true
+					}
+				}
+				return true
+			})
+			if found {
+				out = append(out, res.In[b.Index])
+			}
+		}
+	}
+	return out
+}
+
+// TestForwardMustHold: a lock held on every path reaches the access; a
+// lock held on only one branch does not survive the meet.
+func TestForwardMustHold(t *testing.T) {
+	g, _ := buildGraph(t, `
+func f() {
+	lock()
+	if cond() {
+		unlock()
+		lock()
+	}
+	access()
+	unlock()
+}`)
+	res := Solve[fact](g, heldProblem{dir: Forward})
+	facts := accessFacts(g, res)
+	if len(facts) != 1 {
+		t.Fatalf("expected one access site, got %d", len(facts))
+	}
+	if !facts[0]["L"] {
+		t.Error("lock held on both paths should reach the access")
+	}
+
+	g2, _ := buildGraph(t, `
+func f() {
+	if cond() {
+		lock()
+	}
+	access()
+}`)
+	res2 := Solve[fact](g2, heldProblem{dir: Forward})
+	facts2 := accessFacts(g2, res2)
+	if len(facts2) != 1 {
+		t.Fatalf("expected one access site, got %d", len(facts2))
+	}
+	if facts2[0]["L"] {
+		t.Error("lock held on one branch must not survive the meet")
+	}
+}
+
+// TestForwardLoop: a loop whose body unlocks must kill the fact at the
+// header after the back edge joins (first iteration holds, second does
+// not — the must-fact is the meet).
+func TestForwardLoop(t *testing.T) {
+	g, _ := buildGraph(t, `
+func f() {
+	lock()
+	for cond() {
+		access()
+		unlock()
+	}
+}`)
+	res := Solve[fact](g, heldProblem{dir: Forward})
+	facts := accessFacts(g, res)
+	if len(facts) != 1 {
+		t.Fatalf("expected one access site, got %d", len(facts))
+	}
+	if facts[0]["L"] {
+		t.Error("back edge carries the unlocked state; must-hold should be false at the access")
+	}
+}
+
+// releasedProblem is a toy backward must-analysis: "a call to unlock()
+// lies on every path from here to exit".  Transfer maps OUT -> IN.
+type releasedProblem struct{}
+
+func (releasedProblem) Direction() Direction { return Backward }
+func (releasedProblem) Boundary() fact       { return fact{} }
+func (releasedProblem) Top() fact            { return top }
+func (p releasedProblem) Meet(a, b fact) fact {
+	return heldProblem{}.Meet(a, b)
+}
+func (releasedProblem) Equal(a, b fact) bool { return heldProblem{}.Equal(a, b) }
+
+func (releasedProblem) Transfer(b *cfg.Block, out fact) fact {
+	if out == nil {
+		return nil
+	}
+	in := out.clone()
+	for _, n := range b.Nodes {
+		ast.Inspect(n, func(c ast.Node) bool {
+			if call, ok := c.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "unlock" {
+					in["R"] = true
+				}
+			}
+			return true
+		})
+	}
+	return in
+}
+
+// TestBackwardMustRelease: with a release on only one branch the entry
+// fact is empty; releasing on both branches (or unconditionally)
+// satisfies the must-analysis.
+func TestBackwardMustRelease(t *testing.T) {
+	leaky, _ := buildGraph(t, `
+func f() {
+	lock()
+	if cond() {
+		unlock()
+	}
+}`)
+	res := Solve[fact](leaky, releasedProblem{})
+	if res.In[0]["R"] {
+		t.Error("release on one branch must not satisfy the backward must-analysis at entry")
+	}
+
+	clean, _ := buildGraph(t, `
+func f() {
+	lock()
+	if cond() {
+		unlock()
+	} else {
+		unlock()
+	}
+}`)
+	res2 := Solve[fact](clean, releasedProblem{})
+	if !res2.In[0]["R"] {
+		t.Error("release on every branch should satisfy the backward must-analysis at entry")
+	}
+}
+
+// TestDeterministic: solving twice yields identical facts (the solver
+// sweeps blocks in index order, no map-order dependence).
+func TestDeterministic(t *testing.T) {
+	src := `
+func f() {
+	lock()
+	for cond() {
+		if cond() {
+			unlock()
+			lock()
+		}
+		access()
+	}
+	unlock()
+}`
+	g, _ := buildGraph(t, src)
+	a := Solve[fact](g, heldProblem{dir: Forward})
+	b := Solve[fact](g, heldProblem{dir: Forward})
+	for i := range a.In {
+		if !(heldProblem{}).Equal(a.In[i], b.In[i]) || !(heldProblem{}).Equal(a.Out[i], b.Out[i]) {
+			t.Fatalf("facts differ across runs at block %d", i)
+		}
+	}
+}

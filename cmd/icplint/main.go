@@ -24,8 +24,11 @@ import (
 	"icpic3/internal/analysis/budgetloop"
 	"icpic3/internal/analysis/detrange"
 	"icpic3/internal/analysis/guardgo"
+	"icpic3/internal/analysis/lockguard"
+	"icpic3/internal/analysis/releasetrack"
 	"icpic3/internal/analysis/resulterr"
 	"icpic3/internal/analysis/roundcheck"
+	"icpic3/internal/analysis/scratchalias"
 	"icpic3/internal/analysis/submitblock"
 )
 
@@ -37,6 +40,9 @@ var suite = []*analysis.Analyzer{
 	guardgo.Analyzer,
 	resulterr.Analyzer,
 	submitblock.Analyzer,
+	lockguard.Analyzer,
+	releasetrack.Analyzer,
+	scratchalias.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"icpic3/internal/analysis/analysistest"
+	"icpic3/internal/analysis/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, "testdata", lockguard.Analyzer, "a")
+}

@@ -1,0 +1,134 @@
+// Package a exercises the lockguard analyzer: flow-sensitive lock-set
+// tracking of `guarded-by:` annotated fields.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded-by: mu
+
+	hits int // guarded-by: mu
+
+	free int // unannotated: never reported
+}
+
+type rwbox struct {
+	mu   sync.RWMutex
+	data map[string]int // guarded-by: mu
+}
+
+// --- negative controls: correct lock discipline is silent ---
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) incDeferred() {
+	c.mu.Lock()
+	defer c.mu.Unlock() // defer keeps the mutex held to every exit
+	c.n++
+	if c.n > 10 {
+		return
+	}
+	c.hits++
+}
+
+func (c *counter) freeAccess() int {
+	return c.free // unannotated field needs no lock
+}
+
+func (b *rwbox) read(k string) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.data[k] // read under RLock is fine
+}
+
+// incLocked documents via its name that the caller holds mu.
+func (c *counter) incLocked() {
+	c.n++ // entry fact: receiver guards held
+}
+
+func (c *counter) callLockedUnder() {
+	c.mu.Lock()
+	c.incLocked() // guard held at the call site
+	c.mu.Unlock()
+}
+
+func (c *counter) closure() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	apply(func() {
+		c.n++ // synchronous call argument inherits the lock-set
+	})
+}
+
+func apply(f func()) { f() }
+
+// --- findings ---
+
+func (c *counter) bare() {
+	c.n++ // want `access to c\.n \(guarded-by: mu\) without holding c\.mu`
+}
+
+func (c *counter) afterUnlock() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.hits++ // want `access to c\.hits \(guarded-by: mu\) without holding c\.mu`
+}
+
+func (c *counter) oneBranch(p bool) {
+	if p {
+		c.mu.Lock()
+	}
+	c.n++ // want `access to c\.n \(guarded-by: mu\) without holding c\.mu`
+	if p {
+		c.mu.Unlock()
+	}
+}
+
+func (c *counter) loopRelock() {
+	c.mu.Lock()
+	for i := 0; i < 3; i++ {
+		c.n++ // relocked before the back edge: held on every iteration
+		c.mu.Unlock()
+		c.mu.Lock()
+	}
+	c.mu.Unlock()
+}
+
+func (c *counter) loopStale() {
+	c.mu.Lock()
+	for i := 0; i < 3; i++ {
+		c.n++ // want `access to c\.n \(guarded-by: mu\) without holding c\.mu`
+		c.mu.Unlock()
+	}
+}
+
+func (c *counter) callLockedBare() {
+	c.incLocked() // want `call to incLocked requires c\.mu held`
+}
+
+func (c *counter) goroutine() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `access to c\.n \(guarded-by: mu\) without holding c\.mu`
+	}()
+}
+
+func (c *counter) stored() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := func() {
+		c.hits++ // want `access to c\.hits \(guarded-by: mu\) without holding c\.mu`
+	}
+	_ = f
+}
+
+func (b *rwbox) writeNoLock(k string, v int) {
+	b.data[k] = v // want `access to b\.data \(guarded-by: mu\) without holding b\.mu`
+}

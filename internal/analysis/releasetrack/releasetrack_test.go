@@ -1,0 +1,12 @@
+package releasetrack_test
+
+import (
+	"testing"
+
+	"icpic3/internal/analysis/analysistest"
+	"icpic3/internal/analysis/releasetrack"
+)
+
+func TestReleasetrack(t *testing.T) {
+	analysistest.Run(t, "testdata", releasetrack.Analyzer, "a")
+}

@@ -1,0 +1,142 @@
+// Package a exercises the releasetrack analyzer: chained Budget
+// cancellation, unstopped tickers, and goroutine-waiter channels not
+// closed on every exit path.
+package a
+
+import (
+	"context"
+	"time"
+
+	"icpic3/internal/engine"
+)
+
+// --- chained Budget cancellation (the PR 7 leak shape) ---
+
+func chained(cancel, stalled <-chan struct{}) engine.Budget {
+	return engine.Budget{Timeout: 1}.WithDone(cancel).WithDone(stalled) // want `chained Budget cancellation`
+}
+
+func chainedCtx(ctx context.Context, cancel <-chan struct{}) engine.Budget {
+	return engine.Budget{Timeout: 1}.WithDone(cancel).WithContext(ctx) // want `chained Budget cancellation`
+}
+
+func single(cancel <-chan struct{}) engine.Budget {
+	return engine.Budget{Timeout: 1}.WithDone(cancel).Start() // one merge: fine
+}
+
+// mergedByHand is the correct shape: one channel fed by a goroutine
+// that is released when the attempt returns.
+func mergedByHand(cancel, stalled <-chan struct{}) engine.Budget {
+	abort := make(chan struct{})
+	attemptDone := make(chan struct{})
+	go func() {
+		select {
+		case <-cancel:
+			close(abort)
+		case <-stalled:
+			close(abort)
+		case <-attemptDone:
+		}
+	}()
+	b := engine.Budget{Timeout: 1}.WithDone(abort).Start()
+	close(attemptDone)
+	return b
+}
+
+// --- tickers and timers ---
+
+func tickerDeferred(work chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-work:
+			return
+		}
+	}
+}
+
+func tickerBothBranches(p bool) {
+	t := time.NewTicker(time.Second)
+	if p {
+		<-t.C
+		t.Stop()
+		return
+	}
+	t.Stop()
+}
+
+func tickerEarlyReturn(p bool) {
+	t := time.NewTicker(time.Second) // want `time\.Ticker "t" is not released with Stop\(\)`
+	if p {
+		return // leaks the ticker
+	}
+	t.Stop()
+}
+
+func timerLeak() {
+	tm := time.NewTimer(time.Second) // want `time\.Timer "tm" is not released with Stop\(\)`
+	<-tm.C
+}
+
+func tickerPanicPathExempt(p bool) {
+	t := time.NewTicker(time.Second)
+	if p {
+		panic("boom") // panic exits are not the leak's steady state
+	}
+	t.Stop()
+}
+
+// --- goroutine-waiter channels ---
+
+func waiterClosedEverywhere(p bool) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+		}
+	}()
+	if p {
+		close(done)
+		return
+	}
+	close(done)
+}
+
+func waiterDeferClose() {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		<-done
+	}()
+}
+
+func waiterSkippedOnBranch(p bool) {
+	done := make(chan struct{}) // want `goroutine-waiter channel "done" is not released with close\(\)`
+	go func() {
+		<-done
+	}()
+	if p {
+		return // the goroutine parks on done forever
+	}
+	close(done)
+}
+
+// goroutineCloses is the inverse ownership: the spawned goroutine
+// closes the channel and the function receives it.  Not a waiter
+// channel; never flagged.
+func goroutineCloses() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	<-done
+}
+
+// notWaited is a plain channel handed elsewhere; releasetrack does not
+// guess at cross-function ownership.
+func notWaited(sink chan<- chan struct{}) {
+	ch := make(chan struct{})
+	sink <- ch
+}

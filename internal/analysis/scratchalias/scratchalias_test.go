@@ -1,0 +1,12 @@
+package scratchalias_test
+
+import (
+	"testing"
+
+	"icpic3/internal/analysis/analysistest"
+	"icpic3/internal/analysis/scratchalias"
+)
+
+func TestScratchalias(t *testing.T) {
+	analysistest.Run(t, "testdata", scratchalias.Analyzer, "a")
+}

@@ -1,0 +1,123 @@
+// Package a exercises the scratchalias analyzer: reused scratch slices
+// must not escape their owner without fresh backing.
+package a
+
+type lit struct{ v, b int }
+
+type cube []lit
+
+type solver struct {
+	widenScratch cube
+	anteScratch  []int32
+	results      map[string]cube
+	saved        cube
+	history      []cube
+}
+
+// --- the PR 8 shape: returning the pooled candidate buffer ---
+
+func (s *solver) widenLeak(c cube) cube {
+	cand := append(s.widenScratch[:0], c...)
+	cand = cand[:len(cand)-1]
+	s.widenScratch = cand // scratch -> scratch: the pooling idiom, fine
+	return cand           // want `returns a slice aliasing a reused scratch buffer`
+}
+
+// widenFresh is the fixed shape: materialize before returning.
+func (s *solver) widenFresh(c cube) cube {
+	cand := append(s.widenScratch[:0], c...)
+	cand = cand[:len(cand)-1]
+	s.widenScratch = cand
+	return append(cube(nil), cand...) // fresh backing: fine
+}
+
+func (s *solver) widenFreshLit(c cube) cube {
+	cand := append(s.widenScratch[:0], c...)
+	s.widenScratch = cand
+	return append(cube{}, cand...) // fresh backing: fine
+}
+
+// --- direct returns and propagation ---
+
+func (s *solver) directReturn() []int32 {
+	return s.anteScratch // want `returns a slice aliasing a reused scratch buffer`
+}
+
+func (s *solver) slicedReturn(n int) []int32 {
+	buf := s.anteScratch[:0]
+	for i := int32(0); i < int32(n); i++ {
+		buf = append(buf, i)
+	}
+	s.anteScratch = buf
+	return buf[:n] // want `returns a slice aliasing a reused scratch buffer`
+}
+
+type alias cube
+
+func (s *solver) convertedReturn() alias {
+	cand := append(s.widenScratch[:0], lit{1, 2})
+	return alias(cand) // want `returns a slice aliasing a reused scratch buffer`
+}
+
+// --- escape by store ---
+
+func (s *solver) storeField(c cube) {
+	cand := append(s.widenScratch[:0], c...)
+	s.saved = cand // want `stores a slice aliasing a reused scratch buffer into field saved`
+}
+
+func (s *solver) storeMap(k string, c cube) {
+	cand := append(s.widenScratch[:0], c...)
+	s.results[k] = cand // want `stores a slice aliasing a reused scratch buffer into a container element`
+}
+
+func (s *solver) storeElem(i int, c cube) {
+	cand := append(s.widenScratch[:0], c...)
+	s.history[i] = cand // want `stores a slice aliasing a reused scratch buffer into a container element`
+}
+
+func (s *solver) storeFresh(k string, c cube) {
+	cand := append(s.widenScratch[:0], c...)
+	s.results[k] = append(cube(nil), cand...) // copied: fine
+}
+
+// --- laundering and negative controls ---
+
+func process(c cube) cube { return c }
+
+func (s *solver) callLaunders(c cube) cube {
+	cand := append(s.widenScratch[:0], c...)
+	return process(cand) // callees are trusted to copy (intra-procedural)
+}
+
+// branchTaint: tainted on one path is enough (may-analysis).
+func (s *solver) branchTaint(p bool, c cube) cube {
+	var cand cube
+	if p {
+		cand = append(s.widenScratch[:0], c...)
+	} else {
+		cand = append(cube(nil), c...)
+	}
+	return cand // want `returns a slice aliasing a reused scratch buffer`
+}
+
+// retaintCleared: overwriting with fresh backing clears the taint.
+func (s *solver) retaintCleared(c cube) cube {
+	cand := append(s.widenScratch[:0], c...)
+	s.widenScratch = cand
+	cand = append(cube(nil), cand...)
+	return cand // fresh since the reassignment: fine
+}
+
+// loanSaveRestore is the promoteInductive idiom: parking the scratch in
+// a local and restoring it is scratch -> scratch both ways.
+func (s *solver) loanSaveRestore() {
+	saved := s.widenScratch
+	s.widenScratch = nil
+	s.widenScratch = saved
+}
+
+func (s *solver) nonScratchField(c cube) cube {
+	tmp := append(s.saved[:0], c...) // "saved" is not a scratch field
+	return tmp
+}

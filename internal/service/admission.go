@@ -93,13 +93,13 @@ type admission struct {
 
 	defaultQuota Quota
 	overrides    map[string]Quota
-	buckets      map[string]*bucket
+	buckets      map[string]*bucket // guarded-by: mu
 
 	// brownout state machine
 	after     time.Duration // sustained-pressure window (<= 0: disabled)
-	level     int
-	highSince time.Time // queue above the high watermark since (zero: not)
-	lowSince  time.Time // queue below the low watermark since (zero: not)
+	level     int           // guarded-by: mu
+	highSince time.Time     // guarded-by: mu; queue above the high watermark since (zero: not)
+	lowSince  time.Time     // guarded-by: mu; queue below the low watermark since (zero: not)
 
 	now func() time.Time // test clock (nil = time.Now)
 }

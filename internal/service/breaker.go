@@ -51,9 +51,9 @@ type engineBreaker struct {
 // breaker tracks one engineBreaker per engine name.
 type breaker struct {
 	mu        sync.Mutex
-	threshold int           // consecutive failures that open (<= 0: disabled)
-	cooldown  time.Duration // open duration before a half-open probe
-	engines   map[string]*engineBreaker
+	threshold int                       // consecutive failures that open (<= 0: disabled)
+	cooldown  time.Duration             // open duration before a half-open probe
+	engines   map[string]*engineBreaker // guarded-by: mu
 
 	now func() time.Time // test clock (nil = time.Now)
 }

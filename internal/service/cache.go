@@ -17,8 +17,8 @@ import (
 type resultCache struct {
 	mu    sync.Mutex
 	max   int
-	order *list.List // front = most recently used
-	items map[string]*list.Element
+	order *list.List               // guarded-by: mu; front = most recently used
+	items map[string]*list.Element // guarded-by: mu
 }
 
 type cacheEntry struct {

@@ -46,53 +46,54 @@ func (h *histogram) observe(d time.Duration) {
 type Metrics struct {
 	mu sync.Mutex
 
-	submitted   int64
-	rejected    int64 // bad requests (parse/validate/engine errors)
-	busy        int64 // submissions refused because the queue was full
-	cancelled   int64
-	cacheHits   int64
-	cacheMisses int64
-	coalesced   int64 // submissions attached to an identical in-flight job
-	cacheFills  int64
-	evictions   int64
+	// Every counter below is guarded-by: mu (lockguard enforces this).
+	submitted   int64 // guarded-by: mu
+	rejected    int64 // guarded-by: mu; bad requests (parse/validate/engine errors)
+	busy        int64 // guarded-by: mu; submissions refused because the queue was full
+	cancelled   int64 // guarded-by: mu
+	cacheHits   int64 // guarded-by: mu
+	cacheMisses int64 // guarded-by: mu
+	coalesced   int64 // guarded-by: mu; submissions attached to an identical in-flight job
+	cacheFills  int64 // guarded-by: mu
+	evictions   int64 // guarded-by: mu
 
-	panics     int64 // engine attempts that panicked (recovered by Guard)
-	stalled    int64 // engine attempts killed by the progress watchdog
-	retried    int64 // retries of panicked/stalled attempts
-	degraded   int64 // retries that fell back to a different engine
-	certified  int64 // decisive results that passed independent re-checking
-	certFailed int64 // decisive results demoted to Unknown by certification
+	panics     int64 // guarded-by: mu; engine attempts that panicked (recovered by Guard)
+	stalled    int64 // guarded-by: mu; engine attempts killed by the progress watchdog
+	retried    int64 // guarded-by: mu; retries of panicked/stalled attempts
+	degraded   int64 // guarded-by: mu; retries that fell back to a different engine
+	certified  int64 // guarded-by: mu; decisive results that passed independent re-checking
+	certFailed int64 // guarded-by: mu; decisive results demoted to Unknown by certification
 
-	quotaRejected   int64 // submissions refused by a tenant's token bucket
-	shedDeadline    int64 // dequeued jobs shed for exhausted end-to-end budget
-	shedBrownout    int64 // submissions refused at brownout level 3
-	shedDrain       int64 // queued jobs shed by a shutdown drain
-	brownoutLevel   int64 // current brownout level (gauge, 0..3)
-	brownoutChanges int64 // brownout level transitions
-	breakerTrips    int64 // breaker closed/half-open -> open transitions
-	breakerProbes   int64 // half-open probe jobs admitted
-	breakerShorted  int64 // jobs routed past an open breaker's engine
-	certSkipped     int64 // decisive results served uncertified by brownout
+	quotaRejected   int64 // guarded-by: mu; submissions refused by a tenant's token bucket
+	shedDeadline    int64 // guarded-by: mu; dequeued jobs shed for exhausted end-to-end budget
+	shedBrownout    int64 // guarded-by: mu; submissions refused at brownout level 3
+	shedDrain       int64 // guarded-by: mu; queued jobs shed by a shutdown drain
+	brownoutLevel   int64 // guarded-by: mu; current brownout level (gauge, 0..3)
+	brownoutChanges int64 // guarded-by: mu; brownout level transitions
+	breakerTrips    int64 // guarded-by: mu; breaker closed/half-open -> open transitions
+	breakerProbes   int64 // guarded-by: mu; half-open probe jobs admitted
+	breakerShorted  int64 // guarded-by: mu; jobs routed past an open breaker's engine
+	certSkipped     int64 // guarded-by: mu; decisive results served uncertified by brownout
 
-	tenants  map[string]*tenantCounters // per-tenant admission accounting
-	breakers *breaker                   // per-engine open-ness gauges (may be nil)
+	tenants  map[string]*tenantCounters // guarded-by: mu; per-tenant admission accounting
+	breakers *breaker                   // per-engine open-ness gauges (may be nil; set before publication)
 
-	pushAttempts   int64 // IC3 clause-push consecution queries attempted
-	pushSkipped    int64 // push attempts skipped as dormant (triggered pushing)
-	solverRebuilds int64 // frame-solver slack rebuilds (activation-var GC)
-	ctgBlocked     int64 // counterexamples-to-generalization blocked
+	pushAttempts   int64 // guarded-by: mu; IC3 clause-push consecution queries attempted
+	pushSkipped    int64 // guarded-by: mu; push attempts skipped as dormant (triggered pushing)
+	solverRebuilds int64 // guarded-by: mu; frame-solver slack rebuilds (activation-var GC)
+	ctgBlocked     int64 // guarded-by: mu; counterexamples-to-generalization blocked
 
-	reuseLookups   int64 // certificate-store lookups (reuse-capable jobs)
-	reuseHits      int64 // lookups that produced usable seed hints
-	clausesSeeded  int64 // prior-proof clauses that survived re-checking
-	clausesDropped int64 // prior-proof clauses dropped as stale/corrupt
-	seededRuns     int64 // engine runs started from a prior certificate
-	seededSeconds  float64
-	coldRuns       int64 // engine runs with no usable prior certificate
-	coldSeconds    float64
+	reuseLookups   int64   // guarded-by: mu; certificate-store lookups (reuse-capable jobs)
+	reuseHits      int64   // guarded-by: mu; lookups that produced usable seed hints
+	clausesSeeded  int64   // guarded-by: mu; prior-proof clauses that survived re-checking
+	clausesDropped int64   // guarded-by: mu; prior-proof clauses dropped as stale/corrupt
+	seededRuns     int64   // guarded-by: mu; engine runs started from a prior certificate
+	seededSeconds  float64 // guarded-by: mu
+	coldRuns       int64   // guarded-by: mu; engine runs with no usable prior certificate
+	coldSeconds    float64 // guarded-by: mu
 
-	completed map[string]int64      // "engine\x00verdict" -> count
-	latency   map[string]*histogram // engine -> histogram
+	completed map[string]int64      // guarded-by: mu; "engine\x00verdict" -> count
+	latency   map[string]*histogram // guarded-by: mu; engine -> histogram
 }
 
 // tenantCounters is one tenant's admission ledger.

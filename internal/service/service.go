@@ -383,12 +383,12 @@ type Service struct {
 	breakers  *breaker
 
 	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []string          // submission order, for List
-	inflight map[string][]*job // cache key -> leader-first group of live jobs
+	jobs     map[string]*job   // guarded-by: mu
+	order    []string          // guarded-by: mu; submission order, for List
+	inflight map[string][]*job // guarded-by: mu; cache key -> leader-first group of live jobs
 	queue    chan *job
-	closed   bool
-	idSeq    int64
+	closed   bool  // guarded-by: mu
+	idSeq    int64 // guarded-by: mu
 
 	workers sync.WaitGroup
 }

@@ -73,7 +73,7 @@ func (b *breaker) clock() time.Time {
 	return time.Now()
 }
 
-func (b *breaker) forEngine(name string) *engineBreaker {
+func (b *breaker) forEngineLocked(name string) *engineBreaker {
 	eb := b.engines[name]
 	if eb == nil {
 		eb = &engineBreaker{}
@@ -94,7 +94,7 @@ func (b *breaker) admit(name string) (ok, probe bool) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	eb := b.forEngine(name)
+	eb := b.forEngineLocked(name)
 	switch eb.state {
 	case breakerClosed:
 		return true, false
@@ -118,7 +118,7 @@ func (b *breaker) record(name string, failed, probe bool) (transition string) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	eb := b.forEngine(name)
+	eb := b.forEngineLocked(name)
 	if probe || eb.state == breakerHalfOpen {
 		if failed {
 			eb.state = breakerOpen
@@ -155,7 +155,7 @@ func (b *breaker) release(name string) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	eb := b.forEngine(name)
+	eb := b.forEngineLocked(name)
 	if eb.state == breakerHalfOpen {
 		eb.state = breakerOpen
 		eb.openedAt = b.clock().Add(-b.cooldown)

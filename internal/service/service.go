@@ -488,7 +488,7 @@ func (s *Service) Submit(req Request) (Status, error) {
 		jb.started = jb.submitted
 		jb.finished = jb.submitted
 		close(jb.done)
-		s.register(jb)
+		s.registerLocked(jb)
 		s.logf("job %s: cache hit (%s, %s)", jb.id, jb.req.Engine, res.Verdict)
 		return s.statusLocked(jb), nil
 	}
@@ -500,7 +500,7 @@ func (s *Service) Submit(req Request) (Status, error) {
 		jb.coalesced = true
 		s.metrics.incCoalesced()
 		s.inflight[jb.groupKey] = append(group, jb)
-		s.register(jb)
+		s.registerLocked(jb)
 		s.logf("job %s: coalesced onto %s", jb.id, group[0].id)
 		return s.statusLocked(jb), nil
 	}
@@ -523,7 +523,7 @@ func (s *Service) Submit(req Request) (Status, error) {
 		return Status{}, &rejectError{err: ErrBusy, retryAfter: time.Second}
 	}
 	s.inflight[jb.groupKey] = []*job{jb}
-	s.register(jb)
+	s.registerLocked(jb)
 	s.logf("job %s: queued (%s, %s)", jb.id, jb.sys.Name, jb.req.Engine)
 	return s.statusLocked(jb), nil
 }
@@ -538,8 +538,8 @@ func (s *Service) observePressureLocked() {
 	}
 }
 
-// register records the job for Job/List; caller holds mu.
-func (s *Service) register(jb *job) {
+// registerLocked records the job for Job/List; caller holds mu.
+func (s *Service) registerLocked(jb *job) {
 	s.jobs[jb.id] = jb
 	s.order = append(s.order, jb.id)
 }

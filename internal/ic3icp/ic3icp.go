@@ -205,7 +205,7 @@ type checker struct {
 	propPlain    *icp.Solver
 	propPlainIDs []tnf.VarID
 
-	frameAct []tnf.VarID   // per-level activation variable (main solver)
+	frameAct []tnf.VarID    // per-level activation variable (main solver)
 	frames   [][]*frameCube // per-level blocked cubes with push-trigger state
 	budget   engine.Budget
 	stats    map[string]int64
@@ -494,6 +494,7 @@ func mapLits(dst []tnf.Lit, c icpCube, ids []tnf.VarID, idx map[tnf.VarID]int) [
 // entirelyBadPlain call.
 func (ch *checker) onProp(c icpCube) []tnf.Lit {
 	ch.propScratch = mapLits(ch.propScratch[:0], c, ch.propIDs, ch.curIdx)
+	//lint:allow scratchalias documented loan: consumed by Solve before the next onProp call
 	return ch.propScratch
 }
 
@@ -831,6 +832,7 @@ func (ch *checker) boxPoint(box []interval.Interval, ids []tnf.VarID) ts.State {
 // parallel pushing workers map into their own buffers instead.
 func (ch *checker) primed(c icpCube) []tnf.Lit {
 	ch.primedScratch = mapLits(ch.primedScratch[:0], c, ch.nextIDs, ch.curIdx)
+	//lint:allow scratchalias documented loan: consumed by Solve before the next primed call
 	return ch.primedScratch
 }
 
@@ -838,6 +840,7 @@ func (ch *checker) primed(c icpCube) []tnf.Lit {
 // valid until the next onInit call).
 func (ch *checker) onInit(c icpCube) []tnf.Lit {
 	ch.initScratch = mapLits(ch.initScratch[:0], c, ch.initIDs, ch.curIdx)
+	//lint:allow scratchalias documented loan: consumed by Solve before the next onInit call
 	return ch.initScratch
 }
 

@@ -1,5 +1,6 @@
-// Fixture for budgetloop: unbounded engine loops must tick Progress,
-// poll Budget, or poll a Stop hook; anything else is invisible to the
+// Fixture for budgetloop: unbounded engine loops must, on every
+// iteration cycle, tick Progress, poll Budget or a Stop hook, or make
+// bounded descent toward an exit; anything else is invisible to the
 // stall watchdog.
 package ic3icp
 
@@ -19,7 +20,7 @@ type checker struct {
 func (ch *checker) tick() { ch.prog.Tick() }
 
 func (ch *checker) blind() {
-	for { // want `unbounded for loop without Progress\.Tick`
+	for { // want `unbounded for loop has an iteration cycle with no Progress\.Tick`
 		ch.n++
 		if ch.n > 100 {
 			return
@@ -67,6 +68,71 @@ func (ch *checker) bounded() {
 	// loops with a condition are structurally bounded by it and out of
 	// scope for the analyzer
 	for ch.n < 100 {
+		ch.n++
+	}
+}
+
+// descent is the 1-UIP conflict-loop shape: every cycle decrements a
+// local counter that the exit guard tests.  Bounded by construction; no
+// poll needed.
+func (ch *checker) descent(work []int) int {
+	counter := len(work)
+	acc := 0
+	for {
+		acc += work[counter-1]
+		counter--
+		if counter == 0 {
+			break
+		}
+	}
+	return acc
+}
+
+// amortizedPoll polls only every 1024th iteration, but the test is on
+// every cycle: supervisable.
+func (ch *checker) amortizedPoll() {
+	steps := 0
+	for {
+		steps++
+		if steps%1024 == 0 {
+			if ch.budget.Expired() {
+				return
+			}
+		}
+		if ch.n > 100 {
+			return
+		}
+	}
+}
+
+// continueSkipsPoll has a cycle (the continue path) that bypasses both
+// the poll and the descent step — exactly an unsupervisable iteration.
+func (ch *checker) continueSkipsPoll(items []int) {
+	i := 0
+	for { // want `unbounded for loop has an iteration cycle`
+		if ch.n > 0 {
+			continue // cycles forever without polling or descending
+		}
+		if ch.budget.Expired() {
+			return
+		}
+		i++
+		if i >= len(items) {
+			return
+		}
+	}
+}
+
+// descentSkipped: the decrement sits behind a branch, so the other arm
+// cycles without descending and without a poll.
+func (ch *checker) descentSkipped(counter int) {
+	for { // want `unbounded for loop has an iteration cycle`
+		if counter > 0 {
+			counter--
+			if counter == 0 {
+				return
+			}
+		}
 		ch.n++
 	}
 }

@@ -13,7 +13,11 @@
 //
 // The analyzer walks every function reachable from a Submit method or
 // function through same-package calls (up to the shared call-depth
-// bound) and reports blocking constructs in those bodies.  Goroutine
+// bound) and reports blocking constructs in those bodies.  Both the
+// call discovery and the checks are path-sensitive over the
+// function's CFG: only constructs in CFG-reachable blocks count, so
+// dead code (statements after an unconditional return or panic)
+// neither extends the reachable set nor produces findings.  Goroutine
 // bodies are skipped: work launched with `go` does not block the
 // submitter.  Mutex acquisition is deliberately not flagged — the
 // service's critical sections are short and bounded, and flagging
@@ -26,6 +30,7 @@ import (
 	"go/types"
 
 	"icpic3/internal/analysis"
+	"icpic3/internal/analysis/cfg"
 )
 
 // Scope limits the analyzer to service packages; other packages have
@@ -49,9 +54,9 @@ func run(pass *analysis.Pass) error {
 	idx := analysis.BuildFuncIndex(pass)
 
 	// Seed the reachable set with every Submit declaration, then walk
-	// same-package calls breadth-first.  Calls inside `go` statements do
-	// not extend the submitter's critical path, so they do not extend
-	// the reachable set either.
+	// same-package calls breadth-first.  Only calls in live blocks
+	// extend the set: calls inside `go` statements do not extend the
+	// submitter's critical path, and calls in dead code never run.
 	type item struct {
 		decl  *ast.FuncDecl
 		depth int
@@ -72,89 +77,131 @@ func run(pass *analysis.Pass) error {
 		if it.depth >= maxReachDepth {
 			continue
 		}
-		walkSubmitPath(it.decl.Body, func(n ast.Node) {
+		visitLive(cfg.FuncDecl(it.decl), func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
-				return
+				return true
 			}
 			obj := analysis.CalleeObject(pass.TypesInfo, call)
 			if obj == nil || seen[obj] {
-				return
+				return true
 			}
 			if callee, ok := idx[obj]; ok {
 				seen[obj] = true
 				queue = append(queue, item{callee, it.depth + 1})
 			}
+			return true
 		})
 	}
 
 	for _, decl := range reachable {
-		checkBody(pass, decl)
+		checkBody(pass, decl.Name.Name, cfg.FuncDecl(decl), decl.Body)
 	}
 	return nil
 }
 
-// walkSubmitPath visits every node of body that runs on the caller's
-// own goroutine: `go` statement subtrees are pruned.  Select comm
-// clauses are visited (their bodies run inline); the visitor is
-// responsible for any special-casing of the comm operations.
-func walkSubmitPath(body ast.Node, visit func(ast.Node)) {
+// visitLive calls visit for every AST node that executes on the
+// caller's own goroutine along some reachable path of g: nodes of
+// unreachable blocks are skipped, `go` statement subtrees are pruned,
+// and function literals outside `go` statements are descended into
+// through their own graphs (a synchronous closure still runs on the
+// submitter's goroutine).  The visitor follows the ast.Inspect
+// contract: return false to prune the subtree.
+func visitLive(g *cfg.Graph, visit func(ast.Node) bool) {
+	reach := g.Reachable()
+	for _, b := range g.Blocks {
+		if !reach[b.Index] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.GoStmt); ok {
+				continue
+			}
+			if rs, ok := n.(*ast.RangeStmt); ok {
+				// the header node is the whole RangeStmt; hand the
+				// statement itself to the visitor (for the
+				// range-over-channel check) before the clause walk
+				if !visit(rs) {
+					continue
+				}
+			}
+			analysis.InspectCFGNode(n, func(c ast.Node) bool {
+				if _, ok := c.(*ast.GoStmt); ok {
+					return false
+				}
+				return visit(c)
+			})
+			for _, fl := range analysis.FuncLits(n) {
+				visitLive(cfg.New("lit", fl.Body), visit)
+			}
+		}
+	}
+}
+
+// checkBody reports the blocking constructs on the live paths of one
+// reachable function.
+func checkBody(pass *analysis.Pass, name string, g *cfg.Graph, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	// Comm operations of a select are part of the select's own
+	// semantics (a select with default polls them without blocking), so
+	// they are exempt from the bare send/receive checks.  The CFG
+	// splits a select into per-clause blocks and drops the SelectStmt
+	// itself, so map each comm subtree back to its select here; the
+	// select is then judged when its first live comm node is visited.
+	type selectInfo struct {
+		sel        *ast.SelectStmt
+		hasDefault bool
+	}
+	inComm := make(map[ast.Node]*selectInfo)
 	ast.Inspect(body, func(n ast.Node) bool {
 		if _, ok := n.(*ast.GoStmt); ok {
 			return false
 		}
-		if n != nil {
-			visit(n)
-		}
-		return true
-	})
-}
-
-// checkBody reports the blocking constructs in one reachable function.
-func checkBody(pass *analysis.Pass, decl *ast.FuncDecl) {
-	info := pass.TypesInfo
-	// comm operations of a select are part of the select's own
-	// semantics (a select with default polls them without blocking), so
-	// they are exempt from the bare send/receive checks
-	inComm := make(map[ast.Node]bool)
-	walkSubmitPath(decl.Body, func(n ast.Node) {
 		sel, ok := n.(*ast.SelectStmt)
 		if !ok {
-			return
+			return true
 		}
+		si := &selectInfo{sel: sel}
 		for _, c := range sel.Body.List {
 			cc, ok := c.(*ast.CommClause)
-			if !ok || cc.Comm == nil {
+			if !ok {
+				continue
+			}
+			if cc.Comm == nil {
+				si.hasDefault = true
 				continue
 			}
 			ast.Inspect(cc.Comm, func(m ast.Node) bool {
 				if m != nil {
-					inComm[m] = true
+					inComm[m] = si
 				}
 				return true
 			})
 		}
+		if len(sel.Body.List) == 0 {
+			// select {} blocks forever and leaves no comm node in any
+			// block; report it from the syntactic walk
+			pass.Reportf(sel.Pos(), "select without default on the Submit path (via %s) can block past the admission deadline", name)
+		}
+		return true
 	})
 
-	name := decl.Name.Name
-	walkSubmitPath(decl.Body, func(n ast.Node) {
+	reported := make(map[*ast.SelectStmt]bool)
+	visitLive(g, func(n ast.Node) bool {
+		if si := inComm[n]; si != nil {
+			if !si.hasDefault && !reported[si.sel] {
+				reported[si.sel] = true
+				pass.Reportf(si.sel.Pos(), "select without default on the Submit path (via %s) can block past the admission deadline", name)
+			}
+		}
 		switch n := n.(type) {
-		case *ast.SelectStmt:
-			hasDefault := false
-			for _, c := range n.Body.List {
-				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
-					hasDefault = true
-				}
-			}
-			if !hasDefault {
-				pass.Reportf(n.Pos(), "select without default on the Submit path (via %s) can block past the admission deadline", name)
-			}
 		case *ast.SendStmt:
-			if !inComm[n] {
+			if inComm[n] == nil {
 				pass.Reportf(n.Pos(), "bare channel send on the Submit path (via %s) can block past the admission deadline; use a select with default", name)
 			}
 		case *ast.UnaryExpr:
-			if n.Op == token.ARROW && !inComm[n] {
+			if n.Op == token.ARROW && inComm[n] == nil {
 				pass.Reportf(n.Pos(), "bare channel receive on the Submit path (via %s) can block past the admission deadline; use a select with default", name)
 			}
 		case *ast.RangeStmt:
@@ -174,5 +221,6 @@ func checkBody(pass *analysis.Pass, decl *ast.FuncDecl) {
 				pass.Reportf(n.Pos(), "sync Wait on the Submit path (via %s) can block past the admission deadline", name)
 			}
 		}
+		return true
 	})
 }

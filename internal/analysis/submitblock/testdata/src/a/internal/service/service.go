@@ -33,6 +33,8 @@ func (s *Service) Submit(req Request) (Status, error) {
 		return Status{}, nil
 	}
 	s.helper()
+	s.tail()
+	s.viaClosure()
 	go s.background() // launched work does not block the submitter
 	return Status{ID: req.Tenant}, nil
 }
@@ -66,4 +68,32 @@ func (s *Service) worker() {
 	for req := range s.queue {
 		_ = req
 	}
+}
+
+// tail has a blocking receive and a call to blocker, but both sit
+// after an unconditional return: no Submit path reaches them, and the
+// dead call must not pull blocker into the reachable set.
+func (s *Service) tail() {
+	return
+	<-s.wake // dead code: never on the admission path
+	s.blocker()
+}
+
+// blocker is only called from dead code in tail: free to block.
+func (s *Service) blocker() {
+	<-s.wake
+	time.Sleep(time.Second)
+}
+
+// inline closures run on the submitter's goroutine; their blocking
+// constructs are on the admission path even though the literal body
+// is a separate graph.
+func (s *Service) viaClosure() {
+	fn := func() {
+		<-s.wake // want `bare channel receive on the Submit path \(via viaClosure\)`
+	}
+	fn()
+	go func() {
+		<-s.wake // goroutine literal: never blocks the submitter
+	}()
 }

@@ -55,7 +55,6 @@ func (s *Solver) analyze(cf *conflict, clevel int32) (tnf.Clause, tnf.Lit, int32
 	var uip int32 = -1
 	if counter > 0 {
 		idx := int32(len(s.trail)) - 1
-		//lint:allow budgetloop bounded: idx strictly decreases over the finite trail
 		for {
 			for idx >= 0 && (s.seenStamp[idx] != s.seenEpoch || s.trail[idx].level != clevel) {
 				idx--

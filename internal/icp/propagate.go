@@ -34,14 +34,12 @@ func (s *Solver) propagate() *conflict {
 	// caller reports Unknown.
 	sincePoll := 0
 	for {
-		if s.opts.Stop != nil {
-			sincePoll++
-			if sincePoll >= 256 {
-				sincePoll = 0
-				if s.opts.Stop() {
-					s.stopped = true
-					return nil
-				}
+		sincePoll++
+		if sincePoll >= 256 {
+			sincePoll = 0
+			if s.opts.Stop != nil && s.opts.Stop() {
+				s.stopped = true
+				return nil
 			}
 		}
 		progress := false

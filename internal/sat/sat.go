@@ -332,7 +332,6 @@ func (s *Solver) analyze(confl int32) ([]Lit, int32) {
 	idx := len(s.trail) - 1
 	btLevel := int32(0)
 
-	//lint:allow budgetloop bounded: 1-UIP resolution consumes the finite trail
 	for {
 		c := &s.clauses[confl]
 		s.bumpClause(confl)
@@ -561,6 +560,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	var restarts int64
 	restartBudget := 100 * luby(1)
 
+	//lint:allow budgetloop assumption-establishment cycles open one trail level each, bounded by len(assumptions); conflict and decision cycles poll Stop
 	for {
 		confl := s.propagate()
 		if confl >= 0 {

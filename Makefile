@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint lint-json check fuzz-short bench-json bench-diff bench-smoke reuse-smoke load-smoke clean
+.PHONY: all build test test-race vet lint lint-json lint-sarif check fuzz-short bench-json bench-diff bench-smoke reuse-smoke load-smoke clean
 
 all: check
 
@@ -83,6 +83,12 @@ lint:
 # per-finding file/line/analyzer/message plus per-analyzer counts.
 lint-json:
 	$(GO) run ./cmd/icplint -json ./...
+
+# SARIF 2.1.0 log for CI annotation surfaces; pragma-allowed findings
+# become in-source suppressions.  Written to icplint.sarif.
+lint-sarif:
+	$(GO) run ./cmd/icplint -sarif ./... > icplint.sarif || true
+	@test -s icplint.sarif
 
 # Short native-fuzzing smoke: each target gets a few seconds.  `go test`
 # allows one -fuzz pattern per invocation, hence one line per target.

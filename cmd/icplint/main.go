@@ -6,11 +6,13 @@
 //
 // Usage:
 //
-//	icplint [-json] [-analyzers a,b,...] [packages]
+//	icplint [-json|-sarif] [-analyzers a,b,...] [packages]
 //
 // With no packages, ./... is linted.  -json emits a machine-readable
 // report (file, line, col, analyzer, message) mirroring bench-json, so
-// finding counts can be diffed across PRs.
+// finding counts can be diffed across PRs.  -sarif emits a SARIF 2.1.0
+// log with pragma-allowed findings marked as in-source suppressions,
+// for CI annotation surfaces.
 package main
 
 import (
@@ -53,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("icplint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
 	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	if err := fs.Parse(args); err != nil {
@@ -63,6 +66,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "icplint: -json and -sarif are mutually exclusive")
+		return 2
 	}
 	analyzers, err := selectAnalyzers(*names)
 	if err != nil {
@@ -88,12 +95,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "icplint: %v\n", err)
 		return 2
 	}
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		if err := analysis.WriteJSON(stdout, dir, findings); err != nil {
 			fmt.Fprintf(stderr, "icplint: %v\n", err)
 			return 2
 		}
-	} else {
+	case *sarifOut:
+		if err := analysis.WriteSARIF(stdout, dir, analyzers, findings); err != nil {
+			fmt.Fprintf(stderr, "icplint: %v\n", err)
+			return 2
+		}
+	default:
 		analysis.WriteText(stdout, dir, findings)
 	}
 	if analysis.Failing(findings) > 0 {

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// SARIF 2.1.0 output: the minimal subset of the OASIS schema that CI
+// annotation surfaces (GitHub code scanning, VS Code SARIF viewers)
+// consume — tool.driver.rules for the suite, one result per finding,
+// and in-source suppressions for pragma-allowed findings so suppressed
+// results stay visible in the report without failing the gate.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    int                `json:"ruleIndex"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF emits findings as a single-run SARIF 2.1.0 log.  analyzers
+// supplies the rule table (the pragma pseudo-analyzer is appended
+// automatically); findings suppressed by a //lint:allow pragma become
+// level "note" results carrying an inSource suppression with the
+// pragma's justification, everything else is level "error".
+func WriteSARIF(w io.Writer, dir string, analyzers []*Analyzer, findings []Finding) error {
+	driver := sarifDriver{
+		Name:  "icplint",
+		Rules: []sarifRule{},
+	}
+	ruleIndex := make(map[string]int)
+	addRule := func(id, doc string) {
+		if _, ok := ruleIndex[id]; ok {
+			return
+		}
+		ruleIndex[id] = len(driver.Rules)
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               id,
+			ShortDescription: sarifMessage{Text: doc},
+		})
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+	addRule(PragmaAnalyzer, "malformed or unused //lint:allow pragmas")
+
+	results := []sarifResult{}
+	for _, f := range findings {
+		res := sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: ruleIndex[f.Analyzer],
+			Level:     "error",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI: filepath.ToSlash(relPath(dir, f.File)),
+					},
+					Region: sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		}
+		if f.Allowed {
+			res.Level = "note"
+			res.Suppressions = []sarifSuppression{{
+				Kind:          "inSource",
+				Justification: f.Reason,
+			}}
+		}
+		results = append(results, res)
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: driver},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

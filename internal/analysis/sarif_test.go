@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestWriteSARIF checks the emitted document against the SARIF 2.1.0
+// shape CI consumers rely on: version and schema, one run with the
+// rule table, per-finding results with physical locations, and
+// in-source suppressions for pragma-allowed findings.
+func TestWriteSARIF(t *testing.T) {
+	analyzers := []*Analyzer{
+		{Name: "budgetloop", Doc: "flags unbounded engine loops"},
+		{Name: "lockguard", Doc: "checks guarded-by annotations"},
+	}
+	findings := []Finding{
+		{File: "/repo/internal/sat/sat.go", Line: 12, Col: 2, Analyzer: "budgetloop", Message: "unbounded for loop"},
+		{File: "/repo/internal/icp/solver.go", Line: 7, Col: 1, Analyzer: "budgetloop", Message: "suppressed loop", Allowed: true, Reason: "bounded by the trail"},
+		{File: "/repo/internal/service/service.go", Line: 3, Col: 1, Analyzer: PragmaAnalyzer, Message: "unused pragma"},
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "/repo", analyzers, findings); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				Suppressions []struct {
+					Kind          string `json:"kind"`
+					Justification string `json:"justification"`
+				} `json:"suppressions"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if log.Schema == "" {
+		t.Error("missing $schema")
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "icplint" {
+		t.Errorf("driver name = %q, want icplint", run.Tool.Driver.Name)
+	}
+
+	// rule table: the supplied analyzers plus the pragma pseudo-rule
+	wantRules := []string{"budgetloop", "lockguard", PragmaAnalyzer}
+	if len(run.Tool.Driver.Rules) != len(wantRules) {
+		t.Fatalf("got %d rules, want %d", len(run.Tool.Driver.Rules), len(wantRules))
+	}
+	for i, id := range wantRules {
+		if run.Tool.Driver.Rules[i].ID != id {
+			t.Errorf("rules[%d].id = %q, want %q", i, run.Tool.Driver.Rules[i].ID, id)
+		}
+		if run.Tool.Driver.Rules[i].ShortDescription.Text == "" {
+			t.Errorf("rules[%d] has empty shortDescription", i)
+		}
+	}
+
+	if len(run.Results) != len(findings) {
+		t.Fatalf("got %d results, want %d", len(run.Results), len(findings))
+	}
+
+	hard := run.Results[0]
+	if hard.RuleID != "budgetloop" || hard.RuleIndex != 0 {
+		t.Errorf("results[0] rule = %q/%d, want budgetloop/0", hard.RuleID, hard.RuleIndex)
+	}
+	if hard.Level != "error" {
+		t.Errorf("results[0].level = %q, want error", hard.Level)
+	}
+	if len(hard.Suppressions) != 0 {
+		t.Errorf("unsuppressed finding carries %d suppressions", len(hard.Suppressions))
+	}
+	loc := hard.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/sat/sat.go" {
+		t.Errorf("results[0] uri = %q, want repo-relative forward-slash path", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 12 || loc.Region.StartColumn != 2 {
+		t.Errorf("results[0] region = %d:%d, want 12:2", loc.Region.StartLine, loc.Region.StartColumn)
+	}
+
+	allowed := run.Results[1]
+	if allowed.Level != "note" {
+		t.Errorf("allowed finding level = %q, want note", allowed.Level)
+	}
+	if len(allowed.Suppressions) != 1 {
+		t.Fatalf("allowed finding carries %d suppressions, want 1", len(allowed.Suppressions))
+	}
+	if allowed.Suppressions[0].Kind != "inSource" {
+		t.Errorf("suppression kind = %q, want inSource", allowed.Suppressions[0].Kind)
+	}
+	if allowed.Suppressions[0].Justification != "bounded by the trail" {
+		t.Errorf("suppression justification = %q", allowed.Suppressions[0].Justification)
+	}
+
+	pragma := run.Results[2]
+	if pragma.RuleID != PragmaAnalyzer || pragma.RuleIndex != 2 {
+		t.Errorf("results[2] rule = %q/%d, want %s/2", pragma.RuleID, pragma.RuleIndex, PragmaAnalyzer)
+	}
+}

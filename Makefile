@@ -47,8 +47,9 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'SolverICP' -benchtime=1x -benchmem .
 	$(GO) test -run '^$$' -bench 'PropagateWatched' -benchtime=1x -benchmem ./internal/icp/
 	$(GO) test -run '^$$' -bench 'PropQuery' -benchtime=1x -benchmem ./internal/ic3icp/
-	$(GO) test -run 'TestReduceDBVerdictInvariance|TestTriggeredPushReduceInvariance' -count=1 -v ./internal/ic3icp/
+	$(GO) test -run 'TestReduceDBVerdictInvariance|TestTriggeredPushReduceInvariance|TestRetentionInvariance' -count=1 -v ./internal/ic3icp/
 	$(GO) run ./cmd/benchdiff -queries-tolerance 0.10 BENCH_2026-08-08.json BENCH_2026-08-08-triggered.json
+	$(GO) run ./cmd/benchdiff -queries-tolerance 0.10 BENCH_2026-08-08-triggered.json BENCH_2026-08-08-retained.json
 
 # Certificate-reuse smoke (DESIGN.md §13): prove a tiny corpus, mutate
 # one bound per instance, re-verify seeded from the stored certificate —
@@ -96,6 +97,7 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=5s ./internal/expr/
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=5s ./internal/ts/
 	$(GO) test -run='^$$' -fuzz=FuzzSystem -fuzztime=5s ./internal/ts/
+	$(GO) test -run='^$$' -fuzz=FuzzSolveRetentionEquiv -fuzztime=5s ./internal/icp/
 
 check: build vet lint test test-race
 

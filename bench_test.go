@@ -179,9 +179,12 @@ func BenchmarkSolverICP(b *testing.B) {
 // landed at ~1590 allocs/op; the triggered-pushing rework added the
 // durable-op log, per-cube trigger records, and the UNSAT-core hit
 // table (~1760 allocs/op, in exchange for cutting queries ~3x on the
-// consecution-bound suite).  The guard sits a small margin above so a
-// hot-path allocation regression fails loudly without flaking on minor
-// drift below it.
+// consecution-bound suite); the assumption-aware query core added the
+// consecution memo's table and per-store cube/core copies (~1830
+// allocs/op, in exchange for short-circuiting repeated UNSAT queries
+// and ~26% fewer solver queries suite-wide).  The guard sits a small
+// margin above so a hot-path allocation regression fails loudly
+// without flaking on minor drift below it.
 func TestSolverICPAllocs(t *testing.T) {
 	in := benchmarks.Must(benchmarks.Logistic(true, 0))
 	allocs := testing.AllocsPerRun(5, func() {
@@ -190,7 +193,7 @@ func TestSolverICPAllocs(t *testing.T) {
 			t.Fatalf("verdict = %v", res.Verdict)
 		}
 	})
-	const budget = 1850
+	const budget = 1950
 	if allocs > budget {
 		t.Errorf("solver ICP run allocates %.0f/op, budget %d", allocs, budget)
 	}

@@ -116,6 +116,20 @@ func diffRun(label string, old, new harness.BenchRun, tol, qtol float64) (regres
 			fmt.Printf("  REGRESSION: %s query count grew more than %.0f%%\n", ne.Engine, qtol*100)
 			regressed = true
 		}
+		// Assumption-aware query-core counters: savings metrics (higher is
+		// better — their regressions surface through the queries and
+		// solved/sec gates), so they are tracked, not gated.  Snapshots
+		// predating them carry zeros and are skipped on that side.
+		if oe.TrailEventsSaved > 0 || ne.TrailEventsSaved > 0 ||
+			oe.ConsecCacheHits > 0 || ne.ConsecCacheHits > 0 ||
+			oe.TNFOpsPruned > 0 || ne.TNFOpsPruned > 0 {
+			fmt.Printf("  %-12s retained %d levels/%d events -> %d/%d, memo %d/%d hit -> %d/%d, tnf pruned %d -> %d\n",
+				ne.Engine,
+				oe.PrefixKeptLevels, oe.TrailEventsSaved, ne.PrefixKeptLevels, ne.TrailEventsSaved,
+				oe.ConsecCacheHits, oe.ConsecCacheHits+oe.ConsecCacheMiss,
+				ne.ConsecCacheHits, ne.ConsecCacheHits+ne.ConsecCacheMiss,
+				oe.TNFOpsPruned, ne.TNFOpsPruned)
+		}
 	}
 	return regressed
 }

@@ -44,6 +44,15 @@ type BenchEngine struct {
 	PushAttempts   int64 `json:"push_attempts"`
 	PushSkipped    int64 `json:"push_skipped_triggered"`
 	SolverRebuilds int64 `json:"solver_rebuilds"`
+
+	// Assumption-aware query-core counters (PR 10); absent (zero) in
+	// snapshots written before them, which benchdiff treats as
+	// not-comparable rather than as a regression.
+	PrefixKeptLevels int64 `json:"prefix_kept_levels,omitempty"`
+	TrailEventsSaved int64 `json:"trail_events_saved,omitempty"`
+	ConsecCacheHits  int64 `json:"consec_cache_hits,omitempty"`
+	ConsecCacheMiss  int64 `json:"consec_cache_misses,omitempty"`
+	TNFOpsPruned     int64 `json:"tnf_ops_pruned,omitempty"`
 }
 
 // BenchRun is one full-suite execution at a fixed worker count.
@@ -97,10 +106,15 @@ func benchRun(suite []benchmarks.Instance, perRun time.Duration, workers int) (B
 			Unknown:        s.Unknown,
 			Wrong:          s.Wrong,
 			EngineSec:      s.TotalTime.Seconds(),
-			Queries:        s.Queries,
-			PushAttempts:   s.PushAttempts,
-			PushSkipped:    s.PushSkipped,
-			SolverRebuilds: s.SolverRebuilds,
+			Queries:          s.Queries,
+			PushAttempts:     s.PushAttempts,
+			PushSkipped:      s.PushSkipped,
+			SolverRebuilds:   s.SolverRebuilds,
+			PrefixKeptLevels: s.PrefixKeptLevels,
+			TrailEventsSaved: s.TrailEventsSaved,
+			ConsecCacheHits:  s.ConsecCacheHits,
+			ConsecCacheMiss:  s.ConsecCacheMiss,
+			TNFOpsPruned:     s.TNFOpsPruned,
 		}
 		if be.EngineSec > 0 {
 			be.SolvedPerSec = float64(solved) / be.EngineSec

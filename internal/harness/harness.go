@@ -149,6 +149,15 @@ type EngineSummary struct {
 	PushAttempts   int64
 	PushSkipped    int64
 	SolverRebuilds int64
+	// Assumption-aware query-core counters (PR 10): trail levels kept by
+	// prefix retention with the propagation events that spared, UNSAT
+	// consecution answers served from the memo vs sent to a solver, and
+	// TNF ops removed by compile-time simplification.
+	PrefixKeptLevels int64
+	TrailEventsSaved int64
+	ConsecCacheHits  int64
+	ConsecCacheMiss  int64
+	TNFOpsPruned     int64
 }
 
 // Summarize aggregates run records per engine.
@@ -168,6 +177,11 @@ func Summarize(records []RunRecord, names []string) []EngineSummary {
 			s.PushAttempts += st["pushAttempts"]
 			s.PushSkipped += st["pushSkippedTriggered"]
 			s.SolverRebuilds += st["solverRebuilds"]
+			s.PrefixKeptLevels += st["prefixKeptLevels"]
+			s.TrailEventsSaved += st["trailEventsSaved"]
+			s.ConsecCacheHits += st["consecCacheHits"]
+			s.ConsecCacheMiss += st["consecCacheMisses"]
+			s.TNFOpsPruned += st["tnfOpsPruned"]
 		}
 		switch {
 		case r.Wrong():
@@ -190,14 +204,15 @@ func Summarize(records []RunRecord, names []string) []EngineSummary {
 // Table2 renders the engine comparison.
 func Table2(w io.Writer, records []RunRecord, names []string) {
 	fmt.Fprintln(w, "Table II: solved instances per engine")
-	fmt.Fprintf(w, "%-10s %6s %8s %8s %6s %12s %9s %9s %8s\n",
+	fmt.Fprintf(w, "%-10s %6s %8s %8s %6s %12s %9s %9s %8s %10s %9s %9s\n",
 		"engine", "safe", "unsafe", "unknown", "wrong", "total time",
-		"queries", "pushskip", "rebuilds")
+		"queries", "pushskip", "rebuilds", "trailsaved", "memohits", "tnfpruned")
 	for _, s := range Summarize(records, names) {
-		fmt.Fprintf(w, "%-10s %6d %8d %8d %6d %12s %9d %9d %8d\n",
+		fmt.Fprintf(w, "%-10s %6d %8d %8d %6d %12s %9d %9d %8d %10d %9d %9d\n",
 			s.Engine, s.SolvedSafe, s.SolvedUnsaf, s.Unknown, s.Wrong,
 			s.TotalTime.Round(time.Millisecond),
-			s.Queries, s.PushSkipped, s.SolverRebuilds)
+			s.Queries, s.PushSkipped, s.SolverRebuilds,
+			s.TrailEventsSaved, s.ConsecCacheHits, s.TNFOpsPruned)
 	}
 }
 

@@ -235,6 +235,12 @@ type checker struct {
 	// widen rarely-essential literals first.  Lookup-only iteration.
 	coreHits map[coreKey]int64
 
+	// memo caches UNSAT consecution answers keyed by canonical cube,
+	// target frame, and op-log generation (memo.go).  Sequential-loop
+	// only: blockQuery consults it directly, and pushFrames resolves
+	// hits in a pre-pass before fanning the misses out to the shards.
+	memo *consecMemo
+
 	// hot-path tables, built once in build(): position and declared
 	// domain of each step-0 state variable, so per-query literal mapping
 	// never rebuilds a map or linearly scans curIDs.
@@ -335,13 +341,16 @@ func CheckFull(sys *ts.System, opts Options) (engine.Result, *Info) {
 	}
 
 	ch := &checker{sys: sys, opts: opts, budget: budget, stats: map[string]int64{},
-		coreHits: map[coreKey]int64{}}
+		coreHits: map[coreKey]int64{}, memo: newConsecMemo()}
 	// work-profile counters asserted by the determinism suites and
 	// surfaced through /metrics and benchtab: present even when zero
 	ch.stats["pushAttempts"] = 0
 	ch.stats["pushSkippedTriggered"] = 0
 	ch.stats["solverRebuilds"] = 0
 	ch.stats["ctgBlocked"] = 0
+	ch.stats["consecCacheHits"] = 0
+	ch.stats["consecCacheMisses"] = 0
+	ch.stats["tnfOpsPruned"] = 0
 	if err := ch.build(); err != nil {
 		return engine.Result{Verdict: engine.Unknown, Note: err.Error()}, info
 	}
@@ -350,9 +359,14 @@ func CheckFull(sys *ts.System, opts Options) (engine.Result, *Info) {
 	// surface the main solver's hot-path counters next to the IC3 ones
 	// (statsBase carries what earlier solver rebuilds absorbed)
 	ch.absorbMainStats()
+	for _, ps := range ch.pushSolvers {
+		ch.absorbRetentionStats(&ps.Stats)
+	}
 	ch.stats["watchVisits"] = ch.statsBase.WatchVisits
 	ch.stats["clausesDeleted"] = ch.statsBase.ClausesDeleted
 	ch.stats["litsMinimized"] = ch.statsBase.LitsMinimized
+	ch.stats["prefixKeptLevels"] = ch.statsBase.PrefixKeptLevels
+	ch.stats["trailEventsSaved"] = ch.statsBase.TrailEventsSaved
 	res.Stats = ch.stats
 	if res.Verdict == engine.Safe {
 		res.Certificate = CertificateOf(info.Invariant)
@@ -429,6 +443,11 @@ func (ch *checker) build() error {
 		return err
 	}
 	ch.badRobust = badR
+	// Compile-time TNF preprocessing (tnf.Simplify): every solver built
+	// from these systems — main, its rebuilds, the 8 push shards, the
+	// F_∞ prototype — replays the smaller form.  Must run before the
+	// first icp.New on each system (solvers sync by position counts).
+	ch.stats["tnfOpsPruned"] += int64(ch.tnfMain.Simplify().Pruned())
 	ch.main = icp.New(ch.tnfMain, ch.opts.Solver)
 
 	ch.tnfInit = tnf.NewSystem()
@@ -440,6 +459,7 @@ func (ch *checker) build() error {
 	if err := ch.tnfInit.Assert(ts.AtStep(sys.Init, 0)); err != nil {
 		return err
 	}
+	ch.stats["tnfOpsPruned"] += int64(ch.tnfInit.Simplify().Pruned())
 	ch.init = icp.New(ch.tnfInit, ch.opts.Solver)
 
 	// The prop solver asserts the δ-weakened property: a box is disjoint
@@ -456,6 +476,7 @@ func (ch *checker) build() error {
 	if err := ch.tnfProp.Assert(weak); err != nil {
 		return err
 	}
+	ch.stats["tnfOpsPruned"] += int64(ch.tnfProp.Simplify().Pruned())
 	ch.prop = icp.New(ch.tnfProp, ch.opts.Solver)
 
 	ch.tnfPropPlain = tnf.NewSystem()
@@ -467,6 +488,7 @@ func (ch *checker) build() error {
 	if err := ch.tnfPropPlain.Assert(ts.AtStep(sys.Prop, 0)); err != nil {
 		return err
 	}
+	ch.stats["tnfOpsPruned"] += int64(ch.tnfPropPlain.Simplify().Pruned())
 	ch.propPlain = icp.New(ch.tnfPropPlain, ch.opts.Solver)
 
 	// hot-path tables: step-0 id -> position / declared domain
@@ -870,8 +892,21 @@ func (ch *checker) initIntersects(c icpCube) (bool, *icp.Result) {
 // blockQuery asks SAT(F_{frame-1} ∧ ¬cube ∧ T ∧ cube').  On UNSAT it
 // returns the subset of cube literals in the assumption core.
 func (ch *checker) blockQuery(c icpCube, frame int) (icp.Result, icpCube) {
-	ch.stats["queries"]++
 	ch.tick()
+	// consecution memo: a cached UNSAT for this (cube, frame) at an
+	// earlier op-log generation still holds (frames only strengthen),
+	// so replay the stored core into generalization — including the
+	// coreHits bumps, keeping the ordering heuristic on the same
+	// trajectory whether an answer was memo-served or solver-served —
+	// without spending a solver query or a one-shot activation var.
+	if core, ok := ch.memoLookup(c, frame); ok {
+		coreCube := append(icpCube(nil), core...)
+		for _, l := range coreCube {
+			ch.coreHits[coreKey{l.Var, l.Dir}]++
+		}
+		return icp.Result{Status: icp.StatusUnsat}, coreCube
+	}
+	ch.stats["queries"]++
 	// retired one-shot activation variables accumulate; rebuild the main
 	// solver from the durable-op log before they exceed the slack, so
 	// NumVars stays bounded over arbitrarily long runs
@@ -901,6 +936,7 @@ func (ch *checker) blockQuery(c icpCube, frame int) (icp.Result, icpCube) {
 				ch.coreHits[coreKey{c[i].Var, c[i].Dir}]++
 			}
 		}
+		ch.memoStore(c, frame, len(ch.ops), coreCube)
 	}
 	ch.main.AddClause(tnf.Clause{tnf.MkLe(tmp, 0)}) // retire
 	ch.mainRetired++

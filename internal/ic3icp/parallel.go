@@ -42,10 +42,13 @@ const pushShards = 8
 
 // pushResult is one consecution answer: pushed (UNSAT), unknown
 // (budget — the cube stays pending), or failed with a blocking witness.
+// A pushed result carries the cube-literal subset of the assumption
+// core, stored into the consecution memo at the frame barrier.
 type pushResult struct {
 	pushed  bool
 	unknown bool
 	witness icpCube
+	core    icpCube
 }
 
 // pushFrames propagates blocked cubes forward through frames 1..k.
@@ -93,22 +96,44 @@ func (ch *checker) pushFrames(k int) (int, bool) {
 		}
 		ch.stats["pushAttempts"] += int64(len(attempts))
 		ch.stats["pushSkippedTriggered"] += int64(len(frame) - len(attempts))
-		ch.stats["queries"] += int64(len(attempts))
 		totalSkipped += len(frame) - len(attempts)
 		if len(attempts) == 0 {
 			continue
 		}
 		results := make([]pushResult, len(attempts))
-		ch.runPushQueries(frame, attempts, i+1, workers, results)
+		// Consecution-memo pre-pass, sequential by construction: an
+		// attempt whose (cube, target) was already proved UNSAT at an
+		// earlier op-log generation is resolved here, so the shards only
+		// ever see the misses and each shard's solver lineage — and the
+		// hit pattern itself — stays a deterministic function of the
+		// frame evolution, independent of the worker count.
+		gen := len(ch.ops)
+		var solve []int // positions in attempts[] that missed the memo
+		for a, j := range attempts {
+			if _, ok := ch.memoLookup(frame[j].cube, i+1); ok {
+				results[a] = pushResult{pushed: true}
+			} else {
+				solve = append(solve, a)
+			}
+		}
+		ch.stats["queries"] += int64(len(solve))
+		ch.runPushQueries(frame, attempts, solve, i+1, workers, results)
 
 		// Barrier merge in clause order.  Trigger state first, then the
 		// survivors are installed before the pushed cubes are re-added:
 		// installPushed's subsumption sweep edits ch.frames[i] in place
 		// and must see the post-push frame, not the pre-push slice still
 		// being iterated.
+		for q, a := range solve {
+			// only solver-run attempts retire a one-shot activation var,
+			// on the shard that actually ran them
+			ch.pushRetired[q%pushShards]++
+			if results[a].pushed {
+				ch.memoStore(frame[attempts[a]].cube, i+1, gen, results[a].core)
+			}
+		}
 		pushedIdx := make([]bool, len(frame))
 		for a, j := range attempts {
-			ch.pushRetired[a%pushShards]++
 			fc := frame[j]
 			switch {
 			case results[a].pushed:
@@ -161,16 +186,19 @@ func (ch *checker) installPushed(fc *frameCube, level int) {
 	ch.markTriggered(fc.cube, level, level)
 }
 
-// runPushQueries decides, for each pending cube of frame `target-1`,
-// whether its negation holds at `target` (consecution), writing into
-// results.  Attempt a runs on shard a mod pushShards; shard s is driven
-// by worker s mod workers, and its queries run in increasing a order,
-// so the per-query solver state is independent of the worker count.
-func (ch *checker) runPushQueries(frame []*frameCube, attempts []int, target, workers int, results []pushResult) {
+// runPushQueries decides, for each memo-missed pending cube of frame
+// `target-1`, whether its negation holds at `target` (consecution),
+// writing into results.  solve holds the positions within attempts that
+// need a solver query; the q-th of them runs on shard q mod pushShards.
+// Shard s is driven by worker s mod workers, and its queries run in
+// increasing q order, so the per-query solver state is independent of
+// the worker count (the memo pre-pass that produced solve is itself
+// deterministic).
+func (ch *checker) runPushQueries(frame []*frameCube, attempts, solve []int, target, workers int, results []pushResult) {
 	if workers <= 1 {
 		var buf []tnf.Lit
-		for a, j := range attempts {
-			results[a] = ch.consecutionOn(a%pushShards, frame[j].cube, target, &buf)
+		for q, a := range solve {
+			results[a] = ch.consecutionOn(q%pushShards, frame[attempts[a]].cube, target, &buf)
 		}
 		return
 	}
@@ -181,7 +209,8 @@ func (ch *checker) runPushQueries(frame []*frameCube, attempts []int, target, wo
 			defer wg.Done()
 			var buf []tnf.Lit
 			for s := w; s < pushShards; s += workers {
-				for a := s; a < len(attempts); a += pushShards {
+				for q := s; q < len(solve); q += pushShards {
+					a := solve[q]
 					results[a] = ch.consecutionOn(s, frame[attempts[a]].cube, target, &buf)
 				}
 			}
@@ -219,7 +248,20 @@ func (ch *checker) consecutionOn(shard int, c icpCube, frame int, buf *[]tnf.Lit
 	s.AddClause(tnf.Clause{tnf.MkLe(tmp, 0)}) // retire
 	switch r.Status {
 	case icp.StatusUnsat:
-		return pushResult{pushed: true}
+		// Extract the cube-literal subset of the assumption core for the
+		// consecution memo (the sequential barrier stores it): the primed
+		// literals are the last len(c) assumptions, 1:1 with c.
+		inCore := make(map[tnf.Lit]bool, len(r.Core))
+		for _, l := range r.Core {
+			inCore[l] = true
+		}
+		var core icpCube
+		for i, pl := range assumps[len(assumps)-len(c):] {
+			if inCore[pl] {
+				core = append(core, c[i])
+			}
+		}
+		return pushResult{pushed: true, core: core}
 	case icp.StatusUnknown:
 		return pushResult{unknown: true}
 	}

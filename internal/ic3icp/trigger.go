@@ -129,6 +129,18 @@ func (ch *checker) absorbMainStats() {
 	ch.statsBase.LitsMinimized += st.LitsMinimized
 	ch.statsBase.SubsumedFrameClauses += st.SubsumedFrameClauses
 	st.WatchVisits, st.ClausesDeleted, st.LitsMinimized, st.SubsumedFrameClauses = 0, 0, 0, 0
+	ch.absorbRetentionStats(st)
+}
+
+// absorbRetentionStats folds one solver's trail-retention counters into
+// the run-level base.  Unlike the main-only counters above, these are
+// also collected from the shard consecution solvers (at their rebuild
+// points and once at end of run): the shards answer most consecution
+// queries, so main-only numbers would wildly under-report retention.
+func (ch *checker) absorbRetentionStats(st *icp.Stats) {
+	ch.statsBase.PrefixKeptLevels += st.PrefixKeptLevels
+	ch.statsBase.TrailEventsSaved += st.TrailEventsSaved
+	st.PrefixKeptLevels, st.TrailEventsSaved = 0, 0
 }
 
 // ensurePushSolvers builds the persistent consecution shards on first
@@ -145,6 +157,7 @@ func (ch *checker) ensurePushSolvers() {
 		if ch.pushSolvers[s] == nil {
 			ch.buildPushSolver(s)
 		} else if ch.pushRetired[s] >= pushRebuildSlack {
+			ch.absorbRetentionStats(&ch.pushSolvers[s].Stats)
 			ch.buildPushSolver(s)
 			ch.stats["solverRebuilds"]++
 		}

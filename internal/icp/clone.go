@@ -24,9 +24,24 @@ import (
 //
 // Stats start at zero so that per-clone work can be aggregated by the
 // caller without double counting.
+//
+// Retention interaction: a quiescent solver may be parked at a retained
+// assumption-prefix level rather than at 0 (see retainOnExit).  Clone
+// deliberately RESETS that state — on the receiver, then implicitly on
+// the clone — instead of copying it: the clone has no query history of
+// its own, a retained trail is just a cache of re-derivable propagation
+// (dropping it never loses information), and cloning at level 0 keeps
+// the clone-before-reduceDB invariants exactly as they were.  Deferred
+// root replays are folded into newClause first, so both solvers still
+// re-establish retired-unit root facts.  Cloning a solver that is
+// mid-search (level > 0 beyond its retained prefix) still panics.
 func (s *Solver) Clone() *Solver {
 	if s.level() != 0 {
-		panic("icp: Clone requires decision level 0")
+		if int(s.level()) == len(s.retained) {
+			s.resetRetention()
+		} else {
+			panic("icp: Clone requires decision level 0")
+		}
 	}
 	c := &Solver{
 		opts:   s.opts,

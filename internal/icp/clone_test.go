@@ -177,6 +177,56 @@ func TestCloneSyncLazily(t *testing.T) {
 	}
 }
 
+// TestCloneWithRetention snapshots a solver that is parked at a
+// retained assumption prefix (level > 0 between Solve calls).  Clone
+// must reset the retention on the receiver instead of panicking or
+// copying the parked trail, fold any deferred root replays into both
+// solvers, and leave original and clone answering every query —
+// including prefix-sharing ones — identically.
+func TestCloneWithRetention(t *testing.T) {
+	s, sys := cloneFixture(t)
+	x, _ := sys.Lookup("x")
+	y, _ := sys.Lookup("y")
+
+	prefix := []tnf.Lit{tnf.MkGe(x, 0.5), tnf.MkLe(y, 1)}
+	if r := s.Solve(prefix); r.Status != StatusSat {
+		t.Fatalf("prefix query = %v", r.Status)
+	}
+	if s.level() == 0 || int(s.level()) != len(s.retained) {
+		t.Fatalf("fixture not parked at a retained prefix: level %d, retained %d",
+			s.level(), len(s.retained))
+	}
+
+	// a clause added while parked takes the deferred-root path; both
+	// solvers must still enforce it after the snapshot
+	s.AddClause(tnf.Clause{tnf.MkLe(x, 1.5)})
+
+	c := s.Clone()
+	if s.level() != 0 {
+		t.Fatalf("original still parked at level %d after Clone", s.level())
+	}
+	if c.level() != 0 || len(c.retained) != 0 {
+		t.Fatalf("clone starts at level %d with %d retained levels", c.level(), len(c.retained))
+	}
+
+	for _, q := range []struct {
+		as   []tnf.Lit
+		want Status
+	}{
+		{prefix, StatusSat},
+		{append(append([]tnf.Lit(nil), prefix...), tnf.MkGe(x, 1.2)), StatusSat},
+		{[]tnf.Lit{tnf.MkGe(x, 1.8)}, StatusUnsat}, // needs the parked-time clause
+		{nil, StatusSat},
+	} {
+		rs := s.Solve(q.as)
+		rc := c.Solve(q.as)
+		if rs.Status != q.want || rc.Status != q.want {
+			t.Errorf("assumptions %v: original %v, clone %v, want %v",
+				q.as, rs.Status, rc.Status, q.want)
+		}
+	}
+}
+
 func TestPoolConcurrentSolves(t *testing.T) {
 	s, sys := cloneFixture(t)
 	pool := PoolOf(s, sys)

@@ -17,10 +17,22 @@ func (s *Solver) propagate() *conflict {
 		return cf
 	}
 	// seed clauses added since the last call (they may be unit or false
-	// already under the current level-0 state)
+	// already under the current state)
 	if len(s.newClause) > 0 {
 		pending := s.newClause
 		s.newClause = nil
+		if s.level() > 0 {
+			// formula clauses seeded above the root (added between Solves
+			// while an assumption prefix was retained) keep a deferred
+			// level-0 replay entry: their unit consequences must become
+			// permanent root facts on the next full backtrack.  Learned
+			// clauses are exempt — they are implied and need no root seed.
+			for _, ci := range pending {
+				if !s.clauses[ci].learned {
+					s.deferredRoot = append(s.deferredRoot, ci)
+				}
+			}
+		}
 		for _, ci := range pending {
 			if cf := s.checkClause(ci); cf != nil {
 				return cf

@@ -1,0 +1,52 @@
+package icp
+
+import (
+	"testing"
+
+	"icpic3/internal/expr"
+	"icpic3/internal/interval"
+	"icpic3/internal/tnf"
+)
+
+// TestSolveAfterSimplifyEquiv checks the tnf.Simplify contract from the
+// solver's side: compiling the simplified system must answer every
+// query exactly like the unsimplified one (Simplify only removes work,
+// never answers).  The fixture mixes nonlinear constraints, a
+// disjunctive clause, and a unit fact so that constant folding, literal
+// merging, and unit absorption all fire.
+func TestSolveAfterSimplifyEquiv(t *testing.T) {
+	mk := func() *tnf.System {
+		sys := tnf.NewSystem()
+		for _, n := range []string{"x", "y"} {
+			if _, err := sys.AddVar(n, false, interval.New(-4, 4)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		src := "x*x + y*y <= 4 and x + y >= 1 and (x <= 0 or y <= 0.5 or y <= 2) and y >= -3"
+		if err := sys.Assert(expr.MustParse(src)); err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	plain, simp := mk(), mk()
+	if st := simp.Simplify(); st.Pruned() == 0 {
+		t.Fatal("fixture exercises nothing: Simplify pruned 0 ops")
+	}
+	a := New(plain, Options{Eps: 1e-3})
+	b := New(simp, Options{Eps: 1e-3})
+
+	x, _ := plain.Lookup("x")
+	y, _ := plain.Lookup("y")
+	for _, as := range [][]tnf.Lit{
+		nil,
+		{tnf.MkGe(x, 1)},
+		{tnf.MkGe(x, 3)},
+		{tnf.MkLe(y, -2), tnf.MkLe(x, 0)},
+		{tnf.MkGe(y, 1.9), tnf.MkGe(x, 0.1)},
+	} {
+		ra, rb := a.Solve(as), b.Solve(as)
+		if ra.Status != rb.Status {
+			t.Errorf("assumptions %v: plain %v, simplified %v", as, ra.Status, rb.Status)
+		}
+	}
+}

@@ -90,6 +90,12 @@ type Options struct {
 	// NoPhaseSave disables bound/phase saving: decisions then always
 	// split into the lower half first (the pre-watched-core behaviour).
 	NoPhaseSave bool
+	// NoPrefixRetention disables assumption-prefix trail retention:
+	// every Solve then backtracks to level 0 on entry and exit (the
+	// pre-retention behaviour).  Used by the differential fuzz target and
+	// the invariance suites to prove retention never changes a verdict,
+	// and available as a bisection escape hatch.
+	NoPrefixRetention bool
 }
 
 func (o Options) withDefaults() Options {
@@ -126,6 +132,12 @@ type Stats struct {
 	WatchVisits    int64 // watched-clause inspections during propagation
 	ClausesDeleted int64 // clauses deleted by reduceDB (learned and root-satisfied)
 	LitsMinimized  int64 // literals dropped by conflict-clause minimization
+	// PrefixKeptLevels counts assumption levels carried over from the
+	// previous Solve by prefix retention (one per retained level per
+	// Solve); TrailEventsSaved counts the above-root trail events those
+	// levels held — propagation work the solver did not have to redo.
+	PrefixKeptLevels int64
+	TrailEventsSaved int64
 	// SubsumedFrameClauses counts frame clauses retired by syntactic
 	// subsumption.  It is maintained by the IC3 layer (the solver only
 	// hosts the counter so one Stats struct carries the whole
@@ -235,6 +247,27 @@ type Solver struct {
 	nAssump     int       // number of assumption levels in current Solve
 	assumptions []tnf.Lit // current assumptions (indexed by level-1)
 
+	// Assumption-prefix trail retention (DESIGN.md §17).  retained is a
+	// private copy of the assumptions backing the levels left standing by
+	// the last Solve's exit; the next Solve backtracks only to the longest
+	// positional prefix its own assumptions share with it.  fixLevel is
+	// the deepest level whose state is a completed, conflict-free
+	// propagation fixpoint — the only levels safe to leave standing:
+	// at such a level every constraint was revised clean (so no interval
+	// conflict can be hiding in the retained domains) and every queued
+	// clause was seeded.  It is demoted by cancelUntil and by any event
+	// appended to an already-fixpointed level (post-backjump UIP asserts,
+	// pre-SAT exhaustive-check units), and re-established each time
+	// propagate drains to fixpoint.  deferredRoot holds formula clauses
+	// that were seeded while a prefix was retained (level > 0): their
+	// unit consequences land at the retained level instead of the root,
+	// so they are replayed into newClause at the next full backtrack to
+	// make those facts permanent (retired one-shot query literals rely
+	// on this to become root-satisfied and garbage-collectable).
+	retained     []tnf.Lit
+	fixLevel     int32
+	deferredRoot []int32
+
 	// anteScratch is the shared antecedent-snapshot buffer for
 	// propagation (see revise/checkClause): setBound copies it into the
 	// trail when an event is actually recorded, so the frequent
@@ -320,8 +353,10 @@ func New(sys *tnf.System, opts Options) *Solver {
 }
 
 // Sync pulls variables, constraints and clauses added to sys since the
-// last Sync (or New).  It must be called at decision level 0 (between
-// Solve calls).  Clauses added directly with AddClause are unaffected.
+// last Sync (or New).  It must be called between Solve calls (the
+// solver may be parked at a retained assumption prefix; new content is
+// seeded by the next propagation and replayed at the root as needed).
+// Clauses added directly with AddClause are unaffected.
 func (s *Solver) Sync(sys *tnf.System) {
 	for _, vi := range sys.Vars[s.nVarsSynced:] {
 		s.addVarInfo(vi)
@@ -406,7 +441,7 @@ func (s *Solver) decayClauseActs() {
 }
 
 // AddBoolVar introduces a fresh Boolean variable (used for activation
-// literals by IC3).  Must be called at decision level 0 (between solves).
+// literals by IC3).  Must be called between Solve calls.
 func (s *Solver) AddBoolVar(name string) tnf.VarID {
 	return s.addVarInfo(tnf.VarInfo{Name: name, Integer: true, Domain: interval.New(0, 1)})
 }
@@ -434,8 +469,10 @@ func (s *Solver) conVarList(c tnf.Constraint) []tnf.VarID {
 	}
 }
 
-// AddClause installs a clause.  It must be called at decision level 0
-// (between Solve calls); the clause takes effect on the next propagation.
+// AddClause installs a clause.  It must be called between Solve calls;
+// the clause takes effect on the next propagation (and, if the solver
+// is parked at a retained assumption prefix, is additionally replayed
+// at the root on the next full backtrack).
 func (s *Solver) AddClause(c tnf.Clause) {
 	s.addClauseInternal(c, false)
 }
@@ -626,6 +663,9 @@ func (s *Solver) cancelUntil(lvl int32) {
 	if s.propHead > limit {
 		s.propHead = limit
 	}
+	if lvl < s.fixLevel {
+		s.fixLevel = lvl
+	}
 }
 
 // setBound applies a bound tightening.  Returns:
@@ -691,6 +731,12 @@ func (s *Solver) setBound(v tnf.VarID, side int8, b float64, strict bool, thresh
 		s.hiOpen[v] = strict || (b == old && oldOpen)
 	}
 	idx := int32(len(s.trail))
+	// appending to an already-fixpointed level invalidates its fixpoint
+	// status until propagate drains again (retention may only keep
+	// completed fixpoint levels — see the fixLevel invariant)
+	if lvl := s.level(); s.fixLevel >= lvl {
+		s.fixLevel = lvl - 1
+	}
 	var nbOpen bool
 	if side == sideLo {
 		nbOpen = s.loOpen[v]
@@ -882,9 +928,50 @@ func (s *Solver) Solve(assumptions []tnf.Lit) Result {
 	if s.rootConflict {
 		return Result{Status: StatusUnsat}
 	}
-	s.cancelUntil(0)
+	// Assumption-prefix retention: backtrack only to the longest
+	// positional prefix shared with the previous query's retained levels
+	// instead of to 0 — consecution queries against the same frame keep
+	// the propagated frame context and re-establish only the cube
+	// literals.  Soundness: each retained level was left at a completed
+	// conflict-free propagation fixpoint (fixLevel), its events are real
+	// derivations from the formula plus the positionally identical
+	// assumption prefix, and the formula itself only grows, so cores
+	// traced through retained events remain valid; the SAT side is
+	// already an ε-candidate guarded by the pre-SAT exhaustive check.
+	// A due clause-database reduction forces a full backtrack: reduceDB's
+	// root-satisfaction and watch-rebuild logic is only exact at level 0.
+	reduceDue := !s.opts.NoReduce && len(s.clauses)-s.lastReduceSize >= s.opts.ReduceInterval
+	keep := int32(0)
+	if !s.opts.NoPrefixRetention && !reduceDue {
+		maxKeep := int32(len(s.retained))
+		if lv := s.level(); maxKeep > lv {
+			maxKeep = lv // defensive: retained never outruns the trail
+		}
+		if n := int32(len(assumptions)); maxKeep > n {
+			maxKeep = n
+		}
+		for keep < maxKeep && assumptions[keep] == s.retained[keep] {
+			keep++
+		}
+	}
+	if keep > 0 {
+		kept := int32(len(s.trail))
+		if keep < s.level() {
+			kept = s.trailLim[keep]
+		}
+		s.Stats.PrefixKeptLevels += int64(keep)
+		s.Stats.TrailEventsSaved += int64(kept - s.trailLim[0])
+	}
+	s.cancelUntil(keep)
 	s.pendingCf = nil
 	s.phaseBase = s.phaseEpoch // phases saved before this Solve are stale
+	if s.level() == 0 && len(s.deferredRoot) > 0 {
+		// replay formula clauses first seeded at a retained level so their
+		// unit consequences become permanent root facts (and root-satisfied
+		// clauses become collectable by the next reduction)
+		s.newClause = append(s.deferredRoot, s.newClause...)
+		s.deferredRoot = nil
+	}
 	s.maybeReduceDB()
 	s.nAssump = len(assumptions)
 	s.assumptions = assumptions
@@ -901,7 +988,7 @@ func (s *Solver) Solve(assumptions []tnf.Lit) Result {
 			if sinceStopPoll >= 64 {
 				sinceStopPoll = 0
 				if s.opts.Stop() {
-					s.cancelUntil(0)
+					s.retainOnExit()
 					return Result{Status: StatusUnknown}
 				}
 			}
@@ -912,8 +999,13 @@ func (s *Solver) Solve(assumptions []tnf.Lit) Result {
 			// contraction is sound but incomplete, so no Sat verdict may
 			// be derived from it — abort as Unknown immediately.
 			s.stopped = false
-			s.cancelUntil(0)
+			s.retainOnExit()
 			return Result{Status: StatusUnknown}
+		}
+		if cf == nil && s.fixLevel < s.level() {
+			// the current level reached a conflict-free propagation
+			// fixpoint: it is now safe for retention to leave standing
+			s.fixLevel = s.level()
 		}
 		if cf != nil {
 			s.Stats.Conflicts++
@@ -926,17 +1018,17 @@ func (s *Solver) Solve(assumptions []tnf.Lit) Result {
 					s.rootConflict = true // formula itself is UNSAT
 				}
 				core := s.finalCore(cf.ante)
-				s.cancelUntil(0)
+				s.retainOnExit()
 				return Result{Status: StatusUnsat, Core: core}
 			}
 			if conflicts > s.opts.MaxConflicts {
-				s.cancelUntil(0)
+				s.retainOnExit()
 				return Result{Status: StatusUnknown}
 			}
 			learnt, assertLit, btLevel, lbd, ok := s.analyze(cf, lvl)
 			if !ok {
 				// degenerate conflict (no resolvable structure): give up
-				s.cancelUntil(0)
+				s.retainOnExit()
 				return Result{Status: StatusUnknown}
 			}
 			if btLevel < int32(s.nAssump) {
@@ -963,7 +1055,7 @@ func (s *Solver) Solve(assumptions []tnf.Lit) Result {
 				lvl2 := s.maxAnteLevel(cf2.ante)
 				if lvl2 <= int32(s.nAssump) {
 					core := s.finalCore(cf2.ante)
-					s.cancelUntil(0)
+					s.retainOnExit()
 					return Result{Status: StatusUnsat, Core: core}
 				}
 				// rare: asserting lit conflicts above assumption levels;
@@ -975,7 +1067,7 @@ func (s *Solver) Solve(assumptions []tnf.Lit) Result {
 				// deterministic search; give up if it keeps happening.
 				noProgress++
 				if noProgress > maxNoProgress {
-					s.cancelUntil(0)
+					s.retainOnExit()
 					return Result{Status: StatusUnknown}
 				}
 				if btLevel > 0 {
@@ -996,13 +1088,13 @@ func (s *Solver) Solve(assumptions []tnf.Lit) Result {
 				// assumption refuted by current (level <= idx) knowledge
 				core := s.finalCore([]int32{s.falsifyingEvent(a)})
 				core = append(core, a)
-				s.cancelUntil(0)
+				s.retainOnExit()
 				return Result{Status: StatusUnsat, Core: core}
 			}
 			if cf2, _ := s.assertLit(a, reasonDecision, -1, -1, nil); cf2 != nil {
 				core := s.finalCore(cf2.ante)
 				core = append(core, a)
-				s.cancelUntil(0)
+				s.retainOnExit()
 				return Result{Status: StatusUnsat, Core: core}
 			}
 			continue
@@ -1027,12 +1119,12 @@ func (s *Solver) Solve(assumptions []tnf.Lit) Result {
 			for i := range s.vars {
 				box[i] = interval.New(s.lo[i], s.hi[i])
 			}
-			s.cancelUntil(0)
+			s.retainOnExit()
 			return Result{Status: StatusSat, Box: box}
 		}
 		decisions++
 		if decisions > s.opts.MaxDecisions {
-			s.cancelUntil(0)
+			s.retainOnExit()
 			return Result{Status: StatusUnknown}
 		}
 		if cf2 := s.decide(v); cf2 != nil {
@@ -1041,11 +1133,44 @@ func (s *Solver) Solve(assumptions []tnf.Lit) Result {
 			lvl := s.maxAnteLevel(cf2.ante)
 			if lvl <= int32(s.nAssump) {
 				core := s.finalCore(cf2.ante)
-				s.cancelUntil(0)
+				s.retainOnExit()
 				return Result{Status: StatusUnsat, Core: core}
 			}
 			s.cancelUntil(lvl - 1)
 		}
+	}
+}
+
+// retainOnExit unwinds the trail at the end of a Solve call.  With
+// retention enabled it keeps the deepest assumption prefix known to be
+// at a completed, conflict-free propagation fixpoint (min(fixLevel,
+// nAssump) — search levels beyond the assumptions are never kept) and
+// records a private copy of the assumptions backing those levels for
+// the next Solve's prefix match.  With NoPrefixRetention it degenerates
+// to the historical full backtrack.
+func (s *Solver) retainOnExit() {
+	r := s.fixLevel
+	if n := int32(s.nAssump); r > n {
+		r = n
+	}
+	if r < 0 || s.opts.NoPrefixRetention {
+		r = 0
+	}
+	s.cancelUntil(r)
+	s.retained = append(s.retained[:0], s.assumptions[:r]...)
+}
+
+// resetRetention fully unwinds a retained assumption prefix, returning
+// the solver to the historical between-Solve state (decision level 0).
+// Deferred formula clauses are queued for re-seeding so their unit
+// consequences become permanent root facts.
+func (s *Solver) resetRetention() {
+	s.cancelUntil(0)
+	s.retained = s.retained[:0]
+	s.fixLevel = 0
+	if len(s.deferredRoot) > 0 {
+		s.newClause = append(s.deferredRoot, s.newClause...)
+		s.deferredRoot = nil
 	}
 }
 
@@ -1137,6 +1262,19 @@ func (s *Solver) maybeReduceDB() {
 	s.clauses = kept
 	for i, ci := range s.newClause {
 		s.newClause[i] = remap[ci]
+	}
+	// deferredRoot is normally drained before a reduction (the Solve
+	// prologue replays it whenever the trail is fully unwound, and a due
+	// reduction forces that), but remap defensively: a deleted clause
+	// was root-satisfied, so dropping its replay entry is exact.
+	if len(s.deferredRoot) > 0 {
+		keptDef := s.deferredRoot[:0]
+		for _, ci := range s.deferredRoot {
+			if remap[ci] >= 0 {
+				keptDef = append(keptDef, remap[ci])
+			}
+		}
+		s.deferredRoot = keptDef
 	}
 	for i := range s.trail {
 		e := &s.trail[i]

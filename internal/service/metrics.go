@@ -83,6 +83,12 @@ type Metrics struct {
 	solverRebuilds int64 // guarded-by: mu; frame-solver slack rebuilds (activation-var GC)
 	ctgBlocked     int64 // guarded-by: mu; counterexamples-to-generalization blocked
 
+	prefixKept   int64 // guarded-by: mu; assumption-prefix levels retained across Solve calls
+	trailSaved   int64 // guarded-by: mu; trail events not redone thanks to prefix retention
+	consecHits   int64 // guarded-by: mu; consecution queries served from the UNSAT memo
+	consecMisses int64 // guarded-by: mu; consecution queries that went to a solver
+	tnfPruned    int64 // guarded-by: mu; TNF ops removed by compile-time simplification
+
 	reuseLookups   int64   // guarded-by: mu; certificate-store lookups (reuse-capable jobs)
 	reuseHits      int64   // guarded-by: mu; lookups that produced usable seed hints
 	clausesSeeded  int64   // guarded-by: mu; prior-proof clauses that survived re-checking
@@ -238,6 +244,11 @@ func (m *Metrics) recordWorkProfile(res engine.Result) {
 	m.pushSkipped += res.Stats["pushSkippedTriggered"]
 	m.solverRebuilds += res.Stats["solverRebuilds"]
 	m.ctgBlocked += res.Stats["ctgBlocked"]
+	m.prefixKept += res.Stats["prefixKeptLevels"]
+	m.trailSaved += res.Stats["trailEventsSaved"]
+	m.consecHits += res.Stats["consecCacheHits"]
+	m.consecMisses += res.Stats["consecCacheMisses"]
+	m.tnfPruned += res.Stats["tnfOpsPruned"]
 	m.mu.Unlock()
 }
 
@@ -250,6 +261,27 @@ func (m *Metrics) SolverRebuilds() int64 {
 	return m.solverRebuilds
 }
 func (m *Metrics) CTGBlocked() int64 { m.mu.Lock(); defer m.mu.Unlock(); return m.ctgBlocked }
+func (m *Metrics) PrefixKeptLevels() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.prefixKept
+}
+func (m *Metrics) TrailEventsSaved() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.trailSaved
+}
+func (m *Metrics) ConsecCacheHits() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.consecHits
+}
+func (m *Metrics) ConsecCacheMisses() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.consecMisses
+}
+func (m *Metrics) TNFOpsPruned() int64 { m.mu.Lock(); defer m.mu.Unlock(); return m.tnfPruned }
 
 func (m *Metrics) incPanics()     { m.mu.Lock(); m.panics++; m.mu.Unlock() }
 func (m *Metrics) incStalled()    { m.mu.Lock(); m.stalled++; m.mu.Unlock() }
@@ -383,6 +415,11 @@ func (m *Metrics) WriteText(w io.Writer) error {
 	add("icpserve_engine_push_skipped_triggered_total %d", m.pushSkipped)
 	add("icpserve_engine_solver_rebuilds_total %d", m.solverRebuilds)
 	add("icpserve_engine_ctg_blocked_total %d", m.ctgBlocked)
+	add("icpserve_engine_prefix_kept_levels_total %d", m.prefixKept)
+	add("icpserve_engine_trail_events_saved_total %d", m.trailSaved)
+	add("icpserve_engine_consec_cache_hits_total %d", m.consecHits)
+	add("icpserve_engine_consec_cache_misses_total %d", m.consecMisses)
+	add("icpserve_engine_tnf_ops_pruned_total %d", m.tnfPruned)
 	add("icpserve_reuse_lookups_total %d", m.reuseLookups)
 	add("icpserve_reuse_hits_total %d", m.reuseHits)
 	add("icpserve_reuse_clauses_seeded_total %d", m.clausesSeeded)
